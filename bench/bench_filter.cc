@@ -1,0 +1,66 @@
+// Section 7.2 micro-benchmark: filter operator performance.
+//
+// The paper reports 482 M tuples/s on a single dpCore (1.65
+// cycles/tuple via the dual-issued bvld/filteq loop) and a 9.6 GiB/s
+// peak across 32 dpCores, with the computation hidden behind DMS
+// transfers. This harness runs the real filter pipeline through the
+// engine and reports the modeled DPU throughput.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "core/engine.h"
+#include "storage/loader.h"
+
+int main() {
+  using namespace rapid;
+  using namespace rapid::core;
+  bench::Header("Section 7.2", "Filter operator performance");
+
+  constexpr size_t kRows = 4 << 20;
+  std::vector<storage::ColumnSpec> specs = {{"k",
+                                             storage::ColumnKind::kInt32}};
+  std::vector<storage::ColumnData> data(1);
+  data[0].ints.reserve(kRows);
+  for (size_t i = 0; i < kRows; ++i) {
+    data[0].ints.push_back(static_cast<int64_t>(i % 1000));
+  }
+  RapidEngine engine;
+  RAPID_CHECK_OK(engine.Load(
+      storage::LoadTable("t", specs, data).value()));
+
+  // Pure filter measurement: a predicate with no qualifying rows
+  // isolates the bvld/filteq loop (no gather, no materialization),
+  // exactly like the paper's micro-benchmark.
+  auto plan = LogicalNode::Scan(
+      "t", {"k"}, {Predicate::CmpConst("k", primitives::CmpOp::kLt, -1)});
+  auto result = engine.Execute(plan);
+  RAPID_CHECK(result.ok());
+
+  // Per-core compute rate: total filter-side compute cycles over all
+  // rows (the bvld/filteq loop plus selection bookkeeping).
+  const double compute_cycles = result.value().stats.total_compute_cycles;
+  const double cycles_per_tuple = compute_cycles / static_cast<double>(kRows);
+  const double per_core = 800e6 / cycles_per_tuple;
+  // Operator bandwidth: the scan step's modeled time (transfer-bound,
+  // all 32 cores fed by the shared DMS).
+  const double scan_seconds = result.value().stats.steps[0].modeled_seconds;
+  const double gib_per_sec =
+      static_cast<double>(kRows) * 4 / scan_seconds / (1 << 30);
+
+  std::printf("%-34s | %10s | %10s\n", "metric", "paper", "modeled");
+  std::printf("-----------------------------------+------------+-----------\n");
+  std::printf("%-34s | %10.0f | %10.0f\n",
+              "filter tuples/s per core (M)", 482.0,
+              per_core / 1e6);
+  std::printf("%-34s | %10.2f | %10.2f\n", "cycles per tuple", 1.65,
+              cycles_per_tuple);
+  std::printf("%-34s | %10.1f | %10.1f\n", "32-core bandwidth (GiB/s)", 9.6,
+              gib_per_sec);
+  std::printf(
+      "\nNote: the operator runs at the DMS transfer rate — compute is\n"
+      "hidden behind double-buffered transfers, so the 32-core figure is\n"
+      "transfer-bound (compare Figure 9), matching the paper's text.\n");
+  return 0;
+}

@@ -1,0 +1,82 @@
+// Figure 11: join build operator performance vs tile size and
+// hash-buckets size.
+//
+// The paper reports: hash-buckets size has no direct impact (the
+// bucket array lives in single-cycle DMEM); tile size improves
+// throughput ~39% from 64 to 1024 rows; ~46 M rows/s per dpCore at
+// 256-row tiles (~1.5 B rows/s per DPU with 32 independent kernels).
+
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/crc32.h"
+#include "common/rng.h"
+#include "dpu/dpu.h"
+#include "primitives/join_kernel.h"
+
+namespace {
+
+using namespace rapid;
+
+// Builds the compact table over `rows` keys on one core and returns
+// modeled M rows/s per core.
+double BuildMRows(dpu::Dpu& dpu, size_t rows, size_t buckets,
+                  size_t tile_rows) {
+  Rng rng(7);
+  std::vector<int64_t> keys(rows);
+  for (auto& key : keys) key = rng.NextInRange(0, 1 << 20);
+
+  dpu.ResetCores();
+  dpu::DpCore& core = dpu.core(0);
+  primitives::CompactJoinTable table(rows, buckets, rows);
+  for (size_t start = 0; start < rows; start += tile_rows) {
+    const size_t n = std::min(tile_rows, rows - start);
+    for (size_t i = 0; i < n; ++i) {
+      table.Insert(Crc32U64(static_cast<uint64_t>(keys[start + i])),
+                   start + i);
+    }
+    core.cycles().ChargeCompute(dpu::JoinBuildTileCycles(dpu.params(), n));
+  }
+  const double seconds =
+      core.cycles().compute_cycles() / dpu.params().clock_hz;
+  return static_cast<double>(rows) / seconds / 1e6;
+}
+
+}  // namespace
+
+int main() {
+  bench::Header("Figure 11",
+                "Join build operator vs tile & hash-buckets sizes");
+  dpu::Dpu dpu;
+  constexpr size_t kRows = 1 << 16;
+
+  std::printf("%-12s", "buckets");
+  for (size_t tile : {64u, 128u, 256u, 512u, 1024u}) {
+    std::printf(" | tile=%-5zu", tile);
+  }
+  std::printf("  (M rows/s per core)\n");
+  std::printf("------------+------------+------------+------------+"
+              "------------+------------\n");
+  double t64 = 0;
+  double t256 = 0;
+  double t1024 = 0;
+  for (size_t buckets : {1024u, 4096u, 16384u, 65536u}) {
+    std::printf("%-12zu", buckets);
+    for (size_t tile : {64u, 128u, 256u, 512u, 1024u}) {
+      const double mrows = BuildMRows(dpu, kRows, buckets, tile);
+      if (tile == 64) t64 = mrows;
+      if (tile == 256) t256 = mrows;
+      if (tile == 1024) t1024 = mrows;
+      std::printf(" | %10.1f", mrows);
+    }
+    std::printf("\n");
+  }
+  std::printf(
+      "\nPaper: no direct hash-buckets impact (DMEM random access is\n"
+      "single cycle); +39%% from tile 64 -> 1024 (reproduced: +%.0f%%);\n"
+      "~46 M rows/s per core at tile 256 (reproduced: %.1f M);\n"
+      "32 independent kernels scale linearly -> ~%.2f B rows/s per DPU.\n",
+      (t1024 / t64 - 1.0) * 100, t256, t1024 * 32 / 1e3);
+  return 0;
+}

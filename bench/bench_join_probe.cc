@@ -1,0 +1,96 @@
+// Figure 12: join probe operator performance vs tile size and
+// hash-buckets size at a fixed 50% hit ratio.
+//
+// The paper reports 880 M - 1.35 B rows/s per DPU, ~30% gain from
+// tile 64 -> 1024, and no impact from the hash-buckets size while the
+// array stays in DMEM.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/crc32.h"
+#include "common/rng.h"
+#include "dpu/dpu.h"
+#include "primitives/join_kernel.h"
+
+namespace {
+
+using namespace rapid;
+
+double ProbeMRowsPerDpu(dpu::Dpu& dpu, size_t build_rows, size_t buckets,
+                        size_t tile_rows) {
+  Rng rng(13);
+  std::vector<int64_t> keys(build_rows);
+  for (size_t i = 0; i < build_rows; ++i) {
+    keys[i] = static_cast<int64_t>(i);  // unique keys
+  }
+  primitives::CompactJoinTable table(build_rows, buckets, build_rows);
+  for (size_t i = 0; i < build_rows; ++i) {
+    table.Insert(Crc32U64(static_cast<uint64_t>(keys[i])), i);
+  }
+
+  // 50% hit ratio: half the probes hit existing keys.
+  const size_t probe_rows = build_rows * 16;
+  std::vector<int64_t> probes(probe_rows);
+  for (size_t i = 0; i < probe_rows; ++i) {
+    probes[i] = rng.NextBounded(2) == 0
+                    ? static_cast<int64_t>(rng.NextBounded(build_rows))
+                    : static_cast<int64_t>(build_rows + rng.NextBounded(1u << 20));
+  }
+
+  dpu.ResetCores();
+  dpu::DpCore& core = dpu.core(0);
+  for (size_t start = 0; start < probe_rows; start += tile_rows) {
+    const size_t n = std::min(tile_rows, probe_rows - start);
+    primitives::ProbeStats stats;
+    for (size_t i = 0; i < n; ++i) {
+      const int64_t probe = probes[start + i];
+      table.Probe(
+          Crc32U64(static_cast<uint64_t>(probe)),
+          [&](size_t offset) { return keys[offset] == probe; },
+          [](size_t) {}, &stats);
+    }
+    core.cycles().ChargeCompute(dpu::JoinProbeTileCycles(
+        dpu.params(), n, stats.chain_steps, stats.matches));
+  }
+  const double seconds =
+      core.cycles().compute_cycles() / dpu.params().clock_hz;
+  // 32 cores probe independent partitions.
+  return static_cast<double>(probe_rows) / seconds / 1e6 * 32;
+}
+
+}  // namespace
+
+int main() {
+  bench::Header("Figure 12",
+                "Join probe operator vs tile & hash-buckets (hit: 50%)");
+  dpu::Dpu dpu;
+  constexpr size_t kBuildRows = 1 << 10;  // one DMEM-resident kernel
+
+  std::printf("%-12s", "buckets");
+  for (size_t tile : {64u, 128u, 256u, 512u, 1024u}) {
+    std::printf(" | tile=%-5zu", tile);
+  }
+  std::printf("  (M rows/s per DPU)\n");
+  std::printf("------------+------------+------------+------------+"
+              "------------+------------\n");
+  double t64 = 0;
+  double t1024 = 0;
+  for (size_t buckets : {1024u, 2048u, 4096u, 8192u}) {
+    std::printf("%-12zu", buckets);
+    for (size_t tile : {64u, 128u, 256u, 512u, 1024u}) {
+      const double mrows = ProbeMRowsPerDpu(dpu, kBuildRows, buckets, tile);
+      if (tile == 64) t64 = mrows;
+      if (tile == 1024) t1024 = mrows;
+      std::printf(" | %10.0f", mrows);
+    }
+    std::printf("\n");
+  }
+  std::printf(
+      "\nPaper: 880 M - 1.35 B rows/s per DPU (reproduced: %.0f M - %.0f M)\n"
+      "with ~30%% gain from tile 64 -> 1024 (reproduced: +%.0f%%); the\n"
+      "hash-buckets size has no impact while resident in DMEM.\n",
+      t64, t1024, (t1024 / t64 - 1.0) * 100);
+  return 0;
+}

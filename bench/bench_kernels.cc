@@ -1,0 +1,126 @@
+// Wall-clock micro-benchmarks of the primitive kernels on the host
+// CPU (google-benchmark). These measure the *software* quality of the
+// RAPID primitives — branch-free tight loops over columns — which is
+// what carries the Figure 16 software-only comparison.
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "common/crc32.h"
+#include "common/rng.h"
+#include "primitives/filter.h"
+#include "primitives/hash.h"
+#include "primitives/join_kernel.h"
+#include "primitives/partition_map.h"
+
+namespace {
+
+using namespace rapid;
+using namespace rapid::primitives;
+
+std::vector<int32_t> RandomInts(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<int32_t> out(n);
+  for (auto& v : out) v = static_cast<int32_t>(rng.NextInRange(0, 1 << 20));
+  return out;
+}
+
+void BM_FilterBvEq(benchmark::State& state) {
+  const auto values = RandomInts(static_cast<size_t>(state.range(0)), 1);
+  BitVector bv;
+  for (auto _ : state) {
+    FilterConstBv<CmpOp::kLt, int32_t>(values.data(), values.size(),
+                                       1 << 19, &bv);
+    benchmark::DoNotOptimize(bv.mutable_words());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(values.size()));
+}
+BENCHMARK(BM_FilterBvEq)->Arg(1 << 16);
+
+void BM_FilterRid(benchmark::State& state) {
+  const auto values = RandomInts(static_cast<size_t>(state.range(0)), 2);
+  std::vector<uint32_t> rids;
+  for (auto _ : state) {
+    rids.clear();
+    FilterConstRid<CmpOp::kEq, int32_t>(values.data(), values.size(), 12345,
+                                        &rids);
+    benchmark::DoNotOptimize(rids.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(values.size()));
+}
+BENCHMARK(BM_FilterRid)->Arg(1 << 16);
+
+void BM_Crc32Hash(benchmark::State& state) {
+  const auto values = RandomInts(static_cast<size_t>(state.range(0)), 3);
+  std::vector<int64_t> keys(values.begin(), values.end());
+  std::vector<uint32_t> hashes(keys.size());
+  for (auto _ : state) {
+    HashTile(keys.data(), keys.size(), hashes.data());
+    benchmark::DoNotOptimize(hashes.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(keys.size()));
+}
+BENCHMARK(BM_Crc32Hash)->Arg(1 << 16);
+
+void BM_ComputePartitionMap(benchmark::State& state) {
+  Rng rng(4);
+  std::vector<uint32_t> hashes(static_cast<size_t>(state.range(0)));
+  for (auto& h : hashes) h = static_cast<uint32_t>(rng.Next());
+  PartitionMap map;
+  for (auto _ : state) {
+    ComputePartitionMap(hashes.data(), hashes.size(),
+                        static_cast<int>(state.range(1)), 0, &map);
+    benchmark::DoNotOptimize(map.rids.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(hashes.size()));
+}
+BENCHMARK(BM_ComputePartitionMap)->Args({1 << 14, 32})->Args({1 << 14, 256});
+
+void BM_JoinBuild(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  Rng rng(5);
+  std::vector<uint32_t> hashes(n);
+  for (auto& h : hashes) h = static_cast<uint32_t>(rng.Next());
+  for (auto _ : state) {
+    CompactJoinTable table(n, n / 4, n);
+    for (size_t i = 0; i < n; ++i) table.Insert(hashes[i], i);
+    benchmark::DoNotOptimize(table.num_rows());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n));
+}
+BENCHMARK(BM_JoinBuild)->Arg(1 << 14);
+
+void BM_JoinProbe(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  std::vector<int64_t> keys(n);
+  for (size_t i = 0; i < n; ++i) keys[i] = static_cast<int64_t>(i);
+  CompactJoinTable table(n, n / 4, n);
+  for (size_t i = 0; i < n; ++i) {
+    table.Insert(Crc32U64(static_cast<uint64_t>(keys[i])), i);
+  }
+  Rng rng(6);
+  std::vector<int64_t> probes(n);
+  for (auto& p : probes) p = rng.NextInRange(0, static_cast<int64_t>(2 * n));
+  ProbeStats stats;
+  for (auto _ : state) {
+    size_t matches = 0;
+    for (int64_t p : probes) {
+      table.Probe(
+          Crc32U64(static_cast<uint64_t>(p)),
+          [&](size_t offset) { return keys[offset] == p; },
+          [&](size_t) { ++matches; }, &stats);
+    }
+    benchmark::DoNotOptimize(matches);
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n));
+}
+BENCHMARK(BM_JoinProbe)->Arg(1 << 14);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,64 @@
+// Figure 16: RAPID software vs System X on x86.
+//
+// Both engines run on this host's CPU over the same data: RAPID's
+// vectorized, push-based, partitioned execution against System X's
+// tuple-at-a-time Volcano engine. The paper reports speedups of
+// 1.2x-8.5x with a 2.5x average — attributable purely to software
+// design, since the hardware is identical. Wall-clock measured.
+
+#include <algorithm>
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "tpch/queries.h"
+
+int main() {
+  using namespace rapid;
+  bench::Header("Figure 16", "RAPID software vs System X on x86 (measured)");
+
+  hostdb::HostDatabase host;
+  core::RapidEngine engine;
+  const double sf = bench::ScaleFactor();
+  RAPID_CHECK_OK(tpch::LoadTpch(sf, &host, &engine));
+  // Wall-clock measurement: run the simulated cores inline so OS
+  // thread scheduling on small hosts does not pollute the timing.
+  engine.dpu().SetInlineExecution(true);
+
+  std::printf("TPC-H SF %.2f, wall-clock on this host\n\n", sf);
+  std::printf("%-6s | %13s | %13s | %8s\n", "query", "RAPID-sw (ms)",
+              "System X (ms)", "speedup");
+  std::printf("-------+---------------+---------------+---------\n");
+
+  double sum = 0;
+  double lo = 1e30;
+  double hi = 0;
+  int count = 0;
+  for (const tpch::TpchQuery& query : tpch::BuildQuerySet()) {
+    auto rapid_run = tpch::RunOnRapid(engine, query);
+    auto host_run = tpch::RunOnHost(host, query);
+    RAPID_CHECK(rapid_run.ok());
+    RAPID_CHECK(host_run.ok());
+    const double speedup =
+        host_run.value().wall_seconds / rapid_run.value().wall_seconds;
+    sum += speedup;
+    lo = std::min(lo, speedup);
+    hi = std::max(hi, speedup);
+    ++count;
+    std::printf("%-6s | %13.2f | %13.2f | %7.2fx\n", query.name.c_str(),
+                rapid_run.value().wall_seconds * 1e3,
+                host_run.value().wall_seconds * 1e3, speedup);
+  }
+  std::printf("-------+---------------+---------------+---------\n");
+  std::printf("%-6s | %13s | %13s | %7.2fx\n", "avg", "", "", sum / count);
+  std::printf("\n%-36s | %10s | %10s\n", "metric", "paper", "repro");
+  std::printf("-------------------------------------+------------+----------\n");
+  std::printf("%-36s | %9.1fx | %9.2fx\n", "average software speedup", 2.5,
+              sum / count);
+  std::printf("%-36s | %4.1f-%.1fx | %4.1f-%.1fx\n", "range", 1.2, 8.5, lo,
+              hi);
+  std::printf(
+      "\nNote: RAPID software is 'not particularly tuned for x86' (the\n"
+      "paper's words) — the win comes from vectorized push-based\n"
+      "execution and partitioned joins vs tuple-at-a-time iteration.\n");
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Figure 13: performance gain in join with vectorization.
+//
+// The paper isolates the join of TPC-H Q3 and runs it with and
+// without vectorized execution, reporting ~46% improvement (and far
+// fewer branch mispredictions) with vectorization on. Here the same
+// Q3 join fragment runs through the engine in both modes; the
+// row-at-a-time mode charges the per-row interpretation overhead that
+// batching amortizes away.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "tpch/queries.h"
+
+int main() {
+  using namespace rapid;
+  bench::Header("Figure 13", "Performance gain in join with vectorization");
+
+  hostdb::HostDatabase host;
+  core::RapidEngine engine;
+  const double sf = bench::ScaleFactor();
+  RAPID_CHECK_OK(tpch::LoadTpch(sf, &host, &engine));
+
+  auto q3 = tpch::BuildQuery("Q3").value();
+  auto plan = q3.fragments[0](engine.catalog(), {}).value();
+
+  core::ExecOptions vec;
+  vec.vectorized = true;
+  core::ExecOptions scalar;
+  scalar.vectorized = false;
+
+  // The paper isolates the *join operator* of Q3; sum the modeled time
+  // of the hash-join steps in each mode.
+  auto join_seconds = [&](const core::ExecOptions& options) {
+    auto result = engine.Execute(plan, options);
+    RAPID_CHECK(result.ok());
+    double seconds = 0;
+    for (const core::StepTiming& step : result.value().stats.steps) {
+      if (step.description.find("HASHJOIN") != std::string::npos) {
+        seconds += step.modeled_seconds;
+      }
+    }
+    return seconds;
+  };
+  const double t_vec = join_seconds(vec);
+  const double t_scalar = join_seconds(scalar);
+  const double gain = (t_scalar - t_vec) / t_scalar * 100.0;
+
+  std::printf("TPC-H Q3 (SF %.2f), modeled DPU time of the join steps:\n",
+              sf);
+  std::printf("  %-28s %10.3f ms\n", "vectorization disabled:",
+              t_scalar * 1e3);
+  std::printf("  %-28s %10.3f ms\n", "vectorization enabled:", t_vec * 1e3);
+  std::printf("\n%-36s | %8s | %8s\n", "metric", "paper", "repro");
+  std::printf("-------------------------------------+----------+---------\n");
+  std::printf("%-36s | %7.0f%% | %7.0f%%\n",
+              "gain with vectorized execution", 46.0, gain);
+  std::printf(
+      "\nShape check: batching rows through primitives removes the\n"
+      "per-row setup/interpretation overhead (and, on the real dpCore,\n"
+      "the branch mispredictions the paper measures).\n");
+  return 0;
+}

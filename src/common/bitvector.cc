@@ -1,0 +1,3 @@
+#include "common/bitvector.h"
+
+// BitVector is header-only; this translation unit anchors the library.

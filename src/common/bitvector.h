@@ -1,0 +1,124 @@
+// BitVector: the qualifying-row representation used throughout RAPID's
+// filter pipeline (Section 5.4). Predicate primitives produce and
+// consume bit vectors; the DMS can gather rows selected by one.
+
+#ifndef RAPID_COMMON_BITVECTOR_H_
+#define RAPID_COMMON_BITVECTOR_H_
+
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace rapid {
+
+// A fixed-size vector of bits with fast population count and
+// set-bit iteration. Bit i corresponds to row offset i in a tile.
+class BitVector {
+ public:
+  BitVector() : num_bits_(0) {}
+  explicit BitVector(size_t num_bits) { Resize(num_bits); }
+
+  void Resize(size_t num_bits) {
+    num_bits_ = num_bits;
+    words_.assign((num_bits + 63) / 64, 0);
+  }
+
+  size_t size() const { return num_bits_; }
+
+  void Set(size_t i) {
+    RAPID_DCHECK(i < num_bits_);
+    words_[i >> 6] |= (uint64_t{1} << (i & 63));
+  }
+  void Clear(size_t i) {
+    RAPID_DCHECK(i < num_bits_);
+    words_[i >> 6] &= ~(uint64_t{1} << (i & 63));
+  }
+  void SetTo(size_t i, bool value) {
+    if (value) {
+      Set(i);
+    } else {
+      Clear(i);
+    }
+  }
+  bool Test(size_t i) const {
+    RAPID_DCHECK(i < num_bits_);
+    return (words_[i >> 6] >> (i & 63)) & 1;
+  }
+
+  void SetAll() {
+    for (auto& w : words_) w = ~uint64_t{0};
+    MaskTail();
+  }
+  void ClearAll() {
+    for (auto& w : words_) w = 0;
+  }
+
+  // Number of set bits.
+  size_t CountOnes() const {
+    size_t n = 0;
+    for (uint64_t w : words_) n += static_cast<size_t>(__builtin_popcountll(w));
+    return n;
+  }
+
+  // In-place intersection / union with another vector of equal size.
+  void And(const BitVector& other) {
+    RAPID_DCHECK(other.num_bits_ == num_bits_);
+    for (size_t i = 0; i < words_.size(); ++i) words_[i] &= other.words_[i];
+  }
+  void Or(const BitVector& other) {
+    RAPID_DCHECK(other.num_bits_ == num_bits_);
+    for (size_t i = 0; i < words_.size(); ++i) words_[i] |= other.words_[i];
+  }
+  void Not() {
+    for (auto& w : words_) w = ~w;
+    MaskTail();
+  }
+
+  // Appends the offsets of all set bits to `rids` (the RID-list
+  // representation of qualifying rows, Section 5.4).
+  void ToRids(std::vector<uint32_t>* rids) const {
+    for (size_t wi = 0; wi < words_.size(); ++wi) {
+      uint64_t w = words_[wi];
+      while (w != 0) {
+        const int bit = __builtin_ctzll(w);
+        rids->push_back(static_cast<uint32_t>(wi * 64 + bit));
+        w &= (w - 1);
+      }
+    }
+  }
+
+  // Builds from a RID list; RIDs must be < num_bits.
+  static BitVector FromRids(const std::vector<uint32_t>& rids,
+                            size_t num_bits) {
+    BitVector bv(num_bits);
+    for (uint32_t rid : rids) bv.Set(rid);
+    return bv;
+  }
+
+  const uint64_t* words() const { return words_.data(); }
+  uint64_t* mutable_words() { return words_.data(); }
+  size_t num_words() const { return words_.size(); }
+
+  bool operator==(const BitVector& other) const {
+    return num_bits_ == other.num_bits_ && words_ == other.words_;
+  }
+
+ private:
+  // Clears bits past num_bits_ in the last word so CountOnes and
+  // ToRids never see phantom rows.
+  void MaskTail() {
+    const size_t tail = num_bits_ & 63;
+    if (tail != 0 && !words_.empty()) {
+      words_.back() &= (uint64_t{1} << tail) - 1;
+    }
+  }
+
+  size_t num_bits_;
+  std::vector<uint64_t> words_;
+};
+
+}  // namespace rapid
+
+#endif  // RAPID_COMMON_BITVECTOR_H_

@@ -1,0 +1,73 @@
+// Cache-line aligned heap buffer used for DRAM-resident column data.
+// The DMS transfers whole cache lines; keeping vectors aligned mirrors
+// the strict alignment rules of the DPU memory system (Section 4.2).
+
+#ifndef RAPID_COMMON_BUFFER_H_
+#define RAPID_COMMON_BUFFER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <utility>
+
+#include "common/logging.h"
+
+namespace rapid {
+
+inline constexpr size_t kCacheLineSize = 64;
+
+// Move-only owning buffer with 64-byte alignment.
+class AlignedBuffer {
+ public:
+  AlignedBuffer() : data_(nullptr), size_(0) {}
+
+  explicit AlignedBuffer(size_t size) : size_(size) {
+    if (size == 0) {
+      data_ = nullptr;
+      return;
+    }
+    const size_t padded = (size + kCacheLineSize - 1) & ~(kCacheLineSize - 1);
+    data_ = static_cast<uint8_t*>(std::aligned_alloc(kCacheLineSize, padded));
+    RAPID_CHECK(data_ != nullptr);
+    std::memset(data_, 0, padded);
+  }
+
+  AlignedBuffer(AlignedBuffer&& other) noexcept
+      : data_(std::exchange(other.data_, nullptr)),
+        size_(std::exchange(other.size_, 0)) {}
+  AlignedBuffer& operator=(AlignedBuffer&& other) noexcept {
+    if (this != &other) {
+      std::free(data_);
+      data_ = std::exchange(other.data_, nullptr);
+      size_ = std::exchange(other.size_, 0);
+    }
+    return *this;
+  }
+
+  AlignedBuffer(const AlignedBuffer&) = delete;
+  AlignedBuffer& operator=(const AlignedBuffer&) = delete;
+
+  ~AlignedBuffer() { std::free(data_); }
+
+  uint8_t* data() { return data_; }
+  const uint8_t* data() const { return data_; }
+  size_t size() const { return size_; }
+
+  template <typename T>
+  T* as() {
+    return reinterpret_cast<T*>(data_);
+  }
+  template <typename T>
+  const T* as() const {
+    return reinterpret_cast<const T*>(data_);
+  }
+
+ private:
+  uint8_t* data_;
+  size_t size_;
+};
+
+}  // namespace rapid
+
+#endif  // RAPID_COMMON_BUFFER_H_

@@ -1,0 +1,95 @@
+// CompactArray: a bit-packed array of unsigned integers with a fixed
+// bit width. This is the storage behind RAPID's compact hash-table
+// representation (Section 6.3): for N items, both the `hash-buckets`
+// and the `link` array store ceil(log2 N)-bit entries instead of
+// pointers, so a DMEM-resident hash table costs ~2*N*ceil(log2 N) bits.
+
+#ifndef RAPID_COMMON_COMPACT_ARRAY_H_
+#define RAPID_COMMON_COMPACT_ARRAY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace rapid {
+
+// Minimum number of bits needed to represent values in [0, n]. Used to
+// size join-kernel arrays: with N rows, offsets plus the end-of-chain
+// sentinel need ceil(log2(N + 1)) bits.
+inline int BitsFor(uint64_t n) {
+  int bits = 1;
+  while ((uint64_t{1} << bits) <= n) ++bits;
+  return bits;
+}
+
+class CompactArray {
+ public:
+  CompactArray() : bit_width_(1), size_(0) {}
+
+  // Creates `size` entries of `bit_width` bits each, zero-initialized.
+  CompactArray(size_t size, int bit_width) { Reset(size, bit_width); }
+
+  void Reset(size_t size, int bit_width) {
+    RAPID_CHECK(bit_width >= 1 && bit_width <= 64);
+    bit_width_ = bit_width;
+    size_ = size;
+    words_.assign((size * bit_width + 63) / 64, 0);
+  }
+
+  size_t size() const { return size_; }
+  int bit_width() const { return bit_width_; }
+  uint64_t max_value() const {
+    return bit_width_ == 64 ? ~uint64_t{0}
+                            : (uint64_t{1} << bit_width_) - 1;
+  }
+  // Bytes of backing storage; what a DMEM budget check charges.
+  size_t byte_size() const { return words_.size() * sizeof(uint64_t); }
+
+  uint64_t Get(size_t i) const {
+    RAPID_DCHECK(i < size_);
+    const size_t bit_pos = i * bit_width_;
+    const size_t word = bit_pos >> 6;
+    const int offset = static_cast<int>(bit_pos & 63);
+    uint64_t value = words_[word] >> offset;
+    if (offset + bit_width_ > 64) {
+      value |= words_[word + 1] << (64 - offset);
+    }
+    return value & MaskOf(bit_width_);
+  }
+
+  void Set(size_t i, uint64_t value) {
+    RAPID_DCHECK(i < size_);
+    RAPID_DCHECK(value <= max_value());
+    const size_t bit_pos = i * bit_width_;
+    const size_t word = bit_pos >> 6;
+    const int offset = static_cast<int>(bit_pos & 63);
+    const uint64_t mask = MaskOf(bit_width_);
+    words_[word] = (words_[word] & ~(mask << offset)) | (value << offset);
+    if (offset + bit_width_ > 64) {
+      const int spill = offset + bit_width_ - 64;
+      const uint64_t hi_mask = MaskOf(spill);
+      words_[word + 1] =
+          (words_[word + 1] & ~hi_mask) | (value >> (64 - offset));
+    }
+  }
+
+  void FillWithMax() {
+    // Sets every entry to the all-ones sentinel (end-of-chain marker in
+    // the join kernel).
+    for (size_t i = 0; i < size_; ++i) Set(i, max_value());
+  }
+
+ private:
+  static uint64_t MaskOf(int bits) {
+    return bits >= 64 ? ~uint64_t{0} : (uint64_t{1} << bits) - 1;
+  }
+
+  int bit_width_;
+  size_t size_;
+  std::vector<uint64_t> words_;
+};
+
+}  // namespace rapid
+
+#endif  // RAPID_COMMON_COMPACT_ARRAY_H_

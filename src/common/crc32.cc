@@ -1,0 +1,41 @@
+#include "common/crc32.h"
+
+namespace rapid {
+
+namespace {
+
+// Table-driven CRC32C. Table is generated at first use; generation is
+// cheap (256 iterations) and the result is immutable thereafter.
+struct Crc32Table {
+  uint32_t entries[256];
+
+  Crc32Table() {
+    constexpr uint32_t kPoly = 0x82F63B78u;  // CRC32C reflected polynomial
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t crc = i;
+      for (int bit = 0; bit < 8; ++bit) {
+        crc = (crc >> 1) ^ ((crc & 1) ? kPoly : 0);
+      }
+      entries[i] = crc;
+    }
+  }
+};
+
+const Crc32Table& Table() {
+  static const Crc32Table table;
+  return table;
+}
+
+}  // namespace
+
+uint32_t Crc32(const void* data, size_t len, uint32_t seed) {
+  const auto* bytes = static_cast<const uint8_t*>(data);
+  const auto& table = Table();
+  uint32_t crc = seed;
+  for (size_t i = 0; i < len; ++i) {
+    crc = (crc >> 8) ^ table.entries[(crc ^ bytes[i]) & 0xFF];
+  }
+  return crc;
+}
+
+}  // namespace rapid

@@ -1,0 +1,29 @@
+// CRC32 hashing, modeling the dpCore's single-cycle CRC32 instruction
+// and the DMS hash engine (Sections 2.1 and 5.4). All hash
+// partitioning, group-by and join hashing in RAPID use CRC32C.
+
+#ifndef RAPID_COMMON_CRC32_H_
+#define RAPID_COMMON_CRC32_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace rapid {
+
+// CRC32C (Castagnoli) of a byte buffer, seeded with `seed`.
+uint32_t Crc32(const void* data, size_t len, uint32_t seed = 0xFFFFFFFFu);
+
+// Hash of a single fixed-width key, the common case in join/group-by.
+inline uint32_t Crc32U64(uint64_t key, uint32_t seed = 0xFFFFFFFFu) {
+  return Crc32(&key, sizeof(key), seed);
+}
+
+// Combines hashes of multi-column keys the way the DMS hash engine
+// chains CRC over up to 4 key columns (Figure 8: hash 1/2/4 keys).
+inline uint32_t Crc32Combine(uint32_t prev, uint64_t key) {
+  return Crc32(&key, sizeof(key), prev);
+}
+
+}  // namespace rapid
+
+#endif  // RAPID_COMMON_CRC32_H_

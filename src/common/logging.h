@@ -1,0 +1,43 @@
+// Assertion macros for internal invariants.
+//
+// RAPID_CHECK* fire in all build types: violating a DMEM budget or a
+// kernel invariant is a programming error, never a data-dependent
+// condition, so aborting is the correct response (Google style:
+// invariants crash, expected failures return Status).
+
+#ifndef RAPID_COMMON_LOGGING_H_
+#define RAPID_COMMON_LOGGING_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace rapid::internal {
+
+[[noreturn]] inline void CheckFailed(const char* file, int line,
+                                     const char* expr) {
+  std::fprintf(stderr, "RAPID_CHECK failed at %s:%d: %s\n", file, line, expr);
+  std::abort();
+}
+
+}  // namespace rapid::internal
+
+#define RAPID_CHECK(cond)                                        \
+  do {                                                           \
+    if (!(cond)) {                                               \
+      ::rapid::internal::CheckFailed(__FILE__, __LINE__, #cond); \
+    }                                                            \
+  } while (0)
+
+#define RAPID_CHECK_OK(expr)                                             \
+  do {                                                                   \
+    ::rapid::Status _st = (expr);                                        \
+    if (!_st.ok()) {                                                     \
+      std::fprintf(stderr, "RAPID_CHECK_OK failed at %s:%d: %s\n",       \
+                   __FILE__, __LINE__, _st.ToString().c_str());          \
+      std::abort();                                                      \
+    }                                                                    \
+  } while (0)
+
+#define RAPID_DCHECK(cond) RAPID_CHECK(cond)
+
+#endif  // RAPID_COMMON_LOGGING_H_

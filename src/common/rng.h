@@ -1,0 +1,55 @@
+// Deterministic random number generation for workload synthesis.
+//
+// All tests and benchmarks seed explicitly so runs are reproducible.
+// Zipf sampling drives the skew-resilience experiments (Section 6.4).
+
+#ifndef RAPID_COMMON_RNG_H_
+#define RAPID_COMMON_RNG_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace rapid {
+
+// xoshiro256** — small, fast, good-quality PRNG.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed);
+
+  uint64_t Next();
+
+  // Uniform in [0, bound) without modulo bias for small bounds.
+  uint64_t NextBounded(uint64_t bound);
+
+  // Uniform in [lo, hi] inclusive.
+  int64_t NextInRange(int64_t lo, int64_t hi);
+
+  // Uniform double in [0, 1).
+  double NextDouble();
+
+ private:
+  uint64_t state_[4];
+};
+
+// Zipf-distributed sampler over [0, n). Precomputes the CDF once; each
+// Sample is a binary search. theta=0 degenerates to uniform; theta
+// around 1.0-1.5 produces the heavy-hitter workloads of Section 6.4.
+class ZipfGenerator {
+ public:
+  ZipfGenerator(uint64_t n, double theta, uint64_t seed);
+
+  uint64_t Sample();
+
+  uint64_t n() const { return n_; }
+  double theta() const { return theta_; }
+
+ private:
+  uint64_t n_;
+  double theta_;
+  Rng rng_;
+  std::vector<double> cdf_;
+};
+
+}  // namespace rapid
+
+#endif  // RAPID_COMMON_RNG_H_

@@ -1,0 +1,122 @@
+// Status and Result<T>: error propagation without exceptions.
+//
+// RAPID runs on bare metal in the paper; here we follow the same
+// discipline in portable C++: fallible functions return Status (or
+// Result<T>), and callers propagate with RAPID_RETURN_NOT_OK /
+// RAPID_ASSIGN_OR_RETURN.
+
+#ifndef RAPID_COMMON_STATUS_H_
+#define RAPID_COMMON_STATUS_H_
+
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace rapid {
+
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kOutOfMemory,       // DMEM or DRAM budget exceeded
+  kNotFound,
+  kAlreadyExists,
+  kNotSupported,
+  kInternal,
+  kAdmissionDenied,   // SCN admissibility check failed (Section 3.3)
+  kCapacityExceeded,  // e.g. partition fan-out or hash table overflow
+};
+
+// A success-or-error value. Cheap to copy in the success case.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status OutOfMemory(std::string msg) {
+    return Status(StatusCode::kOutOfMemory, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status NotSupported(std::string msg) {
+    return Status(StatusCode::kNotSupported, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status AdmissionDenied(std::string msg) {
+    return Status(StatusCode::kAdmissionDenied, std::move(msg));
+  }
+  static Status CapacityExceeded(std::string msg) {
+    return Status(StatusCode::kCapacityExceeded, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // "OK" or "<code>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+// Holds either a value of type T or an error Status.
+template <typename T>
+class Result {
+ public:
+  // Implicit construction from values and from Status keeps call sites
+  // readable: `return value;` / `return Status::Internal(...)`.
+  Result(T value) : value_(std::move(value)) {}           // NOLINT
+  Result(Status status) : value_(std::move(status)) {     // NOLINT
+    // A Result must never hold an OK status without a value.
+    if (std::get<Status>(value_).ok()) {
+      value_ = Status::Internal("Result constructed from OK status");
+    }
+  }
+
+  bool ok() const { return std::holds_alternative<T>(value_); }
+
+  const T& value() const& { return std::get<T>(value_); }
+  T& value() & { return std::get<T>(value_); }
+  T&& value() && { return std::get<T>(std::move(value_)); }
+
+  Status status() const {
+    if (ok()) return Status::OK();
+    return std::get<Status>(value_);
+  }
+
+ private:
+  std::variant<T, Status> value_;
+};
+
+}  // namespace rapid
+
+#define RAPID_RETURN_NOT_OK(expr)            \
+  do {                                       \
+    ::rapid::Status _st = (expr);            \
+    if (!_st.ok()) return _st;               \
+  } while (0)
+
+#define RAPID_CONCAT_IMPL(a, b) a##b
+#define RAPID_CONCAT(a, b) RAPID_CONCAT_IMPL(a, b)
+
+#define RAPID_ASSIGN_OR_RETURN_IMPL(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                                \
+  if (!tmp.ok()) return tmp.status();                \
+  lhs = std::move(tmp).value()
+
+#define RAPID_ASSIGN_OR_RETURN(lhs, rexpr) \
+  RAPID_ASSIGN_OR_RETURN_IMPL(RAPID_CONCAT(_res_, __LINE__), lhs, rexpr)
+
+#endif  // RAPID_COMMON_STATUS_H_

@@ -1,0 +1,127 @@
+#include "core/engine.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "storage/loader.h"
+
+namespace rapid::core {
+
+RapidEngine::RapidEngine(const dpu::DpuConfig& config,
+                         const dpu::CostParams& params)
+    : dpu_(std::make_unique<dpu::Dpu>(config, params)),
+      config_(config),
+      params_(params) {}
+
+Status RapidEngine::Load(storage::Table table) {
+  const std::string name = table.name();
+  catalog_.erase(name);
+  catalog_.emplace(name, std::move(table));
+  return Status::OK();
+}
+
+const storage::Table* RapidEngine::GetTable(const std::string& name) const {
+  auto it = catalog_.find(name);
+  return it == catalog_.end() ? nullptr : &it->second;
+}
+
+Status RapidEngine::ApplyUpdate(const std::string& table, uint64_t scn,
+                                std::vector<storage::RowChange> changes) {
+  auto it = catalog_.find(table);
+  if (it == catalog_.end()) {
+    return Status::NotFound("table '" + table + "' not loaded");
+  }
+  auto& tracker = trackers_[table];
+  if (tracker == nullptr) {
+    tracker = std::make_unique<storage::Tracker>(
+        it->second.schema().num_fields());
+  }
+  // The tracker records versions for SCN resolution; the base vectors
+  // are refreshed to the latest propagated state so scans see current
+  // data (queries older than the propagated SCN resolve through the
+  // tracker).
+  for (const storage::RowChange& change : changes) {
+    RAPID_RETURN_NOT_OK(
+        storage::ApplyRowChange(&it->second, change.row_id, change.values));
+  }
+  RAPID_RETURN_NOT_OK(tracker->ApplyUpdate(scn, std::move(changes)));
+  it->second.set_scn(scn);
+  return Status::OK();
+}
+
+const storage::Tracker* RapidEngine::tracker(const std::string& table) const {
+  auto it = trackers_.find(table);
+  return it == trackers_.end() ? nullptr : it->second.get();
+}
+
+size_t RapidEngine::VacuumTrackers(uint64_t min_active_scn) {
+  size_t reclaimed = 0;
+  for (auto& [name, tracker] : trackers_) {
+    reclaimed += tracker->Vacuum(min_active_scn);
+  }
+  return reclaimed;
+}
+
+Result<QueryResult> RapidEngine::Execute(const LogicalPtr& plan,
+                                         const ExecOptions& options) {
+  Planner planner(config_, params_, options.planner);
+  RAPID_ASSIGN_OR_RETURN(PhysicalPlan physical, planner.Plan(plan, catalog_));
+  return ExecutePhysical(physical, options);
+}
+
+Result<QueryResult> RapidEngine::ExecutePhysical(const PhysicalPlan& plan,
+                                                 const ExecOptions& options) {
+  if (plan.root < 0 || plan.steps.empty()) {
+    return Status::InvalidArgument("physical plan is empty");
+  }
+
+  ExecEnv env;
+  env.dpu = dpu_.get();
+  env.catalog = &catalog_;
+  env.vectorized = options.vectorized;
+  env.outputs.resize(plan.steps.size());
+
+  dpu_->ResetCores();
+
+  QueryResult result;
+  result.plan_text = plan.Describe();
+
+  const auto wall_start = std::chrono::steady_clock::now();
+  const auto ncores = static_cast<size_t>(dpu_->num_cores());
+  std::vector<double> before_compute(ncores, 0);
+  std::vector<double> before_dms(ncores, 0);
+  for (const auto& step : plan.steps) {
+    for (size_t c = 0; c < ncores; ++c) {
+      before_compute[c] = dpu_->core(static_cast<int>(c)).cycles()
+                              .compute_cycles();
+      before_dms[c] = dpu_->core(static_cast<int>(c)).cycles().dms_cycles();
+    }
+    RAPID_RETURN_NOT_OK(step->Execute(env));
+    // Modeled step time: cores compute concurrently (slowest bounds
+    // the phase) while all DMS transfers share the single DRAM
+    // interface (they serialize); double buffering overlaps the two
+    // streams, so the phase costs the max of both.
+    double max_compute = 0;
+    double sum_dms = 0;
+    for (size_t c = 0; c < ncores; ++c) {
+      const auto& cyc = dpu_->core(static_cast<int>(c)).cycles();
+      max_compute =
+          std::max(max_compute, cyc.compute_cycles() - before_compute[c]);
+      sum_dms += cyc.dms_cycles() - before_dms[c];
+    }
+    const double step_seconds =
+        std::max(max_compute, sum_dms) / params_.clock_hz;
+    result.stats.steps.push_back(StepTiming{step->Describe(), step_seconds});
+    result.stats.modeled_seconds += step_seconds;
+  }
+  const auto wall_end = std::chrono::steady_clock::now();
+
+  result.stats.wall_seconds =
+      std::chrono::duration<double>(wall_end - wall_start).count();
+  result.stats.workload = env.counters;
+  result.stats.total_compute_cycles = dpu_->TotalComputeCycles();
+  result.rows = std::move(env.outputs[static_cast<size_t>(plan.root)].set);
+  return result;
+}
+
+}  // namespace rapid::core

@@ -1,0 +1,97 @@
+// RapidEngine: the public entry point of the RAPID query processing
+// engine. Owns the DPU (simulated), the loaded tables and the QComp
+// planner; executes logical plans and reports both results and the
+// modeled DPU execution statistics used by the performance/power
+// evaluation.
+
+#ifndef RAPID_CORE_ENGINE_H_
+#define RAPID_CORE_ENGINE_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/qcomp/planner.h"
+#include "core/qcomp/steps.h"
+#include "dpu/dpu.h"
+#include "storage/table.h"
+#include "storage/update.h"
+
+namespace rapid::core {
+
+struct ExecOptions {
+  bool vectorized = true;  // Figure 13 ablation switch
+  PlannerOptions planner;
+};
+
+struct StepTiming {
+  std::string description;
+  double modeled_seconds = 0;  // max-core cycle delta / 800 MHz
+};
+
+struct ExecutionStats {
+  double modeled_seconds = 0;  // total modeled DPU time
+  double wall_seconds = 0;     // host wall clock (x86 software mode)
+  double total_compute_cycles = 0;
+  std::vector<StepTiming> steps;
+  WorkloadCounters workload;
+};
+
+struct QueryResult {
+  ColumnSet rows;
+  ExecutionStats stats;
+  std::string plan_text;
+};
+
+class RapidEngine {
+ public:
+  explicit RapidEngine(
+      const dpu::DpuConfig& config = dpu::DpuConfig::Default(),
+      const dpu::CostParams& params = dpu::CostParams::Default());
+
+  RapidEngine(const RapidEngine&) = delete;
+  RapidEngine& operator=(const RapidEngine&) = delete;
+
+  // Loads (or replaces) a table; RAPID keeps it fully in memory.
+  Status Load(storage::Table table);
+
+  const storage::Table* GetTable(const std::string& name) const;
+  const Catalog& catalog() const { return catalog_; }
+
+  // Compiles and executes a logical plan.
+  Result<QueryResult> Execute(const LogicalPtr& plan,
+                              const ExecOptions& options = ExecOptions{});
+
+  // Executes an already-planned physical plan (used by benchmarks that
+  // need access to step internals such as join statistics).
+  Result<QueryResult> ExecutePhysical(const PhysicalPlan& plan,
+                                      const ExecOptions& options);
+
+  // Applies an update batch to a loaded table through its tracker and
+  // bumps the table SCN (Section 4.3).
+  Status ApplyUpdate(const std::string& table, uint64_t scn,
+                     std::vector<storage::RowChange> changes);
+
+  // Update tracker of a table (null if the table has no updates yet).
+  const storage::Tracker* tracker(const std::string& table) const;
+
+  // Garbage-collects row versions no longer visible to any query at or
+  // after `min_active_scn` (Section 4.3: accumulated updates occupy
+  // memory via outdated vectors). Returns reclaimed version count.
+  size_t VacuumTrackers(uint64_t min_active_scn);
+
+  dpu::Dpu& dpu() { return *dpu_; }
+
+ private:
+  std::unique_ptr<dpu::Dpu> dpu_;
+  dpu::DpuConfig config_;
+  dpu::CostParams params_;
+  Catalog catalog_;
+  std::unordered_map<std::string, std::unique_ptr<storage::Tracker>>
+      trackers_;
+};
+
+}  // namespace rapid::core
+
+#endif  // RAPID_CORE_ENGINE_H_

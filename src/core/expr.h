@@ -1,0 +1,111 @@
+// Expressions and predicates of the RAPID engine.
+//
+// Queries reaching RAPID are already normalized by the host compiler
+// (Section 3.1); RAPID evaluates flat arithmetic expressions over
+// columns (DSB-scale aware, integer only) and conjunctive predicates.
+// Evaluation is vectorized: each node produces a full tile of values
+// per invocation via the type-specialized primitives.
+
+#ifndef RAPID_CORE_EXPR_H_
+#define RAPID_CORE_EXPR_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/bitvector.h"
+#include "common/status.h"
+#include "core/qef/exec_ctx.h"
+#include "core/qef/tile.h"
+#include "primitives/arith.h"
+#include "primitives/filter.h"
+
+namespace rapid::core {
+
+struct Expr;
+using ExprPtr = std::shared_ptr<const Expr>;
+
+struct Expr {
+  enum class Kind { kColumn, kConst, kBinary };
+
+  Kind kind = Kind::kConst;
+
+  // kColumn: name in the operator's input schema.
+  std::string column;
+
+  // kConst: widened value; for decimal constants, `value` is the
+  // mantissa at `scale` (e.g. 0.5 == {5, 1}).
+  int64_t value = 0;
+  int scale = 0;
+
+  // kBinary.
+  primitives::ArithOp op = primitives::ArithOp::kAdd;
+  ExprPtr left;
+  ExprPtr right;
+
+  static ExprPtr Col(std::string name);
+  static ExprPtr Int(int64_t v);
+  static ExprPtr Dec(double v, int scale);
+  static ExprPtr Add(ExprPtr l, ExprPtr r);
+  static ExprPtr Sub(ExprPtr l, ExprPtr r);
+  static ExprPtr Mul(ExprPtr l, ExprPtr r);
+
+  // Column names referenced by this expression (appended to `out`).
+  void CollectColumns(std::vector<std::string>* out) const;
+};
+
+// Maps column names to tile column positions for bound evaluation.
+using ColumnBinding = std::unordered_map<std::string, size_t>;
+
+// Evaluates `expr` over a tile: writes tile.rows widened values into
+// `out` and returns the result's DSB scale. Charges arithmetic
+// primitive cycles.
+Result<int> EvalExpr(ExecCtx& ctx, const Tile& tile,
+                     const ColumnBinding& binding, const Expr& expr,
+                     std::vector<int64_t>* out);
+
+// One conjunct of a WHERE clause. Values are pre-encoded by the
+// compiler to the column's storage representation (dict codes, day
+// numbers, DSB mantissas at the column scale).
+struct Predicate {
+  enum class Kind { kCmpConst, kBetween, kInSet, kCmpCol };
+
+  Kind kind = Kind::kCmpConst;
+  std::string column;
+  primitives::CmpOp op = primitives::CmpOp::kEq;
+  int64_t value = 0;   // kCmpConst; lo for kBetween
+  int64_t value2 = 0;  // hi for kBetween (inclusive)
+  BitVector in_set;    // kInSet: bitmap over dictionary codes
+  std::string column2;  // kCmpCol right-hand column
+
+  // Planner's selectivity estimate; drives most-selective-first
+  // ordering (Section 5.4).
+  double selectivity = 0.5;
+
+  static Predicate CmpConst(std::string column, primitives::CmpOp op,
+                            int64_t value, double selectivity = 0.5);
+  static Predicate Between(std::string column, int64_t lo, int64_t hi,
+                           double selectivity = 0.5);
+  static Predicate InSet(std::string column, BitVector codes,
+                         double selectivity = 0.5);
+  static Predicate CmpCol(std::string left, primitives::CmpOp op,
+                          std::string right, double selectivity = 0.5);
+};
+
+// Evaluates one predicate over all rows of a tile into `out`
+// (bit-vector flavour). Charges filter primitive cycles.
+Status EvalPredicate(ExecCtx& ctx, const Tile& tile,
+                     const ColumnBinding& binding, const Predicate& pred,
+                     BitVector* out);
+
+// Refines an existing qualifying bit vector with one more predicate
+// (the Listing 1 loop: only set rows are re-evaluated).
+Status RefinePredicate(ExecCtx& ctx, const Tile& tile,
+                       const ColumnBinding& binding, const Predicate& pred,
+                       const BitVector& in, BitVector* out);
+
+}  // namespace rapid::core
+
+#endif  // RAPID_CORE_EXPR_H_

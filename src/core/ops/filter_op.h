@@ -1,0 +1,65 @@
+// Filter operator (Section 5.4).
+//
+// Evaluates an ordered conjunction of predicates over each input tile:
+// the most selective predicate runs first over the full tile, and
+// subsequent predicates refine only the qualifying rows (the
+// bit-vector driven bvld/filteq loop of Listing 1). The qualifying-row
+// representation is chosen by the planner: a RID list when expected
+// selectivity < 1/32 (RIDs are 32-bit, so below that the list is
+// smaller than the bit vector), a bit vector otherwise.
+//
+// The operator supports late materialization: projection columns are
+// gathered *after* all predicates are evaluated, so only qualifying
+// rows move. Gathered output columns are widened to int64 tiles for
+// downstream operators.
+
+#ifndef RAPID_CORE_OPS_FILTER_OP_H_
+#define RAPID_CORE_OPS_FILTER_OP_H_
+
+#include <string>
+#include <vector>
+
+#include "core/expr.h"
+#include "core/qef/operator.h"
+
+namespace rapid::core {
+
+class FilterOp : public PipelineOp {
+ public:
+  // `predicates` must already be ordered most-selective-first by the
+  // planner. `output_columns` are the columns to materialize for
+  // downstream operators; `binding` maps input column names to tile
+  // positions. `use_rid_list` selects the RID-list primitives.
+  FilterOp(std::vector<Predicate> predicates,
+           std::vector<std::string> output_columns, ColumnBinding binding,
+           size_t tile_rows, bool use_rid_list);
+
+  size_t DmemBytes(size_t tile_rows) const override;
+  Status Open(ExecCtx& ctx) override;
+  Status Consume(ExecCtx& ctx, const Tile& tile) override;
+  Status Finish(ExecCtx& ctx) override;
+
+  // Output binding for downstream operators: output column names in
+  // tile position order.
+  ColumnBinding OutputBinding() const;
+
+  uint64_t rows_in() const { return rows_in_; }
+  uint64_t rows_out() const { return rows_out_; }
+
+ private:
+  std::vector<Predicate> predicates_;
+  std::vector<std::string> output_columns_;
+  ColumnBinding binding_;
+  size_t tile_rows_;
+  bool use_rid_list_;
+
+  // Output tile storage (widened), one buffer per output column.
+  std::vector<std::vector<int64_t>> out_buffers_;
+  std::vector<uint32_t> rid_scratch_;
+  uint64_t rows_in_ = 0;
+  uint64_t rows_out_ = 0;
+};
+
+}  // namespace rapid::core
+
+#endif  // RAPID_CORE_OPS_FILTER_OP_H_

@@ -1,0 +1,359 @@
+#include "core/ops/join_exec.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "common/crc32.h"
+#include "common/logging.h"
+#include "primitives/join_kernel.h"
+
+namespace rapid::core {
+
+namespace {
+
+size_t NextPow2(size_t n) {
+  size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+uint32_t HashRow(const ColumnSet& set, const std::vector<size_t>& keys,
+                 size_t row) {
+  uint32_t h = 0xFFFFFFFFu;
+  for (size_t k : keys) {
+    h = Crc32Combine(h, static_cast<uint64_t>(set.Value(row, k)));
+  }
+  return h;
+}
+
+bool KeysEqual(const ColumnSet& build, const std::vector<size_t>& bkeys,
+               size_t brow, const ColumnSet& probe,
+               const std::vector<size_t>& pkeys, size_t prow) {
+  for (size_t k = 0; k < bkeys.size(); ++k) {
+    if (build.Value(brow, bkeys[k]) != probe.Value(prow, pkeys[k])) {
+      return false;
+    }
+  }
+  return true;
+}
+
+// Space-saving heavy-hitter sketch: k counters, evict-min on overflow.
+// Overestimates counts, never underestimates — safe for detection.
+class SpaceSaving {
+ public:
+  explicit SpaceSaving(size_t capacity) : capacity_(capacity) {}
+
+  void Add(int64_t key) {
+    auto it = counts_.find(key);
+    if (it != counts_.end()) {
+      ++it->second;
+      return;
+    }
+    if (counts_.size() < capacity_) {
+      counts_[key] = 1;
+      return;
+    }
+    // Evict the minimum and inherit its count (+1).
+    auto min_it = counts_.begin();
+    for (auto i = counts_.begin(); i != counts_.end(); ++i) {
+      if (i->second < min_it->second) min_it = i;
+    }
+    const uint64_t inherited = min_it->second + 1;
+    counts_.erase(min_it);
+    counts_[key] = inherited;
+  }
+
+  std::vector<int64_t> KeysAbove(uint64_t threshold) const {
+    std::vector<int64_t> out;
+    for (const auto& [key, count] : counts_) {
+      if (count >= threshold) out.push_back(key);
+    }
+    return out;
+  }
+
+ private:
+  size_t capacity_;
+  std::unordered_map<int64_t, uint64_t> counts_;
+};
+
+struct PairResult {
+  ColumnSet output;
+  JoinStats stats;
+};
+
+void EmitMatch(const ColumnSet& build, const ColumnSet& probe,
+               const JoinSpec& spec, size_t brow, size_t prow,
+               ColumnSet* out) {
+  for (size_t c = 0; c < spec.outputs.size(); ++c) {
+    const JoinSpec::Output& o = spec.outputs[c];
+    out->column(c).push_back(
+        o.from_build
+            ? (brow == SIZE_MAX ? kJoinNull : build.Value(brow, o.column))
+            : probe.Value(prow, o.column));
+  }
+}
+
+// Joins one partition pair on one core. May recurse after large-skew
+// repartitioning.
+void JoinPair(dpu::Dpu& dpu, dpu::DpCore& core, const ColumnSet& build,
+              const ColumnSet& probe, const JoinSpec& spec, int bits_used,
+              PairResult* result) {
+  const dpu::CostParams& params = dpu.params();
+  const size_t build_rows = build.num_rows();
+  const size_t probe_rows = probe.num_rows();
+  result->stats.build_rows += build_rows;
+  result->stats.probe_rows += probe_rows;
+
+  // ---- Large skew: dynamically repartition oversized kernels ----
+  if (spec.est_rows_per_partition > 0 &&
+      static_cast<double>(build_rows) >
+          spec.large_skew_factor *
+              static_cast<double>(spec.est_rows_per_partition) &&
+      bits_used + 1 < 32) {
+    const size_t target_parts = (build_rows + spec.est_rows_per_partition - 1) /
+                                spec.est_rows_per_partition;
+    const int extra = static_cast<int>(NextPow2(std::max<size_t>(2, target_parts)));
+    auto sub_build = PartitionExec::Repartition(
+        core, params, build, spec.build_keys, extra, bits_used,
+        spec.tile_rows);
+    auto sub_probe = PartitionExec::Repartition(
+        core, params, probe, spec.probe_keys, extra, bits_used,
+        spec.tile_rows);
+    if (sub_build.ok() && sub_probe.ok()) {
+      ++result->stats.repartitioned_partitions;
+      // The repartitioned rows were already counted above; sub-pair
+      // accounting would double count, so snapshot and restore.
+      const uint64_t saved_build = result->stats.build_rows;
+      const uint64_t saved_probe = result->stats.probe_rows;
+      const int extra_bits = __builtin_ctz(static_cast<unsigned>(extra));
+      for (int p = 0; p < extra; ++p) {
+        JoinPair(dpu, core, sub_build.value()[static_cast<size_t>(p)],
+                 sub_probe.value()[static_cast<size_t>(p)], spec,
+                 bits_used + extra_bits, result);
+      }
+      result->stats.build_rows = saved_build;
+      result->stats.probe_rows = saved_probe;
+      return;
+    }
+  }
+
+  // ---- Heavy-hitter detection (flow-join style) ----
+  std::unordered_map<int64_t, std::vector<uint32_t>> heavy_rows;
+  if (spec.heavy_hitter_threshold > 0 && spec.build_keys.size() == 1) {
+    SpaceSaving sketch(64);
+    const std::vector<int64_t>& keys = build.column(spec.build_keys[0]);
+    for (size_t i = 0; i < build_rows; ++i) sketch.Add(keys[i]);
+    // Sketch scan is ~1 cycle/row with the approximate histogram.
+    core.cycles().ChargeCompute(static_cast<double>(build_rows));
+    for (int64_t key : sketch.KeysAbove(spec.heavy_hitter_threshold)) {
+      // Verify against exact counts (sketch overestimates).
+      uint64_t exact = 0;
+      for (size_t i = 0; i < build_rows; ++i) {
+        if (keys[i] == key) ++exact;
+      }
+      if (exact >= spec.heavy_hitter_threshold) {
+        heavy_rows.emplace(key, std::vector<uint32_t>{});
+      }
+    }
+    if (!heavy_rows.empty()) {
+      result->stats.heavy_hitter_keys += heavy_rows.size();
+    }
+  }
+
+  // ---- Build stage ----
+  const size_t reduced = std::max<size_t>(
+      1, static_cast<size_t>(static_cast<double>(std::max<size_t>(build_rows, 1)) /
+                             spec.bucket_reduction));
+  const size_t num_buckets = NextPow2(reduced);
+  // The fast modulo is a bit-mask *and a shift* (Section 6.3): the low
+  // hash bits selected this partition, so the kernel's bucket index
+  // must come from the bits above them or every row aliases into the
+  // same few buckets.
+  const int shift = bits_used;
+  primitives::CompactJoinTable table(build_rows, num_buckets,
+                                     std::min(spec.dmem_capacity_rows,
+                                              build_rows));
+  if (build_rows > spec.dmem_capacity_rows) {
+    ++result->stats.overflowed_partitions;
+  }
+
+  {
+    const std::vector<size_t>& bkeys = spec.build_keys;
+    for (size_t start = 0; start < build_rows; start += spec.tile_rows) {
+      const size_t rows = std::min(spec.tile_rows, build_rows - start);
+      for (size_t i = 0; i < rows; ++i) {
+        const size_t row = start + i;
+        if (!heavy_rows.empty() && bkeys.size() == 1) {
+          auto it = heavy_rows.find(build.Value(row, bkeys[0]));
+          if (it != heavy_rows.end()) {
+            // Heavy keys bypass the hash table; their rows go to the
+            // broadcast side list.
+            it->second.push_back(static_cast<uint32_t>(row));
+            continue;
+          }
+        }
+        table.Insert(HashRow(build, bkeys, row) >> shift, row);
+      }
+      core.cycles().ChargeCompute(dpu::JoinBuildTileCycles(params, rows));
+      if (!spec.vectorized) {
+        core.cycles().ChargeCompute(params.row_at_a_time_overhead_cycles *
+                                    static_cast<double>(rows));
+      }
+      // DMS streams the build tile into DMEM (overlapped).
+      core.cycles().ChargeDms(dpu::DmsTileTransferCycles(
+          params, static_cast<int>(bkeys.size()), rows, sizeof(int64_t),
+          false));
+    }
+  }
+
+  // ---- Probe stage ----
+  primitives::ProbeStats probe_stats;
+  const std::vector<size_t>& pkeys = spec.probe_keys;
+  for (size_t start = 0; start < probe_rows; start += spec.tile_rows) {
+    const size_t rows = std::min(spec.tile_rows, probe_rows - start);
+    primitives::ProbeStats tile_stats;
+    for (size_t i = 0; i < rows; ++i) {
+      const size_t prow = start + i;
+      const uint32_t hash = HashRow(probe, pkeys, prow) >> shift;
+      size_t match_count = 0;
+      table.Probe(
+          hash,
+          [&](size_t brow) {
+            return KeysEqual(build, spec.build_keys, brow, probe, pkeys,
+                             prow);
+          },
+          [&](size_t brow) {
+            ++match_count;
+            if (spec.type == JoinType::kInner ||
+                spec.type == JoinType::kLeftOuter) {
+              EmitMatch(build, probe, spec, brow, prow, &result->output);
+            }
+          },
+          &tile_stats);
+
+      // Heavy-hitter side pass: probe the broadcast list.
+      if (!heavy_rows.empty() && pkeys.size() == 1) {
+        auto it = heavy_rows.find(probe.Value(prow, pkeys[0]));
+        if (it != heavy_rows.end()) {
+          for (uint32_t brow : it->second) {
+            ++match_count;
+            ++result->stats.heavy_hitter_matches;
+            if (spec.type == JoinType::kInner ||
+                spec.type == JoinType::kLeftOuter) {
+              EmitMatch(build, probe, spec, brow, prow, &result->output);
+            }
+          }
+        }
+      }
+
+      switch (spec.type) {
+        case JoinType::kSemi:
+          if (match_count > 0) {
+            EmitMatch(build, probe, spec, SIZE_MAX, prow, &result->output);
+          }
+          break;
+        case JoinType::kAnti:
+          if (match_count == 0) {
+            EmitMatch(build, probe, spec, SIZE_MAX, prow, &result->output);
+          }
+          break;
+        case JoinType::kLeftOuter:
+          if (match_count == 0) {
+            EmitMatch(build, probe, spec, SIZE_MAX, prow, &result->output);
+          }
+          break;
+        case JoinType::kInner:
+          break;
+      }
+      result->stats.matches += match_count;
+    }
+    core.cycles().ChargeCompute(dpu::JoinProbeTileCycles(
+        params, rows, tile_stats.chain_steps,
+        tile_stats.matches));
+    if (!spec.vectorized) {
+      core.cycles().ChargeCompute(params.row_at_a_time_overhead_cycles *
+                                  static_cast<double>(rows));
+    }
+    // DRAM overflow region probes cost a DRAM round trip each.
+    core.cycles().ChargeCompute(params.join_overflow_access_cycles *
+                                static_cast<double>(tile_stats.overflow_steps));
+    core.cycles().ChargeDms(dpu::DmsTileTransferCycles(
+        params, static_cast<int>(pkeys.size()), rows, sizeof(int64_t), false));
+    probe_stats.Merge(tile_stats);
+  }
+  result->stats.chain_steps += probe_stats.chain_steps;
+  result->stats.overflow_steps += probe_stats.overflow_steps;
+}
+
+}  // namespace
+
+std::vector<ColumnMeta> JoinExec::OutputMetas(const ColumnSet& build,
+                                              const ColumnSet& probe,
+                                              const JoinSpec& spec) {
+  std::vector<ColumnMeta> metas;
+  for (const JoinSpec::Output& o : spec.outputs) {
+    metas.push_back(o.from_build ? build.meta(o.column)
+                                 : probe.meta(o.column));
+  }
+  return metas;
+}
+
+Result<ColumnSet> JoinExec::Execute(dpu::Dpu& dpu, const PartitionedData& build,
+                                    const PartitionedData& probe,
+                                    const JoinSpec& spec, JoinStats* stats) {
+  if (build.partitions.size() != probe.partitions.size()) {
+    return Status::InvalidArgument("join inputs have mismatched fan-out");
+  }
+  if (build.partitions.empty()) {
+    return Status::InvalidArgument("join needs at least one partition");
+  }
+  if (spec.build_keys.empty() ||
+      spec.build_keys.size() != spec.probe_keys.size()) {
+    return Status::InvalidArgument("join key lists must match and be nonempty");
+  }
+  if (spec.type == JoinType::kSemi || spec.type == JoinType::kAnti) {
+    for (const JoinSpec::Output& o : spec.outputs) {
+      if (o.from_build) {
+        return Status::InvalidArgument(
+            "semi/anti joins project probe side only");
+      }
+    }
+  }
+
+  const std::vector<ColumnMeta> metas =
+      OutputMetas(build.partitions[0], probe.partitions[0], spec);
+
+  const size_t num_pairs = build.partitions.size();
+  std::vector<PairResult> results(num_pairs);
+  for (auto& r : results) r.output = ColumnSet(metas);
+
+  // Deterministic round-robin: partition pair p joins on core
+  // p % num_cores (compiler-driven actor scheduling).
+  const auto num_cores = static_cast<size_t>(dpu.num_cores());
+  dpu.ParallelFor([&](dpu::DpCore& core) {
+    for (size_t pair = static_cast<size_t>(core.id()); pair < num_pairs;
+         pair += num_cores) {
+      JoinPair(dpu, core, build.partitions[pair], probe.partitions[pair],
+               spec, build.bits_used, &results[pair]);
+    }
+  });
+
+  ColumnSet merged(metas);
+  JoinStats total;
+  for (PairResult& r : results) {
+    merged.Append(r.output);
+    total.build_rows += r.stats.build_rows;
+    total.probe_rows += r.stats.probe_rows;
+    total.matches += r.stats.matches;
+    total.chain_steps += r.stats.chain_steps;
+    total.overflow_steps += r.stats.overflow_steps;
+    total.overflowed_partitions += r.stats.overflowed_partitions;
+    total.repartitioned_partitions += r.stats.repartitioned_partitions;
+    total.heavy_hitter_keys += r.stats.heavy_hitter_keys;
+    total.heavy_hitter_matches += r.stats.heavy_hitter_matches;
+  }
+  if (stats != nullptr) *stats = total;
+  return merged;
+}
+
+}  // namespace rapid::core

@@ -1,0 +1,37 @@
+// Sort-merge join (Section 6.5): "we apply a partitioning-based
+// sorting and a merge-join step". Both inputs are sorted with the
+// range-partitioned radix sort of SortExec; the merge step then walks
+// the sorted runs emitting matching key groups. RAPID uses this when
+// inputs are pre-sorted or an order-preserving output is required;
+// the equi-join default remains the hash join (Section 6.1).
+
+#ifndef RAPID_CORE_OPS_MERGE_JOIN_EXEC_H_
+#define RAPID_CORE_OPS_MERGE_JOIN_EXEC_H_
+
+#include "common/status.h"
+#include "core/ops/join_exec.h"
+#include "core/qef/column_set.h"
+#include "dpu/dpu.h"
+
+namespace rapid::core {
+
+struct MergeJoinSpec {
+  size_t left_key = 0;
+  size_t right_key = 0;
+  // Output projection in output order (from_build refers to the left
+  // input here, mirroring JoinSpec::Output).
+  std::vector<JoinSpec::Output> outputs;
+};
+
+class MergeJoinExec {
+ public:
+  // Inner equi-join of two inputs; output rows are ordered by the join
+  // key (a property the hash join does not provide).
+  static Result<ColumnSet> Execute(dpu::Dpu& dpu, const ColumnSet& left,
+                                   const ColumnSet& right,
+                                   const MergeJoinSpec& spec);
+};
+
+}  // namespace rapid::core
+
+#endif  // RAPID_CORE_OPS_MERGE_JOIN_EXEC_H_

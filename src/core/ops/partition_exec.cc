@@ -1,0 +1,227 @@
+#include "core/ops/partition_exec.h"
+
+#include <algorithm>
+
+#include "common/crc32.h"
+#include "common/logging.h"
+#include "primitives/partition_map.h"
+
+namespace rapid::core {
+
+namespace {
+
+int Log2Of(int fanout) {
+  int bits = 0;
+  while ((1 << bits) < fanout) ++bits;
+  RAPID_CHECK((1 << bits) == fanout);
+  return bits;
+}
+
+// Logical row width of a ColumnSet: physical widths of the logical
+// types (intermediates are stored widened, but the DMS moves the
+// encoded widths on the real machine, so cycle charges use these).
+size_t LogicalRowBytes(const ColumnSet& set) {
+  size_t bytes = 0;
+  for (size_t c = 0; c < set.num_columns(); ++c) {
+    bytes += storage::WidthOf(set.meta(c).type);
+  }
+  return bytes;
+}
+
+// Splits rows [begin, end) of `bucket` `fanout` ways using hash bits
+// [shift, shift+log2(fanout)). Runs on one core. The DMS charge covers
+// the full stream through the partition engine (staging, CRC/CID
+// resolution and the scatter back to DRAM in one pass, cf. Figure 8).
+void SplitRange(dpu::DpCore& core, const dpu::CostParams& params,
+                const ColumnSet& bucket, const std::vector<uint32_t>& hashes,
+                size_t begin, size_t end, int fanout, int hw_fanout,
+                int shift, size_t tile_rows, std::vector<ColumnSet>* out) {
+  const size_t num_cols = bucket.num_columns();
+  const int sw_fanout = fanout / hw_fanout;
+  const size_t row_bytes = LogicalRowBytes(bucket);
+
+  out->assign(static_cast<size_t>(fanout), ColumnSet(bucket.metas()));
+
+  primitives::PartitionMap map;
+  std::vector<int64_t> gathered(tile_rows);
+  for (size_t start = begin; start < end; start += tile_rows) {
+    const size_t rows = std::min(tile_rows, end - start);
+    // compute_partition_map over this tile's hash values (Listing 2).
+    primitives::ComputePartitionMap(hashes.data() + start, rows, fanout,
+                                    shift, &map);
+    // Partition every projection column via gather + sequential emit
+    // (Listing 3), appending to the per-partition local buffers.
+    for (size_t c = 0; c < num_cols; ++c) {
+      const int64_t* in = bucket.column(c).data() + start;
+      primitives::SwPartitionColumn(in, map, gathered.data());
+      size_t cursor = 0;
+      for (int p = 0; p < fanout; ++p) {
+        const size_t cnt = map.counts[static_cast<size_t>(p)];
+        auto& dst = (*out)[static_cast<size_t>(p)].column(c);
+        dst.insert(dst.end(), gathered.data() + cursor,
+                   gathered.data() + cursor + cnt);
+        cursor += cnt;
+      }
+    }
+
+    // Cycle charges. One partition-engine pass moves the tile's data
+    // (read + partitioned write); the dpCore's software stage runs the
+    // map/gather loops for the software share of the fan-out.
+    if (hw_fanout > 1) {
+      core.cycles().ChargeDms(dpu::HwPartitionCycles(
+          params, dpu::HwPartitionStrategy::kHash, 1, rows,
+          rows * row_bytes));
+    } else {
+      core.cycles().ChargeDms(static_cast<double>(rows * row_bytes) /
+                              params.partition_bytes_per_cycle);
+    }
+    if (sw_fanout > 1) {
+      core.cycles().ChargeCompute(dpu::SwPartitionTileCycles(
+          params, rows, static_cast<int>(num_cols), sw_fanout));
+    } else {
+      // Pure hardware round: the dpCore only drains DMEM buffers.
+      core.cycles().ChargeCompute(static_cast<double>(rows));
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<uint32_t> PartitionExec::HashColumn(
+    const ColumnSet& input, const std::vector<size_t>& key_cols) {
+  const size_t n = input.num_rows();
+  std::vector<uint32_t> hashes(n, 0xFFFFFFFFu);
+  for (size_t kc : key_cols) {
+    const int64_t* keys = input.column(kc).data();
+    for (size_t i = 0; i < n; ++i) {
+      hashes[i] = Crc32Combine(hashes[i], static_cast<uint64_t>(keys[i]));
+    }
+  }
+  return hashes;
+}
+
+Result<PartitionedData> PartitionExec::Execute(
+    dpu::Dpu& dpu, const ColumnSet& input,
+    const std::vector<size_t>& key_cols, const PartitionScheme& scheme,
+    size_t tile_rows) {
+  if (scheme.rounds.empty()) {
+    return Status::InvalidArgument("partition scheme needs >= 1 round");
+  }
+  for (const PartitionRound& r : scheme.rounds) {
+    if (r.fanout < 2 || (r.fanout & (r.fanout - 1)) != 0) {
+      return Status::InvalidArgument("round fan-out must be a power of two");
+    }
+    if (r.hw_fanout < 1 || r.fanout % r.hw_fanout != 0) {
+      return Status::InvalidArgument("hw fan-out must divide the round");
+    }
+  }
+
+  // Current buckets plus their hash columns (hashes are computed once
+  // by the DMS hash engine and reused across rounds).
+  std::vector<ColumnSet> buckets;
+  buckets.push_back(ColumnSet(input.metas()));
+  buckets[0].Append(input);
+  std::vector<std::vector<uint32_t>> bucket_hashes;
+  bucket_hashes.push_back(HashColumn(input, key_cols));
+
+  const auto num_cores = static_cast<size_t>(dpu.num_cores());
+  int shift = 0;
+  for (const PartitionRound& round : scheme.rounds) {
+    const int bits = Log2Of(round.fanout);
+    const size_t in_buckets = buckets.size();
+
+    // Work units: each bucket is split into ranges so that every core
+    // has work even when few buckets exist (the DMS streams ranges to
+    // different cores).
+    struct WorkUnit {
+      size_t bucket;
+      size_t begin;
+      size_t end;
+      std::vector<ColumnSet> out;
+    };
+    std::vector<WorkUnit> units;
+    size_t total_rows = 0;
+    for (const ColumnSet& b : buckets) total_rows += b.num_rows();
+    const size_t target_rows =
+        std::max<size_t>(1, (total_rows + num_cores - 1) / num_cores);
+    for (size_t b = 0; b < in_buckets; ++b) {
+      const size_t rows = buckets[b].num_rows();
+      if (rows == 0) {
+        units.push_back(WorkUnit{b, 0, 0, {}});
+        continue;
+      }
+      for (size_t begin = 0; begin < rows; begin += target_rows) {
+        units.push_back(
+            WorkUnit{b, begin, std::min(rows, begin + target_rows), {}});
+      }
+    }
+
+    // Deterministic round-robin assignment: unit u runs on core
+    // u % num_cores (the compiler-driven, non-preemptive scheduling of
+    // the actor model — Section 5.1).
+    dpu.ParallelFor([&](dpu::DpCore& core) {
+      for (size_t u = static_cast<size_t>(core.id()); u < units.size();
+           u += num_cores) {
+        WorkUnit& unit = units[u];
+        SplitRange(core, dpu.params(), buckets[unit.bucket],
+                   bucket_hashes[unit.bucket], unit.begin, unit.end,
+                   round.fanout, round.hw_fanout, shift, tile_rows,
+                   &unit.out);
+      }
+    });
+
+    // Reassemble buckets in (bucket, partition) order, merging the
+    // range splits in range order for determinism; carry hash columns
+    // forward by re-splitting the parents'.
+    std::vector<ColumnSet> new_buckets;
+    std::vector<std::vector<uint32_t>> new_hashes;
+    new_buckets.reserve(in_buckets * static_cast<size_t>(round.fanout));
+    for (size_t b = 0; b < in_buckets; ++b) {
+      std::vector<ColumnSet> merged(static_cast<size_t>(round.fanout),
+                                    ColumnSet(buckets[b].metas()));
+      for (const WorkUnit& unit : units) {
+        if (unit.bucket != b || unit.out.empty()) continue;
+        for (int p = 0; p < round.fanout; ++p) {
+          merged[static_cast<size_t>(p)].Append(
+              unit.out[static_cast<size_t>(p)]);
+        }
+      }
+      const std::vector<uint32_t>& parent = bucket_hashes[b];
+      std::vector<std::vector<uint32_t>> h(static_cast<size_t>(round.fanout));
+      const uint32_t mask = static_cast<uint32_t>(round.fanout) - 1;
+      for (uint32_t hash : parent) {
+        h[(hash >> shift) & mask].push_back(hash);
+      }
+      for (int p = 0; p < round.fanout; ++p) {
+        new_buckets.push_back(std::move(merged[static_cast<size_t>(p)]));
+        new_hashes.push_back(std::move(h[static_cast<size_t>(p)]));
+      }
+    }
+    buckets = std::move(new_buckets);
+    bucket_hashes = std::move(new_hashes);
+    shift += bits;
+  }
+
+  PartitionedData out;
+  out.partitions = std::move(buckets);
+  out.bits_used = shift;
+  return out;
+}
+
+Result<std::vector<ColumnSet>> PartitionExec::Repartition(
+    dpu::DpCore& core, const dpu::CostParams& params, const ColumnSet& input,
+    const std::vector<size_t>& key_cols, int extra_fanout, int bits_used,
+    size_t tile_rows) {
+  if (extra_fanout < 2 || (extra_fanout & (extra_fanout - 1)) != 0) {
+    return Status::InvalidArgument("repartition fan-out must be power of 2");
+  }
+  std::vector<uint32_t> hashes = HashColumn(input, key_cols);
+  std::vector<ColumnSet> out;
+  // Runs on the detecting core: large-skew repartitioning is
+  // introduced dynamically for a single oversized partition.
+  SplitRange(core, params, input, hashes, 0, input.num_rows(), extra_fanout,
+             /*hw_fanout=*/1, bits_used, tile_rows, &out);
+  return out;
+}
+
+}  // namespace rapid::core

@@ -1,0 +1,79 @@
+// Partitioning operator (Sections 5.3, 5.4 and 6.2).
+//
+// RAPID combines hardware and software partitioning: the DMS engine
+// partitions up to 32 ways on the fly (hash/radix/range/round-robin)
+// while delivering data into dpCore DMEMs, and each dpCore can apply
+// further vectorized software partitioning (Listings 2 and 3) — so a
+// single pass reaches fan-outs above 1024. Larger targets use
+// multiple rounds, chosen by the partition-scheme optimizer.
+//
+// Each round maintains per-partition local buffers in DMEM and flushes
+// full buffers to DRAM via the DMS, converting random DRAM writes into
+// sequential streams.
+
+#ifndef RAPID_CORE_OPS_PARTITION_EXEC_H_
+#define RAPID_CORE_OPS_PARTITION_EXEC_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "core/qef/column_set.h"
+#include "dpu/dpu.h"
+
+namespace rapid::core {
+
+// One partitioning pass: total `fanout` ways, of which `hw_fanout`
+// ways come from the DMS hardware engine (first pass only) and
+// fanout/hw_fanout ways from software partitioning on each core.
+struct PartitionRound {
+  int fanout = 32;
+  int hw_fanout = 1;  // 1 = pure software round
+};
+
+struct PartitionScheme {
+  std::vector<PartitionRound> rounds;
+
+  int TotalFanout() const {
+    int f = 1;
+    for (const PartitionRound& r : rounds) f *= r.fanout;
+    return f;
+  }
+  size_t NumRounds() const { return rounds.size(); }
+};
+
+struct PartitionedData {
+  std::vector<ColumnSet> partitions;
+  // Hash bits already consumed to form these partitions; further
+  // (re)partitioning must use bits above this position.
+  int bits_used = 0;
+};
+
+class PartitionExec {
+ public:
+  // Hash-partitions `input` by CRC32 over `key_cols` according to
+  // `scheme`, in parallel over the DPU's cores. `tile_rows` is the
+  // software-partitioning tile size (Figure 10's parameter).
+  static Result<PartitionedData> Execute(dpu::Dpu& dpu,
+                                         const ColumnSet& input,
+                                         const std::vector<size_t>& key_cols,
+                                         const PartitionScheme& scheme,
+                                         size_t tile_rows);
+
+  // Re-partitions a single oversized partition `extra_fanout` more
+  // ways (the large-skew handler, Section 6.4), starting at hash bit
+  // `bits_used`. Runs on `core` (the core that detected the skew).
+  static Result<std::vector<ColumnSet>> Repartition(
+      dpu::DpCore& core, const dpu::CostParams& params,
+      const ColumnSet& input, const std::vector<size_t>& key_cols,
+      int extra_fanout, int bits_used, size_t tile_rows);
+
+  // CRC32 hash column for `input` over `key_cols` (the hardware hash
+  // engine's CRC-memory output).
+  static std::vector<uint32_t> HashColumn(const ColumnSet& input,
+                                          const std::vector<size_t>& key_cols);
+};
+
+}  // namespace rapid::core
+
+#endif  // RAPID_CORE_OPS_PARTITION_EXEC_H_

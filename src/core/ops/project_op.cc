@@ -1,0 +1,49 @@
+#include "core/ops/project_op.h"
+
+namespace rapid::core {
+
+ProjectOp::ProjectOp(std::vector<std::pair<std::string, ExprPtr>> projections,
+                     ColumnBinding binding, size_t tile_rows)
+    : projections_(std::move(projections)),
+      binding_(std::move(binding)),
+      tile_rows_(tile_rows) {}
+
+size_t ProjectOp::DmemBytes(size_t tile_rows) const {
+  return projections_.size() * tile_rows * sizeof(int64_t);
+}
+
+Status ProjectOp::Open(ExecCtx& ctx) {
+  RAPID_RETURN_NOT_OK(ctx.dmem().Allocate(DmemBytes(tile_rows_)).status());
+  out_buffers_.assign(projections_.size(), {});
+  return Status::OK();
+}
+
+Status ProjectOp::Consume(ExecCtx& ctx, const Tile& tile) {
+  Tile out;
+  out.rows = tile.rows;
+  out.base_row = tile.base_row;
+  out.columns.resize(projections_.size());
+  for (size_t c = 0; c < projections_.size(); ++c) {
+    RAPID_ASSIGN_OR_RETURN(
+        int scale,
+        EvalExpr(ctx, tile, binding_, *projections_[c].second,
+                 &out_buffers_[c]));
+    out.columns[c].data = reinterpret_cast<uint8_t*>(out_buffers_[c].data());
+    out.columns[c].type = scale != 0 ? storage::DataType::kDecimal
+                                     : storage::DataType::kInt64;
+    out.columns[c].dsb_scale = scale;
+  }
+  return Push(ctx, out);
+}
+
+Status ProjectOp::Finish(ExecCtx& ctx) { return PushFinish(ctx); }
+
+ColumnBinding ProjectOp::OutputBinding() const {
+  ColumnBinding out;
+  for (size_t c = 0; c < projections_.size(); ++c) {
+    out[projections_[c].first] = c;
+  }
+  return out;
+}
+
+}  // namespace rapid::core

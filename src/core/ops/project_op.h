@@ -1,0 +1,38 @@
+// Project operator: evaluates arithmetic expressions over incoming
+// tiles (widened), producing a tile with one column per projection.
+// Part of a task's pipeline; never materializes on its own.
+
+#ifndef RAPID_CORE_OPS_PROJECT_OP_H_
+#define RAPID_CORE_OPS_PROJECT_OP_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/expr.h"
+#include "core/qef/operator.h"
+
+namespace rapid::core {
+
+class ProjectOp : public PipelineOp {
+ public:
+  ProjectOp(std::vector<std::pair<std::string, ExprPtr>> projections,
+            ColumnBinding binding, size_t tile_rows);
+
+  size_t DmemBytes(size_t tile_rows) const override;
+  Status Open(ExecCtx& ctx) override;
+  Status Consume(ExecCtx& ctx, const Tile& tile) override;
+  Status Finish(ExecCtx& ctx) override;
+
+  ColumnBinding OutputBinding() const;
+
+ private:
+  std::vector<std::pair<std::string, ExprPtr>> projections_;
+  ColumnBinding binding_;
+  size_t tile_rows_;
+  std::vector<std::vector<int64_t>> out_buffers_;
+};
+
+}  // namespace rapid::core
+
+#endif  // RAPID_CORE_OPS_PROJECT_OP_H_

@@ -1,0 +1,28 @@
+// Set operations (Section 5.4): UNION, INTERSECT and MINUS with SQL
+// set semantics (distinct results). Implemented hash-based: rows are
+// hash-partitioned across dpCores on the full row, then each core
+// evaluates the operation on its disjoint share.
+
+#ifndef RAPID_CORE_OPS_SETOP_EXEC_H_
+#define RAPID_CORE_OPS_SETOP_EXEC_H_
+
+#include "common/status.h"
+#include "core/qef/column_set.h"
+#include "dpu/dpu.h"
+
+namespace rapid::core {
+
+enum class SetOpKind { kUnion, kIntersect, kMinus };
+
+class SetOpExec {
+ public:
+  // Left/right must have the same column count. Output rows are
+  // distinct; column metadata is taken from the left input.
+  static Result<ColumnSet> Execute(dpu::Dpu& dpu, SetOpKind kind,
+                                   const ColumnSet& left,
+                                   const ColumnSet& right);
+};
+
+}  // namespace rapid::core
+
+#endif  // RAPID_CORE_OPS_SETOP_EXEC_H_

@@ -1,0 +1,52 @@
+// Sorting and Top-K (Section 5.4, "Other Operators").
+//
+// Sorting uses the partitioning-based algorithm: rows are
+// range-partitioned across dpCores on the primary key (DMS range
+// partitioning with sampled bounds), each core radix-sorts its
+// partition, and concatenating partitions in bound order yields the
+// global order. Multi-key sorts run LSD-stable radix passes from the
+// least significant key to the most significant.
+//
+// Top-K is vectorized: each core maintains a bounded heap over its
+// share of the input, pruning tiles against the current k-th value;
+// per-core heaps merge at the end.
+
+#ifndef RAPID_CORE_OPS_SORT_EXEC_H_
+#define RAPID_CORE_OPS_SORT_EXEC_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "core/qef/column_set.h"
+#include "dpu/dpu.h"
+
+namespace rapid::core {
+
+struct SortKey {
+  size_t column = 0;
+  bool ascending = true;
+};
+
+class SortExec {
+ public:
+  // Stable sort of all rows of `input` by `keys`.
+  static Result<ColumnSet> Execute(dpu::Dpu& dpu, const ColumnSet& input,
+                                   const std::vector<SortKey>& keys);
+
+  // Returns the row permutation that sorts `input` by `keys` (used by
+  // the window operator, which needs positions, not moved rows).
+  static std::vector<uint32_t> SortedPermutation(
+      dpu::Dpu& dpu, const ColumnSet& input, const std::vector<SortKey>& keys);
+};
+
+class TopKExec {
+ public:
+  // First `k` rows of the input under the `keys` order.
+  static Result<ColumnSet> Execute(dpu::Dpu& dpu, const ColumnSet& input,
+                                   const std::vector<SortKey>& keys, size_t k);
+};
+
+}  // namespace rapid::core
+
+#endif  // RAPID_CORE_OPS_SORT_EXEC_H_

@@ -1,0 +1,46 @@
+// Window functions (Section 5.4): analytic aggregates and rank with a
+// PARTITION BY clause. The input is ordered by (partition keys, order
+// keys) using the partitioning-based sort; each window partition is
+// then a contiguous run, processed independently across dpCores.
+
+#ifndef RAPID_CORE_OPS_WINDOW_EXEC_H_
+#define RAPID_CORE_OPS_WINDOW_EXEC_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/ops/sort_exec.h"
+#include "core/qef/column_set.h"
+#include "dpu/dpu.h"
+
+namespace rapid::core {
+
+enum class WindowFunc {
+  kRowNumber,
+  kRank,
+  kDenseRank,
+  kRunningSum,   // sum(value) over (partition by .. order by .. rows
+                 // unbounded preceding)
+  kPartitionSum, // sum(value) over (partition by ..)
+};
+
+struct WindowSpec {
+  WindowFunc func = WindowFunc::kRowNumber;
+  std::vector<size_t> partition_by;  // column indices
+  std::vector<SortKey> order_by;
+  size_t value_column = 0;  // for the sum functions
+  std::string output_name = "win";
+};
+
+class WindowExec {
+ public:
+  // Returns the input rows (ordered by partition keys then order keys)
+  // with one appended column per window function result.
+  static Result<ColumnSet> Execute(dpu::Dpu& dpu, const ColumnSet& input,
+                                   const std::vector<WindowSpec>& specs);
+};
+
+}  // namespace rapid::core
+
+#endif  // RAPID_CORE_OPS_WINDOW_EXEC_H_

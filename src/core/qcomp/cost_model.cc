@@ -1,0 +1,55 @@
+#include "core/qcomp/cost_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace rapid::core {
+
+double CostEstimator::ScanSeconds(size_t rows, size_t row_bytes,
+                                  size_t num_predicates,
+                                  double selectivity) const {
+  const double r = static_cast<double>(rows);
+  // First predicate scans everything; later ones scan survivors.
+  double compute = params_.filter_cycles_per_row * r;
+  double surviving = r * selectivity;
+  for (size_t p = 1; p < num_predicates; ++p) {
+    compute += params_.filter_cycles_per_row * surviving;
+  }
+  const double transfer =
+      r * static_cast<double>(row_bytes) / params_.dram_bytes_per_cycle;
+  return PerCore(std::max(compute, transfer));
+}
+
+double CostEstimator::JoinSeconds(size_t build_rows, size_t probe_rows,
+                                  size_t row_bytes, size_t rounds) const {
+  const double b = static_cast<double>(build_rows);
+  const double p = static_cast<double>(probe_rows);
+  const double partition_bytes =
+      (b + p) * static_cast<double>(row_bytes) * static_cast<double>(rounds);
+  const double partition = partition_bytes / params_.partition_bytes_per_cycle;
+  const double build = params_.join_build_cycles_per_row * b;
+  const double probe = params_.join_probe_cycles_per_row * p;
+  return PerCore(partition + build + probe);
+}
+
+double CostEstimator::GroupBySeconds(size_t rows, size_t groups,
+                                     size_t num_aggs, bool low_ndv) const {
+  const double r = static_cast<double>(rows);
+  double cycles = (params_.groupby_cycles_per_row +
+                   params_.agg_cycles_per_row * static_cast<double>(num_aggs)) *
+                  r;
+  if (low_ndv) {
+    // Merge of 32 per-core tables of `groups` rows each, on one core.
+    cycles += params_.groupby_cycles_per_row * static_cast<double>(groups) *
+              static_cast<double>(config_.num_cores);
+  }
+  return PerCore(cycles);
+}
+
+double CostEstimator::SortSeconds(size_t rows, size_t key_bytes) const {
+  const double passes = static_cast<double>(key_bytes);  // one pass per byte
+  return PerCore(params_.sort_cycles_per_row_per_pass *
+                 static_cast<double>(rows) * passes);
+}
+
+}  // namespace rapid::core

@@ -1,0 +1,59 @@
+// QComp cost estimation (Section 5.2).
+//
+// "Running on bare-metal without an operating system, RAPID has all
+// the resources under complete control. Hence, the cost model is
+// quite deterministic and accurate." Costs are analytically modeled
+// on top of the calibrated data-transfer and compute cost functions
+// in dpu/cost_model.h, considering the overlap between the two.
+// The host's offload planner (hostdb/) uses these estimates to take
+// cost-based offload decisions.
+
+#ifndef RAPID_CORE_QCOMP_COST_MODEL_H_
+#define RAPID_CORE_QCOMP_COST_MODEL_H_
+
+#include <cstddef>
+
+#include "dpu/config.h"
+#include "dpu/cost_model.h"
+
+namespace rapid::core {
+
+class CostEstimator {
+ public:
+  CostEstimator(const dpu::DpuConfig& config, const dpu::CostParams& params)
+      : config_(config), params_(params) {}
+
+  // Scan + filter over `rows` rows of `row_bytes` each with
+  // `num_predicates` conjuncts at `selectivity` combined selectivity:
+  // transfer and compute overlap (double buffering), work spread over
+  // all cores.
+  double ScanSeconds(size_t rows, size_t row_bytes, size_t num_predicates,
+                     double selectivity) const;
+
+  // Partitioned hash join: `rounds` partition passes over both inputs
+  // plus build and probe kernels.
+  double JoinSeconds(size_t build_rows, size_t probe_rows, size_t row_bytes,
+                     size_t rounds) const;
+
+  // Group-by over `rows` with `groups` distinct groups; the low-NDV
+  // strategy adds a merge of per-core tables.
+  double GroupBySeconds(size_t rows, size_t groups, size_t num_aggs,
+                        bool low_ndv) const;
+
+  double SortSeconds(size_t rows, size_t key_bytes) const;
+
+  const dpu::DpuConfig& config() const { return config_; }
+
+ private:
+  double PerCore(double cycles) const {
+    return cycles / static_cast<double>(config_.num_cores) /
+           params_.clock_hz;
+  }
+
+  dpu::DpuConfig config_;
+  dpu::CostParams params_;
+};
+
+}  // namespace rapid::core
+
+#endif  // RAPID_CORE_QCOMP_COST_MODEL_H_

@@ -1,0 +1,102 @@
+#include "core/qcomp/logical_plan.h"
+
+namespace rapid::core {
+
+LogicalPtr LogicalNode::Scan(std::string table,
+                             std::vector<std::string> columns,
+                             std::vector<Predicate> predicates) {
+  auto n = std::make_shared<LogicalNode>();
+  n->kind = Kind::kScan;
+  n->table = std::move(table);
+  n->columns = std::move(columns);
+  n->predicates = std::move(predicates);
+  return n;
+}
+
+LogicalPtr LogicalNode::Filter(LogicalPtr input,
+                               std::vector<Predicate> predicates,
+                               std::vector<std::string> columns) {
+  auto n = std::make_shared<LogicalNode>();
+  n->kind = Kind::kFilter;
+  n->input = std::move(input);
+  n->predicates = std::move(predicates);
+  n->columns = std::move(columns);
+  return n;
+}
+
+LogicalPtr LogicalNode::Project(
+    LogicalPtr input, std::vector<std::pair<std::string, ExprPtr>> projections) {
+  auto n = std::make_shared<LogicalNode>();
+  n->kind = Kind::kProject;
+  n->input = std::move(input);
+  n->projections = std::move(projections);
+  return n;
+}
+
+LogicalPtr LogicalNode::Join(LogicalPtr left, LogicalPtr right,
+                             std::vector<std::string> left_keys,
+                             std::vector<std::string> right_keys,
+                             std::vector<std::string> output_columns,
+                             JoinType type) {
+  auto n = std::make_shared<LogicalNode>();
+  n->kind = Kind::kJoin;
+  n->input = std::move(left);
+  n->right = std::move(right);
+  n->left_keys = std::move(left_keys);
+  n->right_keys = std::move(right_keys);
+  n->output_columns = std::move(output_columns);
+  n->join_type = type;
+  return n;
+}
+
+LogicalPtr LogicalNode::GroupBy(
+    LogicalPtr input, std::vector<std::pair<std::string, ExprPtr>> keys,
+    std::vector<AggSpec> aggregates) {
+  auto n = std::make_shared<LogicalNode>();
+  n->kind = Kind::kGroupBy;
+  n->input = std::move(input);
+  n->group_keys = std::move(keys);
+  n->aggregates = std::move(aggregates);
+  return n;
+}
+
+LogicalPtr LogicalNode::Sort(LogicalPtr input,
+                             std::vector<std::pair<std::string, bool>> keys) {
+  auto n = std::make_shared<LogicalNode>();
+  n->kind = Kind::kSort;
+  n->input = std::move(input);
+  n->sort_keys = std::move(keys);
+  return n;
+}
+
+LogicalPtr LogicalNode::TopK(LogicalPtr input,
+                             std::vector<std::pair<std::string, bool>> keys,
+                             size_t k) {
+  auto n = std::make_shared<LogicalNode>();
+  n->kind = Kind::kTopK;
+  n->input = std::move(input);
+  n->sort_keys = std::move(keys);
+  n->limit = k;
+  return n;
+}
+
+LogicalPtr LogicalNode::SetOp(SetOpKind kind, LogicalPtr left,
+                              LogicalPtr right) {
+  auto n = std::make_shared<LogicalNode>();
+  n->kind = Kind::kSetOp;
+  n->setop = kind;
+  n->input = std::move(left);
+  n->right = std::move(right);
+  return n;
+}
+
+LogicalPtr LogicalNode::Window(LogicalPtr input,
+                               std::vector<LogicalWindow> windows) {
+  auto n = std::make_shared<LogicalNode>();
+  n->kind = Kind::kWindow;
+  n->input = std::move(input);
+  n->windows = std::move(windows);
+  return n;
+}
+
+}  // namespace rapid::core

@@ -1,0 +1,113 @@
+// Logical query plans handed to RAPID's QComp (Section 5.2).
+//
+// The host database performs logical optimization (operator ordering,
+// rewrites); RAPID QComp receives the logical tree and makes the
+// *physical* decisions: operator variants, primitive selection,
+// partitioning schemes, task formation and DMEM allocation.
+
+#ifndef RAPID_CORE_QCOMP_LOGICAL_PLAN_H_
+#define RAPID_CORE_QCOMP_LOGICAL_PLAN_H_
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/expr.h"
+#include "core/ops/groupby_op.h"
+#include "core/ops/join_exec.h"
+#include "core/ops/setop_exec.h"
+#include "core/ops/window_exec.h"
+
+namespace rapid::core {
+
+struct LogicalNode;
+using LogicalPtr = std::shared_ptr<LogicalNode>;
+
+// Window clause with column *names* (resolved to indices at planning).
+struct LogicalWindow {
+  WindowFunc func = WindowFunc::kRowNumber;
+  std::vector<std::string> partition_by;
+  std::vector<std::pair<std::string, bool>> order_by;  // name, ascending
+  std::string value_column;
+  std::string output_name = "win";
+};
+
+struct LogicalNode {
+  enum class Kind {
+    kScan,
+    kFilter,   // standalone filter over an intermediate (e.g. HAVING)
+    kProject,
+    kJoin,
+    kGroupBy,
+    kSort,
+    kTopK,
+    kSetOp,
+    kWindow,
+  };
+
+  Kind kind = Kind::kScan;
+
+  // Children (kScan has none; kJoin/kSetOp have two; others one).
+  LogicalPtr input;
+  LogicalPtr right;
+
+  // kScan.
+  std::string table;
+  std::vector<Predicate> predicates;
+  std::vector<std::string> columns;  // columns to produce
+
+  // kProject.
+  std::vector<std::pair<std::string, ExprPtr>> projections;
+
+  // kJoin. Output columns name columns from either side.
+  JoinType join_type = JoinType::kInner;
+  std::vector<std::string> left_keys;
+  std::vector<std::string> right_keys;
+  std::vector<std::string> output_columns;
+
+  // kGroupBy.
+  std::vector<std::pair<std::string, ExprPtr>> group_keys;
+  std::vector<AggSpec> aggregates;
+
+  // kSort / kTopK.
+  std::vector<std::pair<std::string, bool>> sort_keys;  // name, ascending
+  size_t limit = 0;
+
+  // kSetOp.
+  SetOpKind setop = SetOpKind::kUnion;
+
+  // kWindow.
+  std::vector<LogicalWindow> windows;
+
+  // ---- Builders ----
+  static LogicalPtr Scan(std::string table, std::vector<std::string> columns,
+                         std::vector<Predicate> predicates = {});
+  // Filters an intermediate result, keeping `columns` (all input
+  // columns if empty).
+  static LogicalPtr Filter(LogicalPtr input, std::vector<Predicate> predicates,
+                           std::vector<std::string> columns = {});
+  static LogicalPtr Project(
+      LogicalPtr input,
+      std::vector<std::pair<std::string, ExprPtr>> projections);
+  static LogicalPtr Join(LogicalPtr left, LogicalPtr right,
+                         std::vector<std::string> left_keys,
+                         std::vector<std::string> right_keys,
+                         std::vector<std::string> output_columns,
+                         JoinType type = JoinType::kInner);
+  static LogicalPtr GroupBy(
+      LogicalPtr input, std::vector<std::pair<std::string, ExprPtr>> keys,
+      std::vector<AggSpec> aggregates);
+  static LogicalPtr Sort(LogicalPtr input,
+                         std::vector<std::pair<std::string, bool>> keys);
+  static LogicalPtr TopK(LogicalPtr input,
+                         std::vector<std::pair<std::string, bool>> keys,
+                         size_t k);
+  static LogicalPtr SetOp(SetOpKind kind, LogicalPtr left, LogicalPtr right);
+  static LogicalPtr Window(LogicalPtr input,
+                           std::vector<LogicalWindow> windows);
+};
+
+}  // namespace rapid::core
+
+#endif  // RAPID_CORE_QCOMP_LOGICAL_PLAN_H_

@@ -1,0 +1,60 @@
+// Partition-scheme optimization (Section 5.3).
+//
+// The required number of partitions is total data size / DMEM size,
+// adjusted up to the degree of parallelism (>= 32 on the DPU) and
+// rounded to a power of two. A scheme is a factorization of that
+// target into rounds; the optimizer searches factorizations under the
+// paper's heuristics:
+//   a) fan-out at each round is a power of two,
+//   b) fan-out is bounded by the maximum per-round fan-out,
+//   c) fewer rounds are preferred (each round rescans the data),
+//   d) symmetric fan-outs are favoured (8x8 over 16x4),
+// costing each candidate with the calibrated cost functions and
+// keeping the cheapest.
+
+#ifndef RAPID_CORE_QCOMP_PARTITION_SCHEME_H_
+#define RAPID_CORE_QCOMP_PARTITION_SCHEME_H_
+
+#include <cstddef>
+
+#include "common/status.h"
+#include "core/ops/partition_exec.h"
+#include "dpu/config.h"
+#include "dpu/cost_model.h"
+
+namespace rapid::core {
+
+struct PartitionPlanInput {
+  size_t total_rows = 0;
+  size_t row_bytes = 8;       // bytes per row across partitioned columns
+  size_t num_columns = 1;
+  size_t dmem_budget_bytes = 16 * 1024;  // DMEM available per kernel
+  int min_partitions = 32;    // degree of parallelism (32 dpCores)
+  int max_round_fanout = 1024;  // HW 32 x SW 32 in one pass
+  int max_sw_fanout = 64;       // Figure 10: feasible without perf drop
+  size_t tile_rows = 256;
+};
+
+struct SchemeChoice {
+  PartitionScheme scheme;
+  double cycles = 0;  // modeled partitioning cost
+  int target_fanout = 1;
+};
+
+// Computes the required number of partitions for the input.
+int RequiredPartitions(const PartitionPlanInput& in);
+
+// Searches factorizations of the required partition count and returns
+// the cheapest scheme.
+Result<SchemeChoice> OptimizePartitionScheme(const PartitionPlanInput& in,
+                                             const dpu::CostParams& params);
+
+// Models the cycles of executing `scheme` over the input (used by the
+// optimizer and exposed for the ablation benchmark).
+double SchemeCycles(const PartitionScheme& scheme,
+                    const PartitionPlanInput& in,
+                    const dpu::CostParams& params);
+
+}  // namespace rapid::core
+
+#endif  // RAPID_CORE_QCOMP_PARTITION_SCHEME_H_

@@ -1,0 +1,730 @@
+#include "core/qcomp/plan_serde.h"
+
+#include <cctype>
+#include <sstream>
+#include <vector>
+
+namespace rapid::core {
+
+namespace {
+
+// ---- Writer ----------------------------------------------------------------
+
+void WriteString(std::ostringstream& os, const std::string& s) {
+  os << '"';
+  for (char c : s) {
+    if (c == '"' || c == '\\') os << '\\';
+    os << c;
+  }
+  os << '"';
+}
+
+void WriteExpr(std::ostringstream& os, const Expr& e) {
+  switch (e.kind) {
+    case Expr::Kind::kColumn:
+      os << "(col ";
+      WriteString(os, e.column);
+      os << ')';
+      break;
+    case Expr::Kind::kConst:
+      os << "(const " << e.value << ' ' << e.scale << ')';
+      break;
+    case Expr::Kind::kBinary: {
+      const char* op = e.op == primitives::ArithOp::kAdd
+                           ? "add"
+                           : e.op == primitives::ArithOp::kSub ? "sub"
+                                                               : "mul";
+      os << '(' << op << ' ';
+      WriteExpr(os, *e.left);
+      os << ' ';
+      WriteExpr(os, *e.right);
+      os << ')';
+      break;
+    }
+  }
+}
+
+const char* CmpName(primitives::CmpOp op) {
+  using primitives::CmpOp;
+  switch (op) {
+    case CmpOp::kEq:
+      return "eq";
+    case CmpOp::kNe:
+      return "ne";
+    case CmpOp::kLt:
+      return "lt";
+    case CmpOp::kLe:
+      return "le";
+    case CmpOp::kGt:
+      return "gt";
+    case CmpOp::kGe:
+      return "ge";
+  }
+  return "?";
+}
+
+void WritePredicate(std::ostringstream& os, const Predicate& p) {
+  switch (p.kind) {
+    case Predicate::Kind::kCmpConst:
+      os << "(cmp ";
+      WriteString(os, p.column);
+      os << ' ' << CmpName(p.op) << ' ' << p.value << ' ' << p.selectivity
+         << ')';
+      break;
+    case Predicate::Kind::kBetween:
+      os << "(between ";
+      WriteString(os, p.column);
+      os << ' ' << p.value << ' ' << p.value2 << ' ' << p.selectivity << ')';
+      break;
+    case Predicate::Kind::kInSet: {
+      os << "(inset ";
+      WriteString(os, p.column);
+      os << ' ' << p.in_set.size() << " (";
+      std::vector<uint32_t> rids;
+      p.in_set.ToRids(&rids);
+      for (size_t i = 0; i < rids.size(); ++i) {
+        os << (i ? " " : "") << rids[i];
+      }
+      os << ") " << p.selectivity << ')';
+      break;
+    }
+    case Predicate::Kind::kCmpCol:
+      os << "(cmpcol ";
+      WriteString(os, p.column);
+      os << ' ' << CmpName(p.op) << ' ';
+      WriteString(os, p.column2);
+      os << ' ' << p.selectivity << ')';
+      break;
+  }
+}
+
+void WritePredicates(std::ostringstream& os,
+                     const std::vector<Predicate>& preds) {
+  os << "(preds";
+  for (const Predicate& p : preds) {
+    os << ' ';
+    WritePredicate(os, p);
+  }
+  os << ')';
+}
+
+void WriteNames(std::ostringstream& os, const char* tag,
+                const std::vector<std::string>& names) {
+  os << '(' << tag;
+  for (const std::string& n : names) {
+    os << ' ';
+    WriteString(os, n);
+  }
+  os << ')';
+}
+
+const char* AggName(AggFunc f) {
+  switch (f) {
+    case AggFunc::kSum:
+      return "sum";
+    case AggFunc::kMin:
+      return "min";
+    case AggFunc::kMax:
+      return "max";
+    case AggFunc::kCount:
+      return "count";
+  }
+  return "?";
+}
+
+const char* WindowName(WindowFunc f) {
+  switch (f) {
+    case WindowFunc::kRowNumber:
+      return "rownum";
+    case WindowFunc::kRank:
+      return "rank";
+    case WindowFunc::kDenseRank:
+      return "denserank";
+    case WindowFunc::kRunningSum:
+      return "runsum";
+    case WindowFunc::kPartitionSum:
+      return "partsum";
+  }
+  return "?";
+}
+
+void WriteNode(std::ostringstream& os, const LogicalNode& n) {
+  using Kind = LogicalNode::Kind;
+  switch (n.kind) {
+    case Kind::kScan:
+      os << "(scan ";
+      WriteString(os, n.table);
+      os << ' ';
+      WriteNames(os, "cols", n.columns);
+      os << ' ';
+      WritePredicates(os, n.predicates);
+      os << ')';
+      break;
+    case Kind::kFilter:
+      os << "(filter ";
+      WriteNode(os, *n.input);
+      os << ' ';
+      WritePredicates(os, n.predicates);
+      os << ' ';
+      WriteNames(os, "cols", n.columns);
+      os << ')';
+      break;
+    case Kind::kProject:
+      os << "(project ";
+      WriteNode(os, *n.input);
+      os << " (exprs";
+      for (const auto& [name, expr] : n.projections) {
+        os << " (";
+        WriteString(os, name);
+        os << ' ';
+        WriteExpr(os, *expr);
+        os << ')';
+      }
+      os << "))";
+      break;
+    case Kind::kJoin: {
+      const char* type = n.join_type == JoinType::kInner
+                             ? "inner"
+                             : n.join_type == JoinType::kSemi
+                                   ? "semi"
+                                   : n.join_type == JoinType::kAnti
+                                         ? "anti"
+                                         : "leftouter";
+      os << "(join " << type << ' ';
+      WriteNode(os, *n.input);
+      os << ' ';
+      WriteNode(os, *n.right);
+      os << ' ';
+      WriteNames(os, "lkeys", n.left_keys);
+      os << ' ';
+      WriteNames(os, "rkeys", n.right_keys);
+      os << ' ';
+      WriteNames(os, "out", n.output_columns);
+      os << ')';
+      break;
+    }
+    case Kind::kGroupBy:
+      os << "(groupby ";
+      WriteNode(os, *n.input);
+      os << " (keys";
+      for (const auto& [name, expr] : n.group_keys) {
+        os << " (";
+        WriteString(os, name);
+        os << ' ';
+        WriteExpr(os, *expr);
+        os << ')';
+      }
+      os << ") (aggs";
+      for (const AggSpec& a : n.aggregates) {
+        os << " (";
+        WriteString(os, a.name);
+        os << ' ' << AggName(a.func) << ' ';
+        if (a.expr != nullptr) {
+          WriteExpr(os, *a.expr);
+        } else {
+          os << "nil";
+        }
+        os << ' ';
+        if (a.filter != nullptr) {
+          WritePredicate(os, *a.filter);
+        } else {
+          os << "nil";
+        }
+        os << ')';
+      }
+      os << "))";
+      break;
+    case Kind::kSort:
+    case Kind::kTopK:
+      os << (n.kind == Kind::kSort ? "(sort " : "(topk ");
+      WriteNode(os, *n.input);
+      os << " (keys";
+      for (const auto& [name, asc] : n.sort_keys) {
+        os << " (";
+        WriteString(os, name);
+        os << (asc ? " asc)" : " desc)");
+      }
+      os << ')';
+      if (n.kind == Kind::kTopK) os << ' ' << n.limit;
+      os << ')';
+      break;
+    case Kind::kSetOp: {
+      const char* kind = n.setop == SetOpKind::kUnion
+                             ? "union"
+                             : n.setop == SetOpKind::kIntersect ? "intersect"
+                                                                : "minus";
+      os << "(setop " << kind << ' ';
+      WriteNode(os, *n.input);
+      os << ' ';
+      WriteNode(os, *n.right);
+      os << ')';
+      break;
+    }
+    case Kind::kWindow:
+      os << "(window ";
+      WriteNode(os, *n.input);
+      os << " (funcs";
+      for (const LogicalWindow& w : n.windows) {
+        os << " (" << WindowName(w.func) << ' ';
+        WriteNames(os, "part", w.partition_by);
+        os << " (order";
+        for (const auto& [name, asc] : w.order_by) {
+          os << " (";
+          WriteString(os, name);
+          os << (asc ? " asc)" : " desc)");
+        }
+        os << ") ";
+        WriteString(os, w.value_column);
+        os << ' ';
+        WriteString(os, w.output_name);
+        os << ')';
+      }
+      os << "))";
+      break;
+  }
+}
+
+// ---- Reader ----------------------------------------------------------------
+
+// Minimal s-expression tokenizer/parser. Tokens: '(' ')' quoted
+// strings, and atoms (numbers / identifiers).
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  Status Expect(char c) {
+    SkipWs();
+    if (pos_ >= text_.size() || text_[pos_] != c) {
+      return Error(std::string("expected '") + c + "'");
+    }
+    ++pos_;
+    return Status::OK();
+  }
+
+  bool TryConsume(char c) {
+    SkipWs();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Result<std::string> Atom() {
+    SkipWs();
+    const size_t start = pos_;
+    while (pos_ < text_.size() && !std::isspace(
+               static_cast<unsigned char>(text_[pos_])) &&
+           text_[pos_] != '(' && text_[pos_] != ')') {
+      ++pos_;
+    }
+    if (pos_ == start) return Error("expected atom");
+    return text_.substr(start, pos_ - start);
+  }
+
+  Result<std::string> QuotedString() {
+    SkipWs();
+    if (pos_ >= text_.size() || text_[pos_] != '"') {
+      return Error("expected string");
+    }
+    ++pos_;
+    std::string out;
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      if (text_[pos_] == '\\' && pos_ + 1 < text_.size()) ++pos_;
+      out += text_[pos_++];
+    }
+    if (pos_ >= text_.size()) return Error("unterminated string");
+    ++pos_;
+    return out;
+  }
+
+  Result<int64_t> Int() {
+    RAPID_ASSIGN_OR_RETURN(std::string a, Atom());
+    try {
+      return static_cast<int64_t>(std::stoll(a));
+    } catch (...) {
+      return Error("expected integer, got '" + a + "'");
+    }
+  }
+
+  Result<double> Double() {
+    RAPID_ASSIGN_OR_RETURN(std::string a, Atom());
+    try {
+      return std::stod(a);
+    } catch (...) {
+      return Error("expected number, got '" + a + "'");
+    }
+  }
+
+  bool AtEnd() {
+    SkipWs();
+    return pos_ >= text_.size();
+  }
+
+  // True if the next non-whitespace character opens an s-expression
+  // (without consuming it).
+  bool PeekOpenParen() {
+    SkipWs();
+    return pos_ < text_.size() && text_[pos_] == '(';
+  }
+
+  Status Error(const std::string& msg) {
+    return Status::InvalidArgument("plan parse error at offset " +
+                                   std::to_string(pos_) + ": " + msg);
+  }
+
+  // Parses either a quoted string or the bare atom `nil` (returns "").
+  Result<std::string> StringOrNil() {
+    SkipWs();
+    if (pos_ < text_.size() && text_[pos_] == '"') return QuotedString();
+    RAPID_ASSIGN_OR_RETURN(std::string a, Atom());
+    if (a != "nil") return Error("expected string or nil");
+    return std::string();
+  }
+
+ private:
+  void SkipWs() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+Result<primitives::CmpOp> ParseCmp(const std::string& name, Parser* p) {
+  using primitives::CmpOp;
+  if (name == "eq") return CmpOp::kEq;
+  if (name == "ne") return CmpOp::kNe;
+  if (name == "lt") return CmpOp::kLt;
+  if (name == "le") return CmpOp::kLe;
+  if (name == "gt") return CmpOp::kGt;
+  if (name == "ge") return CmpOp::kGe;
+  return p->Error("unknown comparison '" + name + "'");
+}
+
+Result<ExprPtr> ReadExpr(Parser* p) {
+  RAPID_RETURN_NOT_OK(p->Expect('('));
+  RAPID_ASSIGN_OR_RETURN(std::string head, p->Atom());
+  if (head == "col") {
+    RAPID_ASSIGN_OR_RETURN(std::string name, p->QuotedString());
+    RAPID_RETURN_NOT_OK(p->Expect(')'));
+    return Expr::Col(name);
+  }
+  if (head == "const") {
+    RAPID_ASSIGN_OR_RETURN(int64_t value, p->Int());
+    RAPID_ASSIGN_OR_RETURN(int64_t scale, p->Int());
+    RAPID_RETURN_NOT_OK(p->Expect(')'));
+    auto e = std::make_shared<Expr>();
+    e->kind = Expr::Kind::kConst;
+    e->value = value;
+    e->scale = static_cast<int>(scale);
+    return ExprPtr(e);
+  }
+  if (head == "add" || head == "sub" || head == "mul") {
+    RAPID_ASSIGN_OR_RETURN(ExprPtr l, ReadExpr(p));
+    RAPID_ASSIGN_OR_RETURN(ExprPtr r, ReadExpr(p));
+    RAPID_RETURN_NOT_OK(p->Expect(')'));
+    if (head == "add") return Expr::Add(l, r);
+    if (head == "sub") return Expr::Sub(l, r);
+    return Expr::Mul(l, r);
+  }
+  return p->Error("unknown expression '" + head + "'");
+}
+
+Result<Predicate> ReadPredicate(Parser* p) {
+  RAPID_RETURN_NOT_OK(p->Expect('('));
+  RAPID_ASSIGN_OR_RETURN(std::string head, p->Atom());
+  if (head == "cmp") {
+    RAPID_ASSIGN_OR_RETURN(std::string col, p->QuotedString());
+    RAPID_ASSIGN_OR_RETURN(std::string op_name, p->Atom());
+    RAPID_ASSIGN_OR_RETURN(primitives::CmpOp op, ParseCmp(op_name, p));
+    RAPID_ASSIGN_OR_RETURN(int64_t value, p->Int());
+    RAPID_ASSIGN_OR_RETURN(double sel, p->Double());
+    RAPID_RETURN_NOT_OK(p->Expect(')'));
+    return Predicate::CmpConst(col, op, value, sel);
+  }
+  if (head == "between") {
+    RAPID_ASSIGN_OR_RETURN(std::string col, p->QuotedString());
+    RAPID_ASSIGN_OR_RETURN(int64_t lo, p->Int());
+    RAPID_ASSIGN_OR_RETURN(int64_t hi, p->Int());
+    RAPID_ASSIGN_OR_RETURN(double sel, p->Double());
+    RAPID_RETURN_NOT_OK(p->Expect(')'));
+    return Predicate::Between(col, lo, hi, sel);
+  }
+  if (head == "inset") {
+    RAPID_ASSIGN_OR_RETURN(std::string col, p->QuotedString());
+    RAPID_ASSIGN_OR_RETURN(int64_t size, p->Int());
+    RAPID_RETURN_NOT_OK(p->Expect('('));
+    BitVector set(static_cast<size_t>(size));
+    while (!p->TryConsume(')')) {
+      RAPID_ASSIGN_OR_RETURN(int64_t bit, p->Int());
+      if (bit < 0 || bit >= size) return p->Error("inset bit out of range");
+      set.Set(static_cast<size_t>(bit));
+    }
+    RAPID_ASSIGN_OR_RETURN(double sel, p->Double());
+    RAPID_RETURN_NOT_OK(p->Expect(')'));
+    return Predicate::InSet(col, std::move(set), sel);
+  }
+  if (head == "cmpcol") {
+    RAPID_ASSIGN_OR_RETURN(std::string left, p->QuotedString());
+    RAPID_ASSIGN_OR_RETURN(std::string op_name, p->Atom());
+    RAPID_ASSIGN_OR_RETURN(primitives::CmpOp op, ParseCmp(op_name, p));
+    RAPID_ASSIGN_OR_RETURN(std::string right, p->QuotedString());
+    RAPID_ASSIGN_OR_RETURN(double sel, p->Double());
+    RAPID_RETURN_NOT_OK(p->Expect(')'));
+    return Predicate::CmpCol(left, op, right, sel);
+  }
+  return p->Error("unknown predicate '" + head + "'");
+}
+
+Result<std::vector<Predicate>> ReadPredicates(Parser* p) {
+  RAPID_RETURN_NOT_OK(p->Expect('('));
+  RAPID_ASSIGN_OR_RETURN(std::string tag, p->Atom());
+  if (tag != "preds") return p->Error("expected (preds ...)");
+  std::vector<Predicate> out;
+  while (!p->TryConsume(')')) {
+    RAPID_ASSIGN_OR_RETURN(Predicate pred, ReadPredicate(p));
+    out.push_back(std::move(pred));
+  }
+  return out;
+}
+
+Result<std::vector<std::string>> ReadNames(Parser* p, const char* tag) {
+  RAPID_RETURN_NOT_OK(p->Expect('('));
+  RAPID_ASSIGN_OR_RETURN(std::string got, p->Atom());
+  if (got != tag) {
+    return p->Error(std::string("expected (") + tag + " ...), got " + got);
+  }
+  std::vector<std::string> out;
+  while (!p->TryConsume(')')) {
+    RAPID_ASSIGN_OR_RETURN(std::string name, p->QuotedString());
+    out.push_back(std::move(name));
+  }
+  return out;
+}
+
+Result<std::vector<std::pair<std::string, bool>>> ReadSortKeys(Parser* p) {
+  RAPID_RETURN_NOT_OK(p->Expect('('));
+  RAPID_ASSIGN_OR_RETURN(std::string tag, p->Atom());
+  if (tag != "keys" && tag != "order") return p->Error("expected sort keys");
+  std::vector<std::pair<std::string, bool>> out;
+  while (!p->TryConsume(')')) {
+    RAPID_RETURN_NOT_OK(p->Expect('('));
+    RAPID_ASSIGN_OR_RETURN(std::string name, p->QuotedString());
+    RAPID_ASSIGN_OR_RETURN(std::string dir, p->Atom());
+    RAPID_RETURN_NOT_OK(p->Expect(')'));
+    out.emplace_back(name, dir == "asc");
+  }
+  return out;
+}
+
+Result<LogicalPtr> ReadNode(Parser* p) {
+  RAPID_RETURN_NOT_OK(p->Expect('('));
+  RAPID_ASSIGN_OR_RETURN(std::string head, p->Atom());
+
+  if (head == "scan") {
+    RAPID_ASSIGN_OR_RETURN(std::string table, p->QuotedString());
+    RAPID_ASSIGN_OR_RETURN(std::vector<std::string> cols,
+                           ReadNames(p, "cols"));
+    RAPID_ASSIGN_OR_RETURN(std::vector<Predicate> preds, ReadPredicates(p));
+    RAPID_RETURN_NOT_OK(p->Expect(')'));
+    return LogicalNode::Scan(table, cols, preds);
+  }
+  if (head == "filter") {
+    RAPID_ASSIGN_OR_RETURN(LogicalPtr input, ReadNode(p));
+    RAPID_ASSIGN_OR_RETURN(std::vector<Predicate> preds, ReadPredicates(p));
+    RAPID_ASSIGN_OR_RETURN(std::vector<std::string> cols,
+                           ReadNames(p, "cols"));
+    RAPID_RETURN_NOT_OK(p->Expect(')'));
+    return LogicalNode::Filter(input, preds, cols);
+  }
+  if (head == "project") {
+    RAPID_ASSIGN_OR_RETURN(LogicalPtr input, ReadNode(p));
+    RAPID_RETURN_NOT_OK(p->Expect('('));
+    RAPID_ASSIGN_OR_RETURN(std::string tag, p->Atom());
+    if (tag != "exprs") return p->Error("expected (exprs ...)");
+    std::vector<std::pair<std::string, ExprPtr>> projections;
+    while (!p->TryConsume(')')) {
+      RAPID_RETURN_NOT_OK(p->Expect('('));
+      RAPID_ASSIGN_OR_RETURN(std::string name, p->QuotedString());
+      RAPID_ASSIGN_OR_RETURN(ExprPtr expr, ReadExpr(p));
+      RAPID_RETURN_NOT_OK(p->Expect(')'));
+      projections.emplace_back(name, expr);
+    }
+    RAPID_RETURN_NOT_OK(p->Expect(')'));
+    return LogicalNode::Project(input, std::move(projections));
+  }
+  if (head == "join") {
+    RAPID_ASSIGN_OR_RETURN(std::string type_name, p->Atom());
+    JoinType type;
+    if (type_name == "inner") {
+      type = JoinType::kInner;
+    } else if (type_name == "semi") {
+      type = JoinType::kSemi;
+    } else if (type_name == "anti") {
+      type = JoinType::kAnti;
+    } else if (type_name == "leftouter") {
+      type = JoinType::kLeftOuter;
+    } else {
+      return p->Error("unknown join type '" + type_name + "'");
+    }
+    RAPID_ASSIGN_OR_RETURN(LogicalPtr left, ReadNode(p));
+    RAPID_ASSIGN_OR_RETURN(LogicalPtr right, ReadNode(p));
+    RAPID_ASSIGN_OR_RETURN(std::vector<std::string> lkeys,
+                           ReadNames(p, "lkeys"));
+    RAPID_ASSIGN_OR_RETURN(std::vector<std::string> rkeys,
+                           ReadNames(p, "rkeys"));
+    RAPID_ASSIGN_OR_RETURN(std::vector<std::string> out, ReadNames(p, "out"));
+    RAPID_RETURN_NOT_OK(p->Expect(')'));
+    return LogicalNode::Join(left, right, lkeys, rkeys, out, type);
+  }
+  if (head == "groupby") {
+    RAPID_ASSIGN_OR_RETURN(LogicalPtr input, ReadNode(p));
+    RAPID_RETURN_NOT_OK(p->Expect('('));
+    RAPID_ASSIGN_OR_RETURN(std::string tag, p->Atom());
+    if (tag != "keys") return p->Error("expected (keys ...)");
+    std::vector<std::pair<std::string, ExprPtr>> keys;
+    while (!p->TryConsume(')')) {
+      RAPID_RETURN_NOT_OK(p->Expect('('));
+      RAPID_ASSIGN_OR_RETURN(std::string name, p->QuotedString());
+      RAPID_ASSIGN_OR_RETURN(ExprPtr expr, ReadExpr(p));
+      RAPID_RETURN_NOT_OK(p->Expect(')'));
+      keys.emplace_back(name, expr);
+    }
+    RAPID_RETURN_NOT_OK(p->Expect('('));
+    RAPID_ASSIGN_OR_RETURN(tag, p->Atom());
+    if (tag != "aggs") return p->Error("expected (aggs ...)");
+    std::vector<AggSpec> aggs;
+    while (!p->TryConsume(')')) {
+      RAPID_RETURN_NOT_OK(p->Expect('('));
+      AggSpec spec;
+      RAPID_ASSIGN_OR_RETURN(spec.name, p->QuotedString());
+      RAPID_ASSIGN_OR_RETURN(std::string func, p->Atom());
+      if (func == "sum") {
+        spec.func = AggFunc::kSum;
+      } else if (func == "min") {
+        spec.func = AggFunc::kMin;
+      } else if (func == "max") {
+        spec.func = AggFunc::kMax;
+      } else if (func == "count") {
+        spec.func = AggFunc::kCount;
+      } else {
+        return p->Error("unknown aggregate '" + func + "'");
+      }
+      // Input expression: an s-expression or the atom `nil`.
+      if (p->PeekOpenParen()) {
+        RAPID_ASSIGN_OR_RETURN(spec.expr, ReadExpr(p));
+      } else {
+        RAPID_ASSIGN_OR_RETURN(std::string nil, p->Atom());
+        if (nil != "nil") return p->Error("expected expr or nil");
+      }
+      // Optional FILTER clause: a predicate or `nil`.
+      if (p->PeekOpenParen()) {
+        RAPID_ASSIGN_OR_RETURN(Predicate pred, ReadPredicate(p));
+        spec.filter = std::make_shared<Predicate>(std::move(pred));
+      } else {
+        RAPID_ASSIGN_OR_RETURN(std::string nil, p->Atom());
+        if (nil != "nil") return p->Error("expected predicate or nil");
+      }
+      RAPID_RETURN_NOT_OK(p->Expect(')'));
+      aggs.push_back(std::move(spec));
+    }
+    RAPID_RETURN_NOT_OK(p->Expect(')'));
+    return LogicalNode::GroupBy(input, std::move(keys), std::move(aggs));
+  }
+  if (head == "sort" || head == "topk") {
+    RAPID_ASSIGN_OR_RETURN(LogicalPtr input, ReadNode(p));
+    RAPID_ASSIGN_OR_RETURN(auto keys, ReadSortKeys(p));
+    if (head == "topk") {
+      RAPID_ASSIGN_OR_RETURN(int64_t k, p->Int());
+      RAPID_RETURN_NOT_OK(p->Expect(')'));
+      return LogicalNode::TopK(input, keys, static_cast<size_t>(k));
+    }
+    RAPID_RETURN_NOT_OK(p->Expect(')'));
+    return LogicalNode::Sort(input, keys);
+  }
+  if (head == "setop") {
+    RAPID_ASSIGN_OR_RETURN(std::string kind_name, p->Atom());
+    SetOpKind kind;
+    if (kind_name == "union") {
+      kind = SetOpKind::kUnion;
+    } else if (kind_name == "intersect") {
+      kind = SetOpKind::kIntersect;
+    } else if (kind_name == "minus") {
+      kind = SetOpKind::kMinus;
+    } else {
+      return p->Error("unknown set op '" + kind_name + "'");
+    }
+    RAPID_ASSIGN_OR_RETURN(LogicalPtr left, ReadNode(p));
+    RAPID_ASSIGN_OR_RETURN(LogicalPtr right, ReadNode(p));
+    RAPID_RETURN_NOT_OK(p->Expect(')'));
+    return LogicalNode::SetOp(kind, left, right);
+  }
+  if (head == "window") {
+    RAPID_ASSIGN_OR_RETURN(LogicalPtr input, ReadNode(p));
+    RAPID_RETURN_NOT_OK(p->Expect('('));
+    RAPID_ASSIGN_OR_RETURN(std::string tag, p->Atom());
+    if (tag != "funcs") return p->Error("expected (funcs ...)");
+    std::vector<LogicalWindow> windows;
+    while (!p->TryConsume(')')) {
+      RAPID_RETURN_NOT_OK(p->Expect('('));
+      LogicalWindow w;
+      RAPID_ASSIGN_OR_RETURN(std::string func, p->Atom());
+      if (func == "rownum") {
+        w.func = WindowFunc::kRowNumber;
+      } else if (func == "rank") {
+        w.func = WindowFunc::kRank;
+      } else if (func == "denserank") {
+        w.func = WindowFunc::kDenseRank;
+      } else if (func == "runsum") {
+        w.func = WindowFunc::kRunningSum;
+      } else if (func == "partsum") {
+        w.func = WindowFunc::kPartitionSum;
+      } else {
+        return p->Error("unknown window function '" + func + "'");
+      }
+      RAPID_ASSIGN_OR_RETURN(w.partition_by, ReadNames(p, "part"));
+      RAPID_ASSIGN_OR_RETURN(w.order_by, ReadSortKeys(p));
+      RAPID_ASSIGN_OR_RETURN(w.value_column, p->StringOrNil());
+      RAPID_ASSIGN_OR_RETURN(w.output_name, p->QuotedString());
+      RAPID_RETURN_NOT_OK(p->Expect(')'));
+      windows.push_back(std::move(w));
+    }
+    RAPID_RETURN_NOT_OK(p->Expect(')'));
+    return LogicalNode::Window(input, std::move(windows));
+  }
+  return p->Error("unknown node '" + head + "'");
+}
+
+}  // namespace
+
+std::string SerializeExpr(const Expr& expr) {
+  std::ostringstream os;
+  WriteExpr(os, expr);
+  return os.str();
+}
+
+Result<ExprPtr> ParseExpr(const std::string& text) {
+  Parser p(text);
+  RAPID_ASSIGN_OR_RETURN(ExprPtr e, ReadExpr(&p));
+  if (!p.AtEnd()) return p.Error("trailing input");
+  return e;
+}
+
+std::string SerializePlan(const LogicalPtr& plan) {
+  std::ostringstream os;
+  if (plan != nullptr) WriteNode(os, *plan);
+  return os.str();
+}
+
+Result<LogicalPtr> ParsePlan(const std::string& text) {
+  Parser p(text);
+  RAPID_ASSIGN_OR_RETURN(LogicalPtr plan, ReadNode(&p));
+  if (!p.AtEnd()) return p.Error("trailing input after plan");
+  return plan;
+}
+
+}  // namespace rapid::core

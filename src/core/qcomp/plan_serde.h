@@ -1,0 +1,33 @@
+// Logical-plan serialization (Section 3.1).
+//
+// The host's code generator "generates, serializes and stores a RAPID
+// QEP in the place holder node"; RAPID nodes instantiate the received
+// plan. This module provides that wire format: a compact s-expression
+// encoding of logical plans (expressions, predicates — including
+// dictionary-code bitmaps — and every operator kind), plus the parser
+// the execution node runs. The RAPID placeholder operator round-trips
+// plans through it, so the wire path is exercised on every offloaded
+// query.
+
+#ifndef RAPID_CORE_QCOMP_PLAN_SERDE_H_
+#define RAPID_CORE_QCOMP_PLAN_SERDE_H_
+
+#include <string>
+
+#include "core/qcomp/logical_plan.h"
+
+namespace rapid::core {
+
+// Serializes a logical plan to the wire format.
+std::string SerializePlan(const LogicalPtr& plan);
+
+// Parses a plan back. Fails with InvalidArgument on malformed input.
+Result<LogicalPtr> ParsePlan(const std::string& text);
+
+// Expression/predicate helpers (exposed for tests).
+std::string SerializeExpr(const Expr& expr);
+Result<ExprPtr> ParseExpr(const std::string& text);
+
+}  // namespace rapid::core
+
+#endif  // RAPID_CORE_QCOMP_PLAN_SERDE_H_

@@ -1,0 +1,722 @@
+#include "core/qcomp/steps.h"
+
+#include <algorithm>
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <sstream>
+
+#include "core/ops/filter_op.h"
+#include "core/ops/project_op.h"
+#include "core/ops/sink_op.h"
+#include "core/qef/relation_accessor.h"
+
+namespace rapid::core {
+
+namespace {
+
+// Columns the filter must pass through to the projection stage.
+std::vector<std::string> ProjectionInputs(
+    const std::vector<std::pair<std::string, ExprPtr>>& projections) {
+  std::vector<std::string> cols;
+  for (const auto& [name, expr] : projections) {
+    std::vector<std::string> refs;
+    expr->CollectColumns(&refs);
+    for (const auto& r : refs) {
+      if (std::find(cols.begin(), cols.end(), r) == cols.end()) {
+        cols.push_back(r);
+      }
+    }
+  }
+  return cols;
+}
+
+std::vector<ColumnMeta> ProjectionMetas(
+    const std::vector<std::pair<std::string, ExprPtr>>& projections) {
+  std::vector<ColumnMeta> metas;
+  metas.reserve(projections.size());
+  for (const auto& [name, expr] : projections) {
+    ColumnMeta m;
+    m.name = name;
+    metas.push_back(m);
+  }
+  return metas;
+}
+
+Result<size_t> FindColumn(const ColumnSet& set, const std::string& name) {
+  return set.IndexOf(name);
+}
+
+// Largest power-of-two tile (>= 64, <= requested) whose DMEM footprint
+// fits the per-core scratchpad: the runtime equivalent of task
+// formation's vector-size selection for steps whose input width is
+// only known at execution time.
+size_t FitTileRows(size_t requested, size_t bytes_per_row,
+                   size_t dmem_bytes) {
+  size_t tile = 64;
+  while (tile * 2 <= requested && bytes_per_row * tile * 2 <= dmem_bytes) {
+    tile *= 2;
+  }
+  return tile;
+}
+
+}  // namespace
+
+std::string PhysicalPlan::Describe() const {
+  std::ostringstream os;
+  for (const auto& step : steps) {
+    os << "#" << step->id() << " " << step->Describe() << "\n";
+  }
+  return os.str();
+}
+
+// ---- ScanStep --------------------------------------------------------------
+
+Status ScanStep::Execute(ExecEnv& env) const {
+  auto table_it = env.catalog->find(table_);
+  if (table_it == env.catalog->end()) {
+    return Status::NotFound("table '" + table_ + "' not loaded");
+  }
+  const storage::Table& table = table_it->second;
+
+  // Resolve base columns to table indices and target DSB scales.
+  std::vector<size_t> col_indices;
+  std::vector<int> target_scales;
+  ColumnBinding base_binding;
+  for (size_t c = 0; c < base_columns_.size(); ++c) {
+    RAPID_ASSIGN_OR_RETURN(size_t idx,
+                           table.schema().IndexOf(base_columns_[c]));
+    col_indices.push_back(idx);
+    target_scales.push_back(table.stats(idx).dsb_scale);
+    base_binding[base_columns_[c]] = c;
+  }
+
+  // Assign chunks to cores round-robin across all horizontal
+  // partitions.
+  std::vector<const storage::Chunk*> all_chunks;
+  for (size_t p = 0; p < table.num_partitions(); ++p) {
+    const storage::Partition& part = table.partition(p);
+    for (size_t c = 0; c < part.num_chunks(); ++c) {
+      all_chunks.push_back(&part.chunk(c));
+    }
+  }
+
+  size_t scan_rows = 0;
+  size_t scan_width = 0;
+  for (size_t c = 0; c < col_indices.size(); ++c) {
+    scan_width +=
+        storage::WidthOf(table.schema().field(col_indices[c]).type);
+  }
+  for (const storage::Chunk* chunk : all_chunks) scan_rows += chunk->num_rows();
+  env.counters.scanned_rows += scan_rows;
+  env.counters.scanned_bytes += scan_rows * scan_width;
+
+  const int num_cores = env.dpu->num_cores();
+  std::vector<ColumnMeta> metas = ProjectionMetas(projections_);
+  // Plain column projections carry the source column's logical type
+  // (so dates format and downstream cycle charges use encoded widths)
+  // and its dictionary (so results can decode to strings).
+  for (size_t c = 0; c < projections_.size(); ++c) {
+    const Expr& expr = *projections_[c].second;
+    if (expr.kind == Expr::Kind::kColumn) {
+      auto idx = table.schema().IndexOf(expr.column);
+      if (idx.ok()) {
+        metas[c].type = table.schema().field(idx.value()).type;
+        metas[c].dict = table.dictionary(idx.value());
+      }
+    }
+  }
+  std::vector<ColumnSet> per_core(static_cast<size_t>(num_cores),
+                                  ColumnSet(metas));
+  std::vector<Status> statuses(static_cast<size_t>(num_cores));
+  const std::vector<std::string> pass_through = ProjectionInputs(projections_);
+
+  env.dpu->ParallelFor([&](dpu::DpCore& core) {
+    const auto cid = static_cast<size_t>(core.id());
+    std::vector<const storage::Chunk*> mine;
+    for (size_t i = cid; i < all_chunks.size();
+         i += static_cast<size_t>(num_cores)) {
+      mine.push_back(all_chunks[i]);
+    }
+    core.dmem().Reset();
+
+    // Build this core's pipeline: filter -> project -> sink.
+    FilterOp filter(predicates_, pass_through, base_binding, tile_rows_,
+                    use_rid_list_);
+    ProjectOp project(projections_, filter.OutputBinding(), tile_rows_);
+    MaterializeSink sink(&per_core[cid]);
+    filter.set_downstream(&project);
+    project.set_downstream(&sink);
+
+    ExecCtx ctx{&core, &env.dpu->dms(), &env.dpu->params(), env.vectorized};
+    Status st = filter.Open(ctx);
+    if (st.ok()) st = project.Open(ctx);
+    if (st.ok()) st = sink.Open(ctx);
+    if (st.ok()) {
+      st = RelationAccessor::PushChunks(ctx, mine, col_indices, target_scales,
+                                        tile_rows_, &filter);
+    }
+    statuses[cid] = st;
+    core.dmem().Reset();
+  });
+  for (const Status& st : statuses) RAPID_RETURN_NOT_OK(st);
+
+  StepOutput& out = env.outputs[static_cast<size_t>(id_)];
+  out.partitioned = false;
+  out.set = ColumnSet(metas);
+  for (size_t c = 0; c < per_core.size(); ++c) {
+    // Propagate observed types/scales to the merged output.
+    for (size_t col = 0; col < metas.size(); ++col) {
+      if (per_core[c].num_rows() > 0) {
+        out.set.meta(col) = per_core[c].meta(col);
+      }
+    }
+  }
+  for (ColumnSet& cs : per_core) out.set.Append(cs);
+  return Status::OK();
+}
+
+std::string ScanStep::Describe() const {
+  std::ostringstream os;
+  os << "SCAN " << table_ << " preds=" << predicates_.size()
+     << " proj=" << projections_.size() << " tile=" << tile_rows_
+     << (use_rid_list_ ? " rid" : " bv");
+  return os.str();
+}
+
+// ---- PipeStep --------------------------------------------------------------
+
+Status PipeStep::Execute(ExecEnv& env) const {
+  const StepOutput& in = env.outputs[static_cast<size_t>(input_)];
+  if (in.partitioned) {
+    return Status::InvalidArgument("pipe step needs an unpartitioned input");
+  }
+  const ColumnSet& input = in.set;
+  env.counters.scanned_rows += input.num_rows();
+  env.counters.scanned_bytes +=
+      input.num_rows() * input.num_columns() * sizeof(int64_t);
+
+  ColumnBinding binding;
+  std::vector<size_t> col_indices;
+  for (size_t c = 0; c < input.num_columns(); ++c) {
+    binding[input.meta(c).name] = c;
+    col_indices.push_back(c);
+  }
+
+  const int num_cores = env.dpu->num_cores();
+  std::vector<ColumnMeta> metas = ProjectionMetas(projections_);
+  for (size_t c = 0; c < projections_.size(); ++c) {
+    const Expr& expr = *projections_[c].second;
+    if (expr.kind == Expr::Kind::kColumn) {
+      auto idx = input.IndexOf(expr.column);
+      if (idx.ok()) {
+        metas[c].type = input.meta(idx.value()).type;
+        metas[c].dsb_scale = input.meta(idx.value()).dsb_scale;
+        metas[c].dict = input.meta(idx.value()).dict;
+      }
+    }
+  }
+  std::vector<ColumnSet> per_core(static_cast<size_t>(num_cores),
+                                  ColumnSet(metas));
+  std::vector<Status> statuses(static_cast<size_t>(num_cores));
+  const std::vector<std::string> pass_through = ProjectionInputs(projections_);
+  const size_t n = input.num_rows();
+  const size_t share =
+      (n + static_cast<size_t>(num_cores) - 1) / static_cast<size_t>(num_cores);
+  // Accessor double buffers, filter materializes pass-through columns
+  // plus the selection, project its outputs — all widened to 8 bytes.
+  const size_t bytes_per_row =
+      8 * (2 * col_indices.size() + pass_through.size() +
+           projections_.size()) + 8;
+  const size_t tile_rows = FitTileRows(
+      tile_rows_, bytes_per_row, env.dpu->config().dmem_bytes);
+
+  env.dpu->ParallelFor([&](dpu::DpCore& core) {
+    const auto cid = static_cast<size_t>(core.id());
+    const size_t begin = cid * share;
+    const size_t end = std::min(n, begin + share);
+    core.dmem().Reset();
+
+    FilterOp filter(predicates_, pass_through, binding, tile_rows,
+                    /*use_rid_list=*/false);
+    ProjectOp project(projections_, filter.OutputBinding(), tile_rows);
+    MaterializeSink sink(&per_core[cid]);
+    filter.set_downstream(&project);
+    project.set_downstream(&sink);
+
+    ExecCtx ctx{&core, &env.dpu->dms(), &env.dpu->params(), env.vectorized};
+    Status st = filter.Open(ctx);
+    if (st.ok()) st = project.Open(ctx);
+    if (st.ok()) st = sink.Open(ctx);
+    if (st.ok() && begin < end) {
+      st = RelationAccessor::PushColumnSet(ctx, input, col_indices, begin, end,
+                                           tile_rows, &filter);
+    }
+    statuses[cid] = st;
+    core.dmem().Reset();
+  });
+  for (const Status& st : statuses) RAPID_RETURN_NOT_OK(st);
+
+  StepOutput& out = env.outputs[static_cast<size_t>(id_)];
+  out.partitioned = false;
+  out.set = ColumnSet(metas);
+  for (const ColumnSet& cs : per_core) {
+    for (size_t col = 0; col < metas.size(); ++col) {
+      if (cs.num_rows() > 0) out.set.meta(col) = cs.meta(col);
+    }
+  }
+  for (ColumnSet& cs : per_core) out.set.Append(cs);
+  return Status::OK();
+}
+
+std::string PipeStep::Describe() const {
+  std::ostringstream os;
+  os << "PIPE #" << input_ << " preds=" << predicates_.size()
+     << " proj=" << projections_.size() << " tile=" << tile_rows_;
+  return os.str();
+}
+
+// ---- PartitionStep ---------------------------------------------------------
+
+Status PartitionStep::Execute(ExecEnv& env) const {
+  const StepOutput& in = env.outputs[static_cast<size_t>(input_)];
+  if (in.partitioned) {
+    return Status::InvalidArgument("input is already partitioned");
+  }
+  std::vector<size_t> key_cols;
+  for (const std::string& name : key_columns_) {
+    RAPID_ASSIGN_OR_RETURN(size_t idx, FindColumn(in.set, name));
+    key_cols.push_back(idx);
+  }
+  env.counters.partitioned_rows +=
+      in.set.num_rows() * scheme_.rounds.size();
+  RAPID_ASSIGN_OR_RETURN(
+      PartitionedData parts,
+      PartitionExec::Execute(*env.dpu, in.set, key_cols, scheme_, tile_rows_));
+  StepOutput& out = env.outputs[static_cast<size_t>(id_)];
+  out.partitioned = true;
+  out.parts = std::move(parts);
+  return Status::OK();
+}
+
+std::string PartitionStep::Describe() const {
+  std::ostringstream os;
+  os << "PARTITION #" << input_ << " keys=(";
+  for (size_t i = 0; i < key_columns_.size(); ++i) {
+    os << (i ? "," : "") << key_columns_[i];
+  }
+  os << ") scheme=";
+  for (size_t r = 0; r < scheme_.rounds.size(); ++r) {
+    os << (r ? "x" : "") << scheme_.rounds[r].fanout;
+    if (scheme_.rounds[r].hw_fanout > 1) {
+      os << "(hw" << scheme_.rounds[r].hw_fanout << ")";
+    }
+  }
+  return os.str();
+}
+
+// ---- JoinStep --------------------------------------------------------------
+
+Status JoinStep::Execute(ExecEnv& env) const {
+  const StepOutput& build_in = env.outputs[static_cast<size_t>(build_input_)];
+  const StepOutput& probe_in = env.outputs[static_cast<size_t>(probe_input_)];
+  if (!build_in.partitioned || !probe_in.partitioned) {
+    return Status::InvalidArgument("join inputs must be partitioned");
+  }
+  if (build_in.parts.partitions.empty() || probe_in.parts.partitions.empty()) {
+    return Status::InvalidArgument("join inputs are empty");
+  }
+  const ColumnSet& bproto = build_in.parts.partitions[0];
+  const ColumnSet& pproto = probe_in.parts.partitions[0];
+
+  JoinSpec spec = spec_template_;
+  spec.type = type_;
+  spec.vectorized = env.vectorized;
+  for (const std::string& k : build_keys_) {
+    RAPID_ASSIGN_OR_RETURN(size_t idx, FindColumn(bproto, k));
+    spec.build_keys.push_back(idx);
+  }
+  for (const std::string& k : probe_keys_) {
+    RAPID_ASSIGN_OR_RETURN(size_t idx, FindColumn(pproto, k));
+    spec.probe_keys.push_back(idx);
+  }
+  // Output columns resolve against build first, then probe, and are
+  // emitted in request order (matching the host engine's ordering).
+  for (const std::string& name : output_columns_) {
+    auto b = bproto.IndexOf(name);
+    if (b.ok() && type_ != JoinType::kSemi && type_ != JoinType::kAnti) {
+      spec.outputs.push_back(JoinSpec::Output{true, b.value()});
+      continue;
+    }
+    auto p = pproto.IndexOf(name);
+    if (p.ok()) {
+      spec.outputs.push_back(JoinSpec::Output{false, p.value()});
+      continue;
+    }
+    return Status::NotFound("join output column '" + name + "' not found");
+  }
+
+  RAPID_ASSIGN_OR_RETURN(
+      ColumnSet merged,
+      JoinExec::Execute(*env.dpu, build_in.parts, probe_in.parts, spec,
+                        &last_stats));
+  env.counters.join_build_rows += last_stats.build_rows;
+  env.counters.join_probe_rows += last_stats.probe_rows;
+  StepOutput& out = env.outputs[static_cast<size_t>(id_)];
+  out.partitioned = false;
+  out.set = std::move(merged);
+  return Status::OK();
+}
+
+std::string JoinStep::Describe() const {
+  std::ostringstream os;
+  os << "HASHJOIN build=#" << build_input_ << " probe=#" << probe_input_
+     << " keys=(";
+  for (size_t i = 0; i < build_keys_.size(); ++i) {
+    os << (i ? "," : "") << build_keys_[i] << "=" << probe_keys_[i];
+  }
+  os << ")";
+  switch (type_) {
+    case JoinType::kInner:
+      os << " inner";
+      break;
+    case JoinType::kSemi:
+      os << " semi";
+      break;
+    case JoinType::kAnti:
+      os << " anti";
+      break;
+    case JoinType::kLeftOuter:
+      os << " left-outer";
+      break;
+  }
+  return os.str();
+}
+
+// ---- GroupByStep -----------------------------------------------------------
+
+Status GroupByStep::ExecuteLowNdv(ExecEnv& env, const ColumnSet& input,
+                                  ColumnSet* out) const {
+  ColumnBinding binding;
+  std::vector<size_t> col_indices;
+  for (size_t c = 0; c < input.num_columns(); ++c) {
+    binding[input.meta(c).name] = c;
+    col_indices.push_back(c);
+  }
+  std::vector<ExprPtr> key_exprs;
+  for (const auto& [name, expr] : keys_) key_exprs.push_back(expr);
+
+  const int num_cores = env.dpu->num_cores();
+  std::vector<std::unique_ptr<GroupByOp>> ops(
+      static_cast<size_t>(num_cores));
+  for (auto& op : ops) {
+    op = std::make_unique<GroupByOp>(key_exprs, aggs_, binding);
+  }
+  std::vector<Status> statuses(static_cast<size_t>(num_cores));
+  const size_t n = input.num_rows();
+  const size_t share =
+      (n + static_cast<size_t>(num_cores) - 1) / static_cast<size_t>(num_cores);
+  const size_t bytes_per_row =
+      8 * (2 * col_indices.size() + keys_.size() + aggs_.size());
+  const size_t tile_rows = FitTileRows(
+      tile_rows_, bytes_per_row, env.dpu->config().dmem_bytes);
+
+  // On-the-fly aggregation over each core's share of the input.
+  env.dpu->ParallelFor([&](dpu::DpCore& core) {
+    const auto cid = static_cast<size_t>(core.id());
+    const size_t begin = cid * share;
+    const size_t end = std::min(n, begin + share);
+    core.dmem().Reset();
+    ExecCtx ctx{&core, &env.dpu->dms(), &env.dpu->params(), env.vectorized};
+    Status st = ops[cid]->Open(ctx);
+    if (st.ok() && begin < end) {
+      st = RelationAccessor::PushColumnSet(ctx, input, col_indices, begin, end,
+                                           tile_rows, ops[cid].get());
+    }
+    statuses[cid] = st;
+    core.dmem().Reset();
+  });
+  for (const Status& st : statuses) RAPID_RETURN_NOT_OK(st);
+
+  // Merge operator: fold per-core tables (aggregated data, low
+  // overhead), charged to core 0.
+  const std::vector<AggFunc> funcs = ops[0]->funcs();
+  for (int c = 1; c < num_cores; ++c) {
+    ops[0]->table().MergeFrom(ops[static_cast<size_t>(c)]->table(), funcs);
+    env.dpu->core(0).cycles().ChargeCompute(
+        env.dpu->params().groupby_cycles_per_row *
+        static_cast<double>(ops[static_cast<size_t>(c)]->table().num_groups()));
+  }
+  return ops[0]->EmitInto(out);
+}
+
+Status GroupByStep::ExecuteHighNdv(ExecEnv& env, const PartitionedData& input,
+                                   ColumnSet* out) const {
+  if (input.partitions.empty()) {
+    return Status::InvalidArgument("group-by input has no partitions");
+  }
+  const ColumnSet& proto = input.partitions[0];
+  ColumnBinding binding;
+  std::vector<size_t> col_indices;
+  for (size_t c = 0; c < proto.num_columns(); ++c) {
+    binding[proto.meta(c).name] = c;
+    col_indices.push_back(c);
+  }
+  std::vector<ExprPtr> key_exprs;
+  for (const auto& [name, expr] : keys_) key_exprs.push_back(expr);
+
+  // Distinct groups live in disjoint partitions (partitioned on the
+  // group keys), so per-partition tables concatenate with no merge.
+  const size_t num_parts = input.partitions.size();
+  std::vector<ColumnSet> partials(num_parts, ColumnSet(out->metas()));
+  std::vector<Status> statuses(num_parts);
+  const size_t bytes_per_row =
+      8 * (2 * col_indices.size() + keys_.size() + aggs_.size());
+  const size_t tile_rows = FitTileRows(
+      tile_rows_, bytes_per_row, env.dpu->config().dmem_bytes);
+  // Key column indices, for runtime re-partitioning of oversized
+  // partitions (keys are plain columns on the high-NDV path).
+  std::vector<size_t> key_cols;
+  bool keys_plain = !keys_.empty();
+  for (const auto& [name, expr] : keys_) {
+    if (expr->kind != Expr::Kind::kColumn) {
+      keys_plain = false;
+      break;
+    }
+    auto idx = proto.IndexOf(expr->column);
+    if (!idx.ok()) {
+      keys_plain = false;
+      break;
+    }
+    key_cols.push_back(idx.value());
+  }
+
+  std::atomic<uint64_t> repartitions{0};
+  const auto num_cores_hi = static_cast<size_t>(env.dpu->num_cores());
+  env.dpu->ParallelFor([&](dpu::DpCore& core) {
+    // Aggregates one ColumnSet into `out` on this core.
+    auto aggregate = [&](const ColumnSet& part, ColumnSet* agg_out) -> Status {
+      core.dmem().Reset();
+      GroupByOp op(key_exprs, aggs_, binding);
+      ExecCtx ctx{&core, &env.dpu->dms(), &env.dpu->params(), env.vectorized};
+      RAPID_RETURN_NOT_OK(op.Open(ctx));
+      RAPID_RETURN_NOT_OK(RelationAccessor::PushColumnSet(
+          ctx, part, col_indices, 0, part.num_rows(), tile_rows, &op));
+      RAPID_RETURN_NOT_OK(op.EmitInto(agg_out));
+      core.dmem().Reset();
+      return Status::OK();
+    };
+
+    for (size_t p = static_cast<size_t>(core.id()); p < num_parts;
+         p += num_cores_hi) {
+      const ColumnSet& part = input.partitions[p];
+      // Runtime re-partition (Section 5.4): if this partition exceeds
+      // the estimate, its hash table would spill DMEM — split it
+      // further before aggregating. Sub-partitions hold disjoint keys,
+      // so their outputs concatenate.
+      if (max_partition_rows_ > 0 && keys_plain &&
+          part.num_rows() > max_partition_rows_ &&
+          input.bits_used + 1 < 32) {
+        size_t extra = 2;
+        while (extra * max_partition_rows_ < part.num_rows() &&
+               extra < 256) {
+          extra *= 2;
+        }
+        auto sub = PartitionExec::Repartition(
+            core, env.dpu->params(), part, key_cols,
+            static_cast<int>(extra), input.bits_used, tile_rows);
+        if (sub.ok()) {
+          repartitions.fetch_add(1);
+          Status st;
+          for (const ColumnSet& sub_part : sub.value()) {
+            st = aggregate(sub_part, &partials[p]);
+            if (!st.ok()) break;
+          }
+          statuses[p] = st;
+          continue;
+        }
+      }
+      statuses[p] = aggregate(part, &partials[p]);
+    }
+  });
+  env.counters.groupby_repartitions += repartitions.load();
+  for (const Status& st : statuses) RAPID_RETURN_NOT_OK(st);
+  for (ColumnSet& cs : partials) {
+    for (size_t col = 0; col < out->num_columns(); ++col) {
+      if (cs.num_rows() > 0) out->meta(col) = cs.meta(col);
+    }
+    out->Append(cs);
+  }
+  return Status::OK();
+}
+
+Status GroupByStep::Execute(ExecEnv& env) const {
+  const StepOutput& in = env.outputs[static_cast<size_t>(input_)];
+
+  std::vector<ColumnMeta> metas;
+  const ColumnSet& meta_source =
+      in.partitioned ? (in.parts.partitions.empty()
+                            ? in.set
+                            : in.parts.partitions[0])
+                     : in.set;
+  for (const auto& [name, expr] : keys_) {
+    ColumnMeta m;
+    m.name = name;
+    if (expr->kind == Expr::Kind::kColumn) {
+      auto idx = meta_source.IndexOf(expr->column);
+      if (idx.ok()) {
+        m.type = meta_source.meta(idx.value()).type;
+        m.dict = meta_source.meta(idx.value()).dict;
+      }
+    }
+    metas.push_back(m);
+  }
+  for (const AggSpec& a : aggs_) {
+    ColumnMeta m;
+    m.name = a.name;
+    metas.push_back(m);
+  }
+  ColumnSet result(metas);
+
+  if (in.partitioned) {
+    for (const ColumnSet& p : in.parts.partitions) {
+      env.counters.agg_rows += p.num_rows();
+    }
+  } else {
+    env.counters.agg_rows += in.set.num_rows();
+  }
+
+  if (low_ndv_) {
+    if (in.partitioned) {
+      return Status::InvalidArgument("low-NDV group-by takes a flat input");
+    }
+    RAPID_RETURN_NOT_OK(ExecuteLowNdv(env, in.set, &result));
+  } else {
+    if (!in.partitioned) {
+      return Status::InvalidArgument(
+          "high-NDV group-by needs a partitioned input");
+    }
+    RAPID_RETURN_NOT_OK(ExecuteHighNdv(env, in.parts, &result));
+  }
+
+  StepOutput& out = env.outputs[static_cast<size_t>(id_)];
+  out.partitioned = false;
+  out.set = std::move(result);
+  return Status::OK();
+}
+
+std::string GroupByStep::Describe() const {
+  std::ostringstream os;
+  os << "GROUPBY #" << input_ << (low_ndv_ ? " low-ndv" : " high-ndv")
+     << " keys=" << keys_.size() << " aggs=" << aggs_.size();
+  return os.str();
+}
+
+// ---- Sort / TopK / SetOp / Window ------------------------------------------
+
+Result<std::vector<SortKey>> ResolveSortKeys(
+    const ColumnSet& set,
+    const std::vector<std::pair<std::string, bool>>& keys) {
+  std::vector<SortKey> out;
+  for (const auto& [name, asc] : keys) {
+    RAPID_ASSIGN_OR_RETURN(size_t idx, set.IndexOf(name));
+    out.push_back(SortKey{idx, asc});
+  }
+  return out;
+}
+
+Status SortStep::Execute(ExecEnv& env) const {
+  const StepOutput& in = env.outputs[static_cast<size_t>(input_)];
+  env.counters.sorted_rows += in.set.num_rows();
+  RAPID_ASSIGN_OR_RETURN(std::vector<SortKey> keys,
+                         ResolveSortKeys(in.set, keys_));
+  RAPID_ASSIGN_OR_RETURN(ColumnSet sorted,
+                         SortExec::Execute(*env.dpu, in.set, keys));
+  StepOutput& out = env.outputs[static_cast<size_t>(id_)];
+  out.partitioned = false;
+  out.set = std::move(sorted);
+  return Status::OK();
+}
+
+std::string SortStep::Describe() const {
+  std::ostringstream os;
+  os << "SORT #" << input_ << " keys=" << keys_.size();
+  return os.str();
+}
+
+Status TopKStep::Execute(ExecEnv& env) const {
+  const StepOutput& in = env.outputs[static_cast<size_t>(input_)];
+  env.counters.sorted_rows += in.set.num_rows();
+  RAPID_ASSIGN_OR_RETURN(std::vector<SortKey> keys,
+                         ResolveSortKeys(in.set, keys_));
+  RAPID_ASSIGN_OR_RETURN(ColumnSet top,
+                         TopKExec::Execute(*env.dpu, in.set, keys, k_));
+  StepOutput& out = env.outputs[static_cast<size_t>(id_)];
+  out.partitioned = false;
+  out.set = std::move(top);
+  return Status::OK();
+}
+
+std::string TopKStep::Describe() const {
+  std::ostringstream os;
+  os << "TOPK #" << input_ << " k=" << k_;
+  return os.str();
+}
+
+Status SetOpStep::Execute(ExecEnv& env) const {
+  const StepOutput& l = env.outputs[static_cast<size_t>(left_)];
+  const StepOutput& r = env.outputs[static_cast<size_t>(right_)];
+  RAPID_ASSIGN_OR_RETURN(ColumnSet result,
+                         SetOpExec::Execute(*env.dpu, kind_, l.set, r.set));
+  StepOutput& out = env.outputs[static_cast<size_t>(id_)];
+  out.partitioned = false;
+  out.set = std::move(result);
+  return Status::OK();
+}
+
+std::string SetOpStep::Describe() const {
+  const char* name = kind_ == SetOpKind::kUnion
+                         ? "UNION"
+                         : kind_ == SetOpKind::kIntersect ? "INTERSECT"
+                                                          : "MINUS";
+  std::ostringstream os;
+  os << name << " #" << left_ << " #" << right_;
+  return os.str();
+}
+
+Status WindowStep::Execute(ExecEnv& env) const {
+  const StepOutput& in = env.outputs[static_cast<size_t>(input_)];
+  std::vector<WindowSpec> specs;
+  for (const LogicalWindow& w : windows_) {
+    WindowSpec spec;
+    spec.func = w.func;
+    spec.output_name = w.output_name;
+    for (const std::string& name : w.partition_by) {
+      RAPID_ASSIGN_OR_RETURN(size_t idx, in.set.IndexOf(name));
+      spec.partition_by.push_back(idx);
+    }
+    for (const auto& [name, asc] : w.order_by) {
+      RAPID_ASSIGN_OR_RETURN(size_t idx, in.set.IndexOf(name));
+      spec.order_by.push_back(SortKey{idx, asc});
+    }
+    if (!w.value_column.empty()) {
+      RAPID_ASSIGN_OR_RETURN(spec.value_column,
+                             in.set.IndexOf(w.value_column));
+    }
+    specs.push_back(std::move(spec));
+  }
+  RAPID_ASSIGN_OR_RETURN(ColumnSet result,
+                         WindowExec::Execute(*env.dpu, in.set, specs));
+  StepOutput& out = env.outputs[static_cast<size_t>(id_)];
+  out.partitioned = false;
+  out.set = std::move(result);
+  return Status::OK();
+}
+
+std::string WindowStep::Describe() const {
+  std::ostringstream os;
+  os << "WINDOW #" << input_ << " funcs=" << windows_.size();
+  return os.str();
+}
+
+}  // namespace rapid::core

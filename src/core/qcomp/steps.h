@@ -1,0 +1,282 @@
+// Physical plan steps: the executable form of a RAPID QEP.
+//
+// QComp lowers the logical tree into a DAG of steps. A step is a
+// *task* in the paper's sense (Section 5.2): a group of pipelined
+// operators executed without preemption, materializing only at its
+// boundary. Steps reference their inputs by step id; the engine
+// executes them in order and keeps each step's output (a DRAM
+// ColumnSet, or a set of partitions for partitioning steps).
+
+#ifndef RAPID_CORE_QCOMP_STEPS_H_
+#define RAPID_CORE_QCOMP_STEPS_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "core/expr.h"
+#include "core/ops/groupby_op.h"
+#include "core/ops/join_exec.h"
+#include "core/ops/partition_exec.h"
+#include "core/ops/setop_exec.h"
+#include "core/ops/sort_exec.h"
+#include "core/ops/window_exec.h"
+#include "core/qcomp/logical_plan.h"
+#include "core/qef/column_set.h"
+#include "dpu/dpu.h"
+#include "storage/table.h"
+
+namespace rapid::core {
+
+struct StepOutput {
+  ColumnSet set;
+  PartitionedData parts;
+  bool partitioned = false;
+};
+
+// Workload volume counters accumulated across steps; the benchmark
+// harness feeds these into the System-X-on-Xeon analytical model for
+// the performance/watt comparison (Figure 14).
+struct WorkloadCounters {
+  uint64_t scanned_rows = 0;
+  uint64_t groupby_repartitions = 0;  // runtime re-partitions (§5.4)
+  uint64_t scanned_bytes = 0;
+  uint64_t partitioned_rows = 0;
+  uint64_t join_build_rows = 0;
+  uint64_t join_probe_rows = 0;
+  uint64_t agg_rows = 0;
+  uint64_t sorted_rows = 0;
+};
+
+struct ExecEnv {
+  dpu::Dpu* dpu = nullptr;
+  const std::unordered_map<std::string, storage::Table>* catalog = nullptr;
+  bool vectorized = true;
+  std::vector<StepOutput> outputs;  // indexed by step id
+  WorkloadCounters counters;
+};
+
+class PlanStep {
+ public:
+  explicit PlanStep(int id) : id_(id) {}
+  virtual ~PlanStep() = default;
+
+  virtual Status Execute(ExecEnv& env) const = 0;
+  virtual std::string Describe() const = 0;
+
+  int id() const { return id_; }
+
+ protected:
+  int id_;
+};
+
+struct PhysicalPlan {
+  std::vector<std::unique_ptr<PlanStep>> steps;
+  int root = -1;
+
+  std::string Describe() const;
+};
+
+// ---- Step implementations --------------------------------------------------
+
+// Base-table scan task: relation accessor -> filter -> project,
+// pipelined through DMEM, materializing to a ColumnSet.
+class ScanStep : public PlanStep {
+ public:
+  ScanStep(int id, std::string table, std::vector<std::string> base_columns,
+           std::vector<Predicate> predicates,
+           std::vector<std::pair<std::string, ExprPtr>> projections,
+           size_t tile_rows, bool use_rid_list)
+      : PlanStep(id),
+        table_(std::move(table)),
+        base_columns_(std::move(base_columns)),
+        predicates_(std::move(predicates)),
+        projections_(std::move(projections)),
+        tile_rows_(tile_rows),
+        use_rid_list_(use_rid_list) {}
+
+  Status Execute(ExecEnv& env) const override;
+  std::string Describe() const override;
+
+ private:
+  std::string table_;
+  std::vector<std::string> base_columns_;  // columns read from the table
+  std::vector<Predicate> predicates_;      // ordered most-selective-first
+  std::vector<std::pair<std::string, ExprPtr>> projections_;
+  size_t tile_rows_;
+  bool use_rid_list_;
+};
+
+// Same pipeline over a DRAM intermediate (e.g. filtering/projecting a
+// join result).
+class PipeStep : public PlanStep {
+ public:
+  PipeStep(int id, int input, std::vector<Predicate> predicates,
+           std::vector<std::pair<std::string, ExprPtr>> projections,
+           size_t tile_rows)
+      : PlanStep(id),
+        input_(input),
+        predicates_(std::move(predicates)),
+        projections_(std::move(projections)),
+        tile_rows_(tile_rows) {}
+
+  Status Execute(ExecEnv& env) const override;
+  std::string Describe() const override;
+
+ private:
+  int input_;
+  std::vector<Predicate> predicates_;
+  std::vector<std::pair<std::string, ExprPtr>> projections_;
+  size_t tile_rows_;
+};
+
+class PartitionStep : public PlanStep {
+ public:
+  PartitionStep(int id, int input, std::vector<std::string> key_columns,
+                PartitionScheme scheme, size_t tile_rows)
+      : PlanStep(id),
+        input_(input),
+        key_columns_(std::move(key_columns)),
+        scheme_(std::move(scheme)),
+        tile_rows_(tile_rows) {}
+
+  Status Execute(ExecEnv& env) const override;
+  std::string Describe() const override;
+
+ private:
+  int input_;
+  std::vector<std::string> key_columns_;
+  PartitionScheme scheme_;
+  size_t tile_rows_;
+};
+
+class JoinStep : public PlanStep {
+ public:
+  JoinStep(int id, int build_input, int probe_input,
+           std::vector<std::string> build_keys,
+           std::vector<std::string> probe_keys,
+           std::vector<std::string> output_columns, JoinType type,
+           JoinSpec spec_template)
+      : PlanStep(id),
+        build_input_(build_input),
+        probe_input_(probe_input),
+        build_keys_(std::move(build_keys)),
+        probe_keys_(std::move(probe_keys)),
+        output_columns_(std::move(output_columns)),
+        type_(type),
+        spec_template_(std::move(spec_template)) {}
+
+  Status Execute(ExecEnv& env) const override;
+  std::string Describe() const override;
+
+  // Stats of the last execution (skew handling introspection).
+  mutable JoinStats last_stats;
+
+ private:
+  int build_input_;
+  int probe_input_;
+  std::vector<std::string> build_keys_;
+  std::vector<std::string> probe_keys_;
+  std::vector<std::string> output_columns_;
+  JoinType type_;
+  JoinSpec spec_template_;
+};
+
+class GroupByStep : public PlanStep {
+ public:
+  GroupByStep(int id, int input, bool low_ndv,
+              std::vector<std::pair<std::string, ExprPtr>> keys,
+              std::vector<AggSpec> aggs, size_t tile_rows,
+              size_t max_partition_rows = 0)
+      : PlanStep(id),
+        input_(input),
+        low_ndv_(low_ndv),
+        keys_(std::move(keys)),
+        aggs_(std::move(aggs)),
+        tile_rows_(tile_rows),
+        max_partition_rows_(max_partition_rows) {}
+
+  Status Execute(ExecEnv& env) const override;
+  std::string Describe() const override;
+
+ private:
+  Status ExecuteLowNdv(ExecEnv& env, const ColumnSet& input,
+                       ColumnSet* out) const;
+  Status ExecuteHighNdv(ExecEnv& env, const PartitionedData& input,
+                        ColumnSet* out) const;
+
+  int input_;
+  bool low_ndv_;
+  std::vector<std::pair<std::string, ExprPtr>> keys_;
+  std::vector<AggSpec> aggs_;
+  size_t tile_rows_;
+  // Runtime re-partition threshold for the high-NDV strategy
+  // (Section 5.4: partitions larger than the estimate are
+  // re-partitioned as needed so hash tables fit DMEM). 0 = off.
+  size_t max_partition_rows_;
+};
+
+class SortStep : public PlanStep {
+ public:
+  SortStep(int id, int input, std::vector<std::pair<std::string, bool>> keys)
+      : PlanStep(id), input_(input), keys_(std::move(keys)) {}
+
+  Status Execute(ExecEnv& env) const override;
+  std::string Describe() const override;
+
+ private:
+  int input_;
+  std::vector<std::pair<std::string, bool>> keys_;
+};
+
+class TopKStep : public PlanStep {
+ public:
+  TopKStep(int id, int input, std::vector<std::pair<std::string, bool>> keys,
+           size_t k)
+      : PlanStep(id), input_(input), keys_(std::move(keys)), k_(k) {}
+
+  Status Execute(ExecEnv& env) const override;
+  std::string Describe() const override;
+
+ private:
+  int input_;
+  std::vector<std::pair<std::string, bool>> keys_;
+  size_t k_;
+};
+
+class SetOpStep : public PlanStep {
+ public:
+  SetOpStep(int id, SetOpKind kind, int left, int right)
+      : PlanStep(id), kind_(kind), left_(left), right_(right) {}
+
+  Status Execute(ExecEnv& env) const override;
+  std::string Describe() const override;
+
+ private:
+  SetOpKind kind_;
+  int left_;
+  int right_;
+};
+
+class WindowStep : public PlanStep {
+ public:
+  WindowStep(int id, int input, std::vector<LogicalWindow> windows)
+      : PlanStep(id), input_(input), windows_(std::move(windows)) {}
+
+  Status Execute(ExecEnv& env) const override;
+  std::string Describe() const override;
+
+ private:
+  int input_;
+  std::vector<LogicalWindow> windows_;
+};
+
+// Shared helpers.
+Result<std::vector<SortKey>> ResolveSortKeys(
+    const ColumnSet& set, const std::vector<std::pair<std::string, bool>>& keys);
+
+}  // namespace rapid::core
+
+#endif  // RAPID_CORE_QCOMP_STEPS_H_

@@ -1,0 +1,12 @@
+#include "core/qef/column_set.h"
+
+#include "storage/dsb.h"
+
+namespace rapid::core {
+
+double ColumnSet::Decimal(size_t row, size_t col) const {
+  return static_cast<double>(columns_[col][row]) /
+         static_cast<double>(storage::Pow10(meta_[col].dsb_scale));
+}
+
+}  // namespace rapid::core

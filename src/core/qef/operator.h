@@ -1,0 +1,59 @@
+// PipelineOp: the RAPID operator interface (Section 5.4).
+//
+// The paper's operators implement op_dmem_size, op_dram_size, create,
+// open, produce and close; execution is push-based (Section 5.1).
+// Here that maps to:
+//   DmemBytes()  <- op_dmem_size: DMEM the operator needs at a given
+//                   tile size; task formation packs operators into
+//                   tasks under the 32 KiB budget using this.
+//   Open()       <- create/open: allocate DMEM state.
+//   Consume()    <- produce: data is *pushed* in, tile by tile.
+//   Finish()     <- close/end-of-data: flush retained state downstream.
+//
+// Operators within a task pipeline tiles to each other through DMEM by
+// calling downstream_->Consume directly; only task-boundary operators
+// materialize to DRAM.
+
+#ifndef RAPID_CORE_QEF_OPERATOR_H_
+#define RAPID_CORE_QEF_OPERATOR_H_
+
+#include <cstddef>
+
+#include "common/status.h"
+#include "core/qef/exec_ctx.h"
+#include "core/qef/tile.h"
+
+namespace rapid::core {
+
+class PipelineOp {
+ public:
+  virtual ~PipelineOp() = default;
+
+  // DMEM bytes this operator needs for internal state and output
+  // vectors at the given tile size (excluding its input vectors, which
+  // the upstream producer accounts for).
+  virtual size_t DmemBytes(size_t tile_rows) const = 0;
+
+  virtual Status Open(ExecCtx& ctx) = 0;
+  virtual Status Consume(ExecCtx& ctx, const Tile& tile) = 0;
+  virtual Status Finish(ExecCtx& ctx) = 0;
+
+  void set_downstream(PipelineOp* downstream) { downstream_ = downstream; }
+  PipelineOp* downstream() const { return downstream_; }
+
+ protected:
+  // Pushes a tile down the pipeline; Finish() propagates too.
+  Status Push(ExecCtx& ctx, const Tile& tile) {
+    return downstream_ != nullptr ? downstream_->Consume(ctx, tile)
+                                  : Status::OK();
+  }
+  Status PushFinish(ExecCtx& ctx) {
+    return downstream_ != nullptr ? downstream_->Finish(ctx) : Status::OK();
+  }
+
+  PipelineOp* downstream_ = nullptr;
+};
+
+}  // namespace rapid::core
+
+#endif  // RAPID_CORE_QEF_OPERATOR_H_

@@ -1,0 +1,123 @@
+#include "core/qef/relation_accessor.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "primitives/arith.h"
+
+namespace rapid::core {
+
+Status RelationAccessor::PushChunks(
+    ExecCtx& ctx, const std::vector<const storage::Chunk*>& chunks,
+    const std::vector<size_t>& column_indices,
+    const std::vector<int>& target_scales, size_t tile_rows, PipelineOp* op) {
+  if (column_indices.empty()) {
+    return Status::InvalidArgument("accessor needs at least one column");
+  }
+  if (chunks.empty()) return op->Finish(ctx);
+
+  // Allocate double-buffered DMEM tile buffers once per column.
+  std::vector<uint8_t*> buffers(column_indices.size());
+  for (size_t c = 0; c < column_indices.size(); ++c) {
+    const storage::Vector& proto =
+        chunks[0]->column(column_indices[c]);
+    // Two buffers per column for double buffering; tiles alternate.
+    RAPID_ASSIGN_OR_RETURN(buffers[c],
+                           ctx.dmem().Allocate(2 * tile_rows * proto.width()));
+  }
+
+  uint64_t base_row = 0;
+  size_t parity = 0;
+  for (const storage::Chunk* chunk : chunks) {
+    const size_t chunk_rows = chunk->num_rows();
+    for (size_t start = 0; start < chunk_rows; start += tile_rows) {
+      const size_t rows = std::min(tile_rows, chunk_rows - start);
+
+      // One DMS descriptor chain transfers all column slices of the
+      // tile; double buffering alternates halves of each buffer.
+      std::vector<dpu::ColumnSlice> slices;
+      Tile tile;
+      tile.rows = rows;
+      tile.base_row = base_row;
+      tile.columns.resize(column_indices.size());
+      for (size_t c = 0; c < column_indices.size(); ++c) {
+        const storage::Vector& vec = chunk->column(column_indices[c]);
+        const size_t width = vec.width();
+        uint8_t* dst = buffers[c] + parity * tile_rows * width;
+        slices.push_back(dpu::ColumnSlice{vec.raw() + start * width, dst,
+                                          rows * width});
+        tile.columns[c].data = dst;
+        tile.columns[c].type = vec.type();
+        tile.columns[c].dsb_scale = vec.dsb_scale();
+      }
+      ctx.dms->TransferTile(&ctx.cycles(), slices, /*read_write=*/false);
+
+      // Normalize decimal vectors with differing per-vector common
+      // scales to the column-level scale before operators see them.
+      for (size_t c = 0; c < column_indices.size(); ++c) {
+        TileColumn& col = tile.columns[c];
+        if (col.type == storage::DataType::kDecimal &&
+            col.dsb_scale != target_scales[c]) {
+          primitives::DsbRescaleTile(reinterpret_cast<int64_t*>(col.data),
+                                     rows, col.dsb_scale, target_scales[c]);
+          ctx.ChargeCompute(ctx.params->arith_cycles_per_row *
+                            static_cast<double>(rows));
+          col.dsb_scale = target_scales[c];
+        }
+      }
+
+      RAPID_RETURN_NOT_OK(op->Consume(ctx, tile));
+      parity ^= 1;
+      base_row += rows;
+    }
+  }
+  return op->Finish(ctx);
+}
+
+Status RelationAccessor::PushColumnSet(ExecCtx& ctx, const ColumnSet& set,
+                                       const std::vector<size_t>& column_indices,
+                                       size_t row_begin, size_t row_end,
+                                       size_t tile_rows, PipelineOp* op) {
+  if (column_indices.empty()) {
+    return Status::InvalidArgument("accessor needs at least one column");
+  }
+  row_end = std::min(row_end, set.num_rows());
+  if (row_begin >= row_end) return op->Finish(ctx);
+
+  std::vector<uint8_t*> buffers(column_indices.size());
+  for (size_t c = 0; c < column_indices.size(); ++c) {
+    RAPID_ASSIGN_OR_RETURN(
+        buffers[c], ctx.dmem().Allocate(2 * tile_rows * sizeof(int64_t)));
+  }
+
+  size_t parity = 0;
+  for (size_t start = row_begin; start < row_end; start += tile_rows) {
+    const size_t rows = std::min(tile_rows, row_end - start);
+    std::vector<dpu::ColumnSlice> slices;
+    Tile tile;
+    tile.rows = rows;
+    tile.base_row = start - row_begin;
+    tile.columns.resize(column_indices.size());
+    for (size_t c = 0; c < column_indices.size(); ++c) {
+      const std::vector<int64_t>& col = set.column(column_indices[c]);
+      uint8_t* dst = buffers[c] + parity * tile_rows * sizeof(int64_t);
+      slices.push_back(dpu::ColumnSlice{
+          reinterpret_cast<const uint8_t*>(col.data() + start), dst,
+          rows * sizeof(int64_t)});
+      const ColumnMeta& meta = set.meta(column_indices[c]);
+      tile.columns[c].data = dst;
+      // Intermediates are widened to 8 bytes regardless of logical
+      // type; expose them as int64/decimal so widths match the data.
+      tile.columns[c].type = meta.type == storage::DataType::kDecimal
+                                 ? storage::DataType::kDecimal
+                                 : storage::DataType::kInt64;
+      tile.columns[c].dsb_scale = meta.dsb_scale;
+    }
+    ctx.dms->TransferTile(&ctx.cycles(), slices, /*read_write=*/false);
+    RAPID_RETURN_NOT_OK(op->Consume(ctx, tile));
+    parity ^= 1;
+  }
+  return op->Finish(ctx);
+}
+
+}  // namespace rapid::core

@@ -1,0 +1,89 @@
+// Tile: the unit of transfer between the relation accessor and
+// operators (Section 4.1): N >= 64 rows of one or more columns,
+// resident in DMEM during processing. All rows of a tile are consumed
+// at once by vectorized execution (Section 5.4).
+
+#ifndef RAPID_CORE_QEF_TILE_H_
+#define RAPID_CORE_QEF_TILE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "storage/data_type.h"
+
+namespace rapid::core {
+
+struct TileColumn {
+  uint8_t* data = nullptr;          // DMEM pointer
+  storage::DataType type = storage::DataType::kInt64;
+  int dsb_scale = 0;                // for kDecimal columns
+
+  size_t width() const { return storage::WidthOf(type); }
+
+  int64_t GetInt(size_t row) const {
+    using storage::DataType;
+    switch (type) {
+      case DataType::kInt8:
+        return reinterpret_cast<const int8_t*>(data)[row];
+      case DataType::kInt16:
+        return reinterpret_cast<const int16_t*>(data)[row];
+      case DataType::kInt32:
+      case DataType::kDate:
+        return reinterpret_cast<const int32_t*>(data)[row];
+      case DataType::kDictCode:
+        return reinterpret_cast<const uint32_t*>(data)[row];
+      case DataType::kInt64:
+      case DataType::kDecimal:
+        return reinterpret_cast<const int64_t*>(data)[row];
+    }
+    return 0;
+  }
+};
+
+// Widening bulk copy: dst[i] = (int64) column[rids ? rids[i] : i],
+// dispatching on the physical type once instead of per row.
+inline void WidenColumn(const TileColumn& col, const uint32_t* rids,
+                        size_t n, int64_t* dst) {
+  using storage::DataType;
+  switch (col.type) {
+    case DataType::kInt8: {
+      const auto* src = reinterpret_cast<const int8_t*>(col.data);
+      for (size_t i = 0; i < n; ++i) dst[i] = src[rids ? rids[i] : i];
+      break;
+    }
+    case DataType::kInt16: {
+      const auto* src = reinterpret_cast<const int16_t*>(col.data);
+      for (size_t i = 0; i < n; ++i) dst[i] = src[rids ? rids[i] : i];
+      break;
+    }
+    case DataType::kInt32:
+    case DataType::kDate: {
+      const auto* src = reinterpret_cast<const int32_t*>(col.data);
+      for (size_t i = 0; i < n; ++i) dst[i] = src[rids ? rids[i] : i];
+      break;
+    }
+    case DataType::kDictCode: {
+      const auto* src = reinterpret_cast<const uint32_t*>(col.data);
+      for (size_t i = 0; i < n; ++i) dst[i] = src[rids ? rids[i] : i];
+      break;
+    }
+    case DataType::kInt64:
+    case DataType::kDecimal: {
+      const auto* src = reinterpret_cast<const int64_t*>(col.data);
+      for (size_t i = 0; i < n; ++i) dst[i] = src[rids ? rids[i] : i];
+      break;
+    }
+  }
+}
+
+struct Tile {
+  size_t rows = 0;
+  std::vector<TileColumn> columns;
+  // Global row number of the tile's first row within its input, so
+  // operators can form RIDs/row ids spanning the whole relation.
+  uint64_t base_row = 0;
+};
+
+}  // namespace rapid::core
+
+#endif  // RAPID_CORE_QEF_TILE_H_

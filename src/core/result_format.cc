@@ -1,0 +1,103 @@
+#include "core/result_format.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+#include <vector>
+
+#include "storage/dsb.h"
+
+namespace rapid::core {
+
+namespace {
+
+// Inverse of tpch::DaysFromCivil (Howard Hinnant's civil_from_days).
+void CivilFromDays(int64_t z, int* y, unsigned* m, unsigned* d) {
+  z += 719468;
+  const int64_t era = (z >= 0 ? z : z - 146096) / 146097;
+  const auto doe = static_cast<unsigned>(z - era * 146097);
+  const unsigned yoe = (doe - doe / 1460 + doe / 36524 - doe / 146096) / 365;
+  const int64_t year = static_cast<int64_t>(yoe) + era * 400;
+  const unsigned doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+  const unsigned mp = (5 * doy + 2) / 153;
+  *d = doy - (153 * mp + 2) / 5 + 1;
+  *m = mp + (mp < 10 ? 3 : -9);
+  *y = static_cast<int>(year + (*m <= 2));
+}
+
+}  // namespace
+
+std::string FormatCell(const ColumnSet& set, size_t row, size_t col) {
+  const ColumnMeta& meta = set.meta(col);
+  const int64_t value = set.Value(row, col);
+
+  if (meta.dict != nullptr && value >= 0 &&
+      static_cast<size_t>(value) < meta.dict->size()) {
+    return meta.dict->Decode(static_cast<uint32_t>(value));
+  }
+  if (meta.type == storage::DataType::kDecimal || meta.dsb_scale > 0) {
+    const int scale = meta.dsb_scale;
+    const int64_t p = storage::Pow10(scale);
+    const int64_t whole = value / p;
+    int64_t frac = value % p;
+    if (frac < 0) frac = -frac;
+    char buf[64];
+    if (scale == 0) {
+      std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(value));
+    } else {
+      std::snprintf(buf, sizeof(buf), "%s%lld.%0*lld",
+                    (value < 0 && whole == 0) ? "-" : "",
+                    static_cast<long long>(whole), scale,
+                    static_cast<long long>(frac));
+    }
+    return buf;
+  }
+  if (meta.type == storage::DataType::kDate) {
+    int y;
+    unsigned m;
+    unsigned d;
+    CivilFromDays(value, &y, &m, &d);
+    char buf[16];
+    std::snprintf(buf, sizeof(buf), "%04d-%02u-%02u", y, m, d);
+    return buf;
+  }
+  return std::to_string(value);
+}
+
+std::string FormatTable(const ColumnSet& set, size_t max_rows) {
+  const size_t rows = std::min(max_rows, set.num_rows());
+  const size_t cols = set.num_columns();
+  std::vector<std::vector<std::string>> cells(rows + 1,
+                                              std::vector<std::string>(cols));
+  std::vector<size_t> widths(cols, 0);
+  for (size_t c = 0; c < cols; ++c) {
+    cells[0][c] = set.meta(c).name;
+    widths[c] = cells[0][c].size();
+  }
+  for (size_t r = 0; r < rows; ++r) {
+    for (size_t c = 0; c < cols; ++c) {
+      cells[r + 1][c] = FormatCell(set, r, c);
+      widths[c] = std::max(widths[c], cells[r + 1][c].size());
+    }
+  }
+  std::ostringstream os;
+  for (size_t r = 0; r < rows + 1; ++r) {
+    for (size_t c = 0; c < cols; ++c) {
+      os << (c ? " | " : "") << cells[r][c]
+         << std::string(widths[c] - cells[r][c].size(), ' ');
+    }
+    os << '\n';
+    if (r == 0) {
+      for (size_t c = 0; c < cols; ++c) {
+        os << (c ? "-+-" : "") << std::string(widths[c], '-');
+      }
+      os << '\n';
+    }
+  }
+  if (set.num_rows() > rows) {
+    os << "... (" << set.num_rows() << " rows total)\n";
+  }
+  return os.str();
+}
+
+}  // namespace rapid::core

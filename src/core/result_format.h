@@ -1,0 +1,30 @@
+// Result decoding and formatting.
+//
+// RAPID results are fixed-width encoded (dictionary codes, DSB
+// mantissas, day numbers). In the paper, decoding happens in the
+// host's RAPID operator as post-processing (Section 3.2); this module
+// is that decode step: it renders cells through the column metadata —
+// dictionary pointers propagated by the planner, DSB scales recorded
+// by the operators, and date types from the schema.
+
+#ifndef RAPID_CORE_RESULT_FORMAT_H_
+#define RAPID_CORE_RESULT_FORMAT_H_
+
+#include <string>
+
+#include "core/qef/column_set.h"
+
+namespace rapid::core {
+
+// Renders one cell: dictionary codes decode to their strings, decimals
+// to fixed-point text at their DSB scale, dates to YYYY-MM-DD,
+// integers to digits.
+std::string FormatCell(const ColumnSet& set, size_t row, size_t col);
+
+// Renders the whole result as an aligned text table (header + up to
+// `max_rows` rows); the host-side pretty printer used by the examples.
+std::string FormatTable(const ColumnSet& set, size_t max_rows = 20);
+
+}  // namespace rapid::core
+
+#endif  // RAPID_CORE_RESULT_FORMAT_H_

@@ -1,0 +1,117 @@
+// Atomic Transaction Engine (Section 2.4): the DPU's on-chip
+// communication fabric. The hardware is a 2-level crossbar with
+// guaranteed point-to-point message ordering; on top of it RAPID
+// builds message passing and synchronization primitives (mutex,
+// barrier). Because dpCore caches are not coherent, ATE messages are
+// the *only* sanctioned cross-core communication channel.
+//
+// The simulator provides the same primitives with the same ordering
+// guarantee (per-destination FIFO delivery).
+
+#ifndef RAPID_DPU_ATE_H_
+#define RAPID_DPU_ATE_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace rapid::dpu {
+
+struct AteMessage {
+  int from = -1;
+  uint64_t tag = 0;
+  std::vector<uint8_t> payload;
+};
+
+class Ate {
+ public:
+  explicit Ate(int num_cores)
+      : mailboxes_(num_cores), hw_mutexes_(kNumHwMutexes) {}
+
+  Ate(const Ate&) = delete;
+  Ate& operator=(const Ate&) = delete;
+
+  // Sends a message to `to`'s mailbox. Messages from the same sender
+  // to the same destination are delivered in send order.
+  void Send(int from, int to, uint64_t tag, std::vector<uint8_t> payload = {}) {
+    RAPID_DCHECK(to >= 0 && to < static_cast<int>(mailboxes_.size()));
+    Mailbox& box = mailboxes_[to];
+    {
+      std::lock_guard<std::mutex> lock(box.mu);
+      box.queue.push_back(AteMessage{from, tag, std::move(payload)});
+    }
+    box.cv.notify_one();
+  }
+
+  // Blocking receive on `core`'s mailbox.
+  AteMessage Receive(int core) {
+    Mailbox& box = mailboxes_[core];
+    std::unique_lock<std::mutex> lock(box.mu);
+    box.cv.wait(lock, [&] { return !box.queue.empty(); });
+    AteMessage msg = std::move(box.queue.front());
+    box.queue.pop_front();
+    return msg;
+  }
+
+  // Non-blocking receive.
+  std::optional<AteMessage> TryReceive(int core) {
+    Mailbox& box = mailboxes_[core];
+    std::lock_guard<std::mutex> lock(box.mu);
+    if (box.queue.empty()) return std::nullopt;
+    AteMessage msg = std::move(box.queue.front());
+    box.queue.pop_front();
+    return msg;
+  }
+
+  // Hardware mutex: the ATE provides a small number of chip-level
+  // locks usable from any core.
+  static constexpr int kNumHwMutexes = 16;
+  void Lock(int mutex_id) { hw_mutexes_[mutex_id].lock(); }
+  void Unlock(int mutex_id) { hw_mutexes_[mutex_id].unlock(); }
+
+ private:
+  struct Mailbox {
+    std::mutex mu;
+    std::condition_variable cv;
+    std::deque<AteMessage> queue;
+  };
+
+  std::vector<Mailbox> mailboxes_;
+  std::vector<std::mutex> hw_mutexes_;
+};
+
+// Reusable barrier across a fixed set of participants, implemented the
+// way RAPID builds it over ATE messaging.
+class AteBarrier {
+ public:
+  explicit AteBarrier(int num_participants)
+      : num_participants_(num_participants) {}
+
+  void Wait() {
+    std::unique_lock<std::mutex> lock(mu_);
+    const uint64_t gen = generation_;
+    if (++arrived_ == num_participants_) {
+      arrived_ = 0;
+      ++generation_;
+      cv_.notify_all();
+    } else {
+      cv_.wait(lock, [&] { return generation_ != gen; });
+    }
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  int num_participants_;
+  int arrived_ = 0;
+  uint64_t generation_ = 0;
+};
+
+}  // namespace rapid::dpu
+
+#endif  // RAPID_DPU_ATE_H_

@@ -1,0 +1,76 @@
+// Dmem: the 32 KiB software-managed scratchpad of a dpCore
+// (Section 2.2). It is a bump allocator over a real backing buffer:
+// operators and the relation accessor allocate their input/output
+// vectors and internal state from it, and exceeding the budget is an
+// error — DMEM capacity is the central constraint behind task
+// formation (Section 5.2) and partition sizing (Section 5.3).
+
+#ifndef RAPID_DPU_DMEM_H_
+#define RAPID_DPU_DMEM_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "common/buffer.h"
+#include "common/status.h"
+
+namespace rapid::dpu {
+
+class Dmem {
+ public:
+  explicit Dmem(size_t capacity)
+      : buffer_(capacity), capacity_(capacity), used_(0), high_water_(0) {}
+
+  Dmem(const Dmem&) = delete;
+  Dmem& operator=(const Dmem&) = delete;
+
+  // Allocates `bytes` (8-byte aligned). Fails with OutOfMemory when the
+  // scratchpad budget is exhausted; callers must either have reserved
+  // space via task formation or handle spilling (e.g. the join's
+  // DMEM-overflow strategy, Section 6.4).
+  Result<uint8_t*> Allocate(size_t bytes) {
+    const size_t aligned = (bytes + 7) & ~size_t{7};
+    if (used_ + aligned > capacity_) {
+      return Status::OutOfMemory("DMEM exhausted: need " +
+                                 std::to_string(aligned) + " bytes, " +
+                                 std::to_string(capacity_ - used_) + " free");
+    }
+    uint8_t* ptr = buffer_.data() + used_;
+    used_ += aligned;
+    if (used_ > high_water_) high_water_ = used_;
+    return ptr;
+  }
+
+  template <typename T>
+  Result<T*> AllocateArray(size_t count) {
+    auto res = Allocate(count * sizeof(T));
+    if (!res.ok()) return res.status();
+    return reinterpret_cast<T*>(res.value());
+  }
+
+  // Releases everything. DMEM has no free(): tasks reset the scratchpad
+  // wholesale at task boundaries, mirroring how RAPID reuses DMEM
+  // between tasks.
+  void Reset() { used_ = 0; }
+
+  size_t capacity() const { return capacity_; }
+  size_t used() const { return used_; }
+  size_t free_bytes() const { return capacity_ - used_; }
+  size_t high_water() const { return high_water_; }
+
+  bool Contains(const void* ptr) const {
+    const auto* p = static_cast<const uint8_t*>(ptr);
+    return p >= buffer_.data() && p < buffer_.data() + capacity_;
+  }
+
+ private:
+  AlignedBuffer buffer_;
+  size_t capacity_;
+  size_t used_;
+  size_t high_water_;
+};
+
+}  // namespace rapid::dpu
+
+#endif  // RAPID_DPU_DMEM_H_

@@ -1,0 +1,117 @@
+// Data Movement System (Sections 2.3 and 5.4): the DPU's programmable
+// data-movement engine. All DRAM <-> DMEM traffic flows through the
+// DMS, programmed with descriptors. The DMS supports:
+//
+//   * streaming tile transfers (column slices, double-buffered),
+//   * gather/scatter by RID list or bit vector,
+//   * hardware partitioning: hash-radix (CRC32 over 1-4 keys), radix,
+//     range (32 pre-programmed bounds) and round-robin, including the
+//     skew mitigation that spreads a frequent range over several
+//     dpCores round-robin.
+//
+// Every operation performs the real data movement on host memory and
+// charges modeled cycles to the caller's CycleCounter (DMS stream, so
+// double buffering can overlap it with compute).
+
+#ifndef RAPID_DPU_DMS_H_
+#define RAPID_DPU_DMS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bitvector.h"
+#include "common/status.h"
+#include "dpu/config.h"
+#include "dpu/cost_model.h"
+
+namespace rapid::dpu {
+
+// One column's slice within a tile transfer descriptor.
+struct ColumnSlice {
+  const uint8_t* src = nullptr;
+  uint8_t* dst = nullptr;
+  size_t bytes = 0;
+};
+
+// A key column fed to the partition engine. Only fixed widths the
+// hardware supports (Section 4.2).
+struct KeyColumn {
+  const uint8_t* data = nullptr;
+  int width = 4;  // 1, 2, 4 or 8 bytes
+
+  int64_t ValueAt(size_t row) const;
+};
+
+// Frequent-value range spread over multiple cores round-robin
+// (Section 5.4, "dealing with skewed data").
+struct SkewRange {
+  int64_t lo = 0;
+  int64_t hi = 0;  // inclusive
+  std::vector<uint16_t> cores;
+};
+
+struct HwPartitionSpec {
+  HwPartitionStrategy strategy = HwPartitionStrategy::kHash;
+  std::vector<KeyColumn> keys;     // 1-4 keys for hash; 1 for radix/range
+  int fanout = 32;                 // <= DpuConfig::hw_partition_fanout
+  std::vector<int64_t> range_bounds;  // ascending upper bounds, for kRange
+  std::vector<SkewRange> skew_ranges;  // optional, kRoundRobin only
+};
+
+class Dms {
+ public:
+  Dms(const DpuConfig& config, const CostParams& params)
+      : config_(config), params_(params) {}
+
+  const CostParams& params() const { return params_; }
+
+  // ---- Streaming transfers ----
+
+  // Executes one descriptor chain: copies every column slice and
+  // charges the modeled transfer time. `read_write` marks an r+w
+  // double-buffered loop (input and output slices in one chain).
+  void TransferTile(CycleCounter* cycles,
+                    const std::vector<ColumnSlice>& slices,
+                    bool read_write) const;
+
+  // ---- Gather / scatter ----
+
+  // dst[i] = src[rids[i]] for fixed-width elements.
+  void Gather(CycleCounter* cycles, uint8_t* dst, const uint8_t* src,
+              const uint32_t* rids, size_t n, size_t width) const;
+
+  // Gathers the rows whose bit is set; returns number gathered.
+  size_t GatherBits(CycleCounter* cycles, uint8_t* dst, const uint8_t* src,
+                    const BitVector& bits, size_t width) const;
+
+  // dst[rids[i]] = src[i].
+  void Scatter(CycleCounter* cycles, uint8_t* dst, const uint8_t* src,
+               const uint32_t* rids, size_t n, size_t width) const;
+
+  // ---- Hardware partitioning ----
+
+  // Resolves the target dpCore id for each of `n` rows (the CID-memory
+  // stage of the engine). Charges the partition-engine streaming cost
+  // for `row_bytes` bytes per row.
+  Status ComputeTargets(CycleCounter* cycles, const HwPartitionSpec& spec,
+                        size_t n, size_t row_bytes,
+                        std::vector<uint16_t>* targets) const;
+
+  // Distributes one column into per-target buffers according to a
+  // previously computed target map. Buffers grow as needed (the real
+  // DMS would flush them to the target core's DMEM).
+  void DistributeColumn(CycleCounter* cycles, const uint8_t* col, size_t width,
+                        const std::vector<uint16_t>& targets,
+                        std::vector<std::vector<uint8_t>>* out) const;
+
+  // CRC32 of up to 4 keys for one row, as computed by the hash engine.
+  static uint32_t HashKeys(const std::vector<KeyColumn>& keys, size_t row);
+
+ private:
+  DpuConfig config_;
+  CostParams params_;
+};
+
+}  // namespace rapid::dpu
+
+#endif  // RAPID_DPU_DMS_H_

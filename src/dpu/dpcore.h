@@ -1,0 +1,41 @@
+// DpCore: one of the DPU's 32 data-processing cores (Section 2.1).
+// In the simulator a dpCore is an execution context: an id, its
+// macro, a real 32 KiB DMEM arena and a cycle counter that the cost
+// model charges.
+
+#ifndef RAPID_DPU_DPCORE_H_
+#define RAPID_DPU_DPCORE_H_
+
+#include "dpu/config.h"
+#include "dpu/cost_model.h"
+#include "dpu/dmem.h"
+
+namespace rapid::dpu {
+
+class DpCore {
+ public:
+  DpCore(int id, const DpuConfig& config)
+      : id_(id),
+        macro_id_(id / config.cores_per_macro),
+        dmem_(config.dmem_bytes) {}
+
+  DpCore(const DpCore&) = delete;
+  DpCore& operator=(const DpCore&) = delete;
+
+  int id() const { return id_; }
+  int macro_id() const { return macro_id_; }
+
+  Dmem& dmem() { return dmem_; }
+  CycleCounter& cycles() { return cycles_; }
+  const CycleCounter& cycles() const { return cycles_; }
+
+ private:
+  int id_;
+  int macro_id_;
+  Dmem dmem_;
+  CycleCounter cycles_;
+};
+
+}  // namespace rapid::dpu
+
+#endif  // RAPID_DPU_DPCORE_H_

@@ -1,0 +1,35 @@
+// Power model for performance-per-watt comparisons (Figure 14).
+//
+// Following the paper, perf/watt is computed against CPU power alone:
+// the DPU is provisioned at 5.8 W; System X runs on a dual-socket
+// Intel Xeon E5-2699 (145 W TDP per socket).
+
+#ifndef RAPID_DPU_POWER_MODEL_H_
+#define RAPID_DPU_POWER_MODEL_H_
+
+namespace rapid::dpu {
+
+struct PowerModel {
+  double dpu_watts = 5.8;
+  double xeon_socket_tdp_watts = 145.0;
+  int xeon_sockets = 2;
+
+  double xeon_watts() const { return xeon_socket_tdp_watts * xeon_sockets; }
+
+  // Performance per watt given a throughput metric (queries/s, rows/s).
+  static double PerfPerWatt(double throughput, double watts) {
+    return throughput / watts;
+  }
+
+  // Ratio of (RAPID perf/watt) to (System X perf/watt); the paper
+  // reports 10x-25x per query with a 15x average.
+  double PerfPerWattRatio(double rapid_throughput,
+                          double sysx_throughput) const {
+    return PerfPerWatt(rapid_throughput, dpu_watts) /
+           PerfPerWatt(sysx_throughput, xeon_watts());
+  }
+};
+
+}  // namespace rapid::dpu
+
+#endif  // RAPID_DPU_POWER_MODEL_H_

@@ -1,0 +1,177 @@
+#include "hostdb/database.h"
+
+#include <chrono>
+#include <memory>
+
+namespace rapid::hostdb {
+
+void HostDatabase::StartBackgroundCheckpointer(
+    core::RapidEngine* engine, std::chrono::milliseconds interval) {
+  StopBackgroundCheckpointer();
+  {
+    std::lock_guard<std::mutex> lock(bg_mu_);
+    bg_stop_ = false;
+  }
+  checkpointer_ = std::thread([this, engine, interval] {
+    std::unique_lock<std::mutex> lock(bg_mu_);
+    while (!bg_stop_) {
+      bg_cv_.wait_for(lock, interval, [this] { return bg_stop_; });
+      if (bg_stop_) return;
+      lock.unlock();
+      // Failures leave entries pending; the next tick retries.
+      (void)Checkpoint(engine);
+      lock.lock();
+    }
+  });
+}
+
+void HostDatabase::StopBackgroundCheckpointer() {
+  {
+    std::lock_guard<std::mutex> lock(bg_mu_);
+    bg_stop_ = true;
+  }
+  bg_cv_.notify_all();
+  if (checkpointer_.joinable()) checkpointer_.join();
+}
+
+Status HostDatabase::CreateTable(const std::string& name,
+                                 const std::vector<storage::ColumnSpec>& specs,
+                                 const std::vector<storage::ColumnData>& data,
+                                 const storage::LoadOptions& options) {
+  storage::LoadOptions opts = options;
+  opts.scn = journal_.current_scn();
+  RAPID_ASSIGN_OR_RETURN(storage::Table table,
+                         storage::LoadTable(name, specs, data, opts));
+  catalog_.erase(name);
+  catalog_.emplace(name, std::move(table));
+  Geometry geo;
+  geo.rows_per_chunk = opts.rows_per_chunk;
+  geo.num_partitions = opts.num_partitions;
+  geo.specs = specs;
+  geo.data = data;
+  geometry_[name] = std::move(geo);
+  return Status::OK();
+}
+
+Status HostDatabase::LoadToRapid(const std::string& name,
+                                 core::RapidEngine* engine) {
+  auto geo = geometry_.find(name);
+  if (geo == geometry_.end()) {
+    return Status::NotFound("table '" + name + "' does not exist");
+  }
+  // The LOAD command re-scans the base data (multiple scan threads in
+  // the paper; here a fresh encode) and ships it to the RAPID node,
+  // consistent as of the current SCN. Pending journal entries created
+  // after this point are propagated by checkpointing.
+  storage::LoadOptions opts;
+  opts.rows_per_chunk = geo->second.rows_per_chunk;
+  opts.num_partitions = geo->second.num_partitions;
+  opts.scn = journal_.current_scn();
+  RAPID_ASSIGN_OR_RETURN(
+      storage::Table copy,
+      storage::LoadTable(name, geo->second.specs, geo->second.data, opts));
+  // Loading reflects updates already applied to the *staged* data?
+  // No: the staged data is the original load; bring the copy up to
+  // date with the host table's current contents.
+  const storage::Table* host = GetTable(name);
+  for (size_t p = 0; p < host->num_partitions(); ++p) {
+    // Host and copy share geometry, so copy chunks verbatim.
+    for (size_t c = 0; c < host->partition(p).num_chunks(); ++c) {
+      const storage::Chunk& hchunk = host->partition(p).chunk(c);
+      storage::Chunk& rchunk = copy.partition(p).chunk(c);
+      for (size_t col = 0; col < hchunk.num_columns(); ++col) {
+        for (size_t r = 0; r < hchunk.num_rows(); ++r) {
+          rchunk.column(col).SetInt(r, hchunk.column(col).GetInt(r));
+        }
+      }
+    }
+  }
+  copy.RecomputeStats();
+  for (size_t c = 0; c < host->schema().num_fields(); ++c) {
+    copy.stats(c).dsb_scale = host->stats(c).dsb_scale;
+  }
+  return engine->Load(std::move(copy));
+}
+
+Status HostDatabase::Update(const std::string& name,
+                            std::vector<storage::RowChange> changes) {
+  storage::Table* table = GetMutableTable(name);
+  if (table == nullptr) {
+    return Status::NotFound("table '" + name + "' does not exist");
+  }
+  const uint64_t scn = journal_.NextScn();
+  for (const storage::RowChange& change : changes) {
+    RAPID_RETURN_NOT_OK(
+        storage::ApplyRowChange(table, change.row_id, change.values));
+  }
+  table->set_scn(scn);
+  journal_.Record(name, scn, std::move(changes));
+  return Status::OK();
+}
+
+Result<QueryReport> HostDatabase::ExecuteQuery(
+    const core::LogicalPtr& plan, core::RapidEngine* engine,
+    const core::ExecOptions& options) {
+  QueryReport report;
+  OffloadPlanner planner(engine->dpu().config(), engine->dpu().params());
+  const OffloadDecision decision = planner.Decide(plan, *engine, catalog_);
+  report.decision = decision.kind;
+
+  const uint64_t query_scn = journal_.current_scn();
+  const auto host_start = std::chrono::steady_clock::now();
+
+  if (decision.kind == OffloadDecision::Kind::kNone) {
+    RAPID_ASSIGN_OR_RETURN(report.rows,
+                           VolcanoExecutor::Execute(plan, catalog_));
+    report.host_wall_seconds = std::chrono::duration<double>(
+                                   std::chrono::steady_clock::now() -
+                                   host_start)
+                                   .count();
+    return report;
+  }
+
+  // Execute every fragment through its own RAPID placeholder operator
+  // ("one or many place holder node(s)", Section 3.1).
+  std::vector<std::unique_ptr<RapidOperator>> placeholders;
+  std::vector<core::ColumnSet> fragment_rows(decision.fragments.size());
+  report.offloaded = true;
+  for (size_t f = 0; f < decision.fragments.size(); ++f) {
+    placeholders.push_back(std::make_unique<RapidOperator>(
+        decision.fragments[f], engine, &journal_, query_scn, &catalog_,
+        options));
+    RAPID_ASSIGN_OR_RETURN(fragment_rows[f],
+                           DrainToColumnSet(placeholders[f].get()));
+    report.offloaded = report.offloaded && !placeholders[f]->fell_back();
+    report.fell_back = report.fell_back || placeholders[f]->fell_back();
+    report.rapid_wall_seconds += placeholders[f]->rapid_wall_seconds();
+    report.rapid_modeled_seconds +=
+        placeholders[f]->rapid_stats().modeled_seconds;
+  }
+  if (!placeholders.empty()) {
+    report.rapid_stats = placeholders[0]->rapid_stats();
+  }
+
+  if (decision.kind == OffloadDecision::Kind::kFull) {
+    // The whole plan was the single fragment.
+    report.rows = std::move(fragment_rows[0]);
+  } else {
+    // The rest of the plan runs on the Volcano engine with fragment
+    // rows materialized behind their placeholders.
+    NodeOverrides overrides;
+    for (size_t f = 0; f < decision.fragments.size(); ++f) {
+      overrides[decision.fragments[f].get()] = &fragment_rows[f];
+    }
+    RAPID_ASSIGN_OR_RETURN(
+        report.rows, VolcanoExecutor::Execute(plan, catalog_, overrides));
+  }
+
+  report.host_wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    host_start)
+          .count() -
+      report.rapid_wall_seconds;
+  if (report.host_wall_seconds < 0) report.host_wall_seconds = 0;
+  return report;
+}
+
+}  // namespace rapid::hostdb

@@ -1,0 +1,71 @@
+// System X execution engine: a pull-based (Volcano) iterator model
+// (Section 3.2). "Each operator implements a set of methods:
+// allocate(), start(), fetch(), close() and release(). Execution
+// proceeds top to bottom and results are propagated bottom-up."
+//
+// This row-at-a-time engine is the measured baseline for the
+// software-only comparison (Figure 16): same data, same logical plans,
+// but tuple-at-a-time interpretation instead of RAPID's vectorized
+// push-based execution.
+
+#ifndef RAPID_HOSTDB_ITERATOR_H_
+#define RAPID_HOSTDB_ITERATOR_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "core/expr.h"
+#include "core/qef/column_set.h"
+
+namespace rapid::hostdb {
+
+using Row = std::vector<int64_t>;
+
+// Pull-based operator interface with the paper's lifecycle methods.
+// allocate() maps to construction, release() to destruction.
+class Iterator {
+ public:
+  virtual ~Iterator() = default;
+
+  virtual Status Start() = 0;
+  // Fills `row` and returns true, or returns false at end of data.
+  virtual Result<bool> Fetch(Row* row) = 0;
+  virtual void Close() = 0;
+
+  const std::vector<core::ColumnMeta>& schema() const { return schema_; }
+
+  // Position of `name` in this operator's output schema.
+  Result<size_t> IndexOf(const std::string& name) const {
+    for (size_t i = 0; i < schema_.size(); ++i) {
+      if (schema_[i].name == name) return i;
+    }
+    return Status::NotFound("no column named '" + name + "'");
+  }
+
+ protected:
+  std::vector<core::ColumnMeta> schema_;
+};
+
+using IteratorPtr = std::unique_ptr<Iterator>;
+
+// Scalar (row-at-a-time) expression evaluation; mirrors the vectorized
+// core::EvalExpr semantics exactly (DSB scale handling included) so
+// both engines produce bit-identical encoded results.
+Result<int64_t> EvalExprRow(const core::Expr& expr, const Row& row,
+                            const std::vector<core::ColumnMeta>& schema,
+                            int* out_scale);
+
+// Scalar predicate evaluation.
+Result<bool> EvalPredicateRow(const core::Predicate& pred, const Row& row,
+                              const std::vector<core::ColumnMeta>& schema);
+
+// Drains an iterator into a ColumnSet (the host's result buffer).
+Result<core::ColumnSet> DrainToColumnSet(Iterator* it);
+
+}  // namespace rapid::hostdb
+
+#endif  // RAPID_HOSTDB_ITERATOR_H_

@@ -1,0 +1,63 @@
+#include "hostdb/journal.h"
+
+namespace rapid::hostdb {
+
+void ScnJournal::Record(const std::string& table, uint64_t scn,
+                        std::vector<storage::RowChange> changes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  pending_[table].push_back(Entry{scn, std::move(changes)});
+}
+
+size_t ScnJournal::PendingCount(const std::string& table) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = pending_.find(table);
+  return it == pending_.end() ? 0 : it->second.size();
+}
+
+bool ScnJournal::Admissible(const std::string& table,
+                            uint64_t query_scn) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = pending_.find(table);
+  if (it == pending_.end()) return true;
+  for (const Entry& entry : it->second) {
+    if (entry.scn <= query_scn) return false;  // unpropagated, visible change
+  }
+  return true;
+}
+
+Status ScnJournal::Checkpoint(const std::string& table,
+                              core::RapidEngine* engine) {
+  for (;;) {
+    Entry entry;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      auto it = pending_.find(table);
+      if (it == pending_.end() || it->second.empty()) return Status::OK();
+      entry = std::move(it->second.front());
+      it->second.pop_front();
+    }
+    // Applied outside the lock; a failure re-queues at the front so
+    // nothing is lost and ordering is preserved.
+    std::vector<storage::RowChange> changes = entry.changes;
+    Status st = engine->ApplyUpdate(table, entry.scn, std::move(changes));
+    if (!st.ok()) {
+      std::lock_guard<std::mutex> lock(mu_);
+      pending_[table].push_front(std::move(entry));
+      return st;
+    }
+  }
+}
+
+Status ScnJournal::CheckpointAll(core::RapidEngine* engine) {
+  std::vector<std::string> tables;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& [table, entries] : pending_) tables.push_back(table);
+  }
+  for (const std::string& table : tables) {
+    RAPID_RETURN_NOT_OK(Checkpoint(table, engine));
+  }
+  return Status::OK();
+}
+
+}  // namespace rapid::hostdb

@@ -1,0 +1,72 @@
+// SCN journal and query checkpointing (Section 3.3).
+//
+// The host database is the single source of truth. Changes are
+// collected in in-memory journals per table; background checkpointing
+// scans the journals and propagates pending changes to RAPID. A query
+// with SCN s is admissible to RAPID only if every change with
+// scn <= s on every table it touches has already been propagated —
+// otherwise RAPID would compute on stale data.
+
+#ifndef RAPID_HOSTDB_JOURNAL_H_
+#define RAPID_HOSTDB_JOURNAL_H_
+
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "core/engine.h"
+#include "storage/update.h"
+
+namespace rapid::hostdb {
+
+// Thread-safe: the background checkpointer reads/propagates while the
+// foreground records changes.
+class ScnJournal {
+ public:
+  // Allocates the next system change number.
+  uint64_t NextScn() {
+    std::lock_guard<std::mutex> lock(mu_);
+    return ++current_scn_;
+  }
+  uint64_t current_scn() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return current_scn_;
+  }
+
+  // Records a committed change batch for `table` at `scn`.
+  void Record(const std::string& table, uint64_t scn,
+              std::vector<storage::RowChange> changes);
+
+  // Number of journal entries not yet propagated to RAPID.
+  size_t PendingCount(const std::string& table) const;
+
+  // True if all changes to `table` visible at `query_scn` have been
+  // propagated to RAPID (the admissibility condition).
+  bool Admissible(const std::string& table, uint64_t query_scn) const;
+
+  // Query checkpointing: propagates all pending entries for `table`
+  // into the RAPID engine via its tracker. Called by the periodic
+  // background thread in the paper; explicit here for determinism.
+  Status Checkpoint(const std::string& table, core::RapidEngine* engine);
+
+  // Checkpoints every table with pending changes.
+  Status CheckpointAll(core::RapidEngine* engine);
+
+ private:
+  struct Entry {
+    uint64_t scn = 0;
+    std::vector<storage::RowChange> changes;
+  };
+
+  mutable std::mutex mu_;
+  uint64_t current_scn_ = 1;
+  std::unordered_map<std::string, std::deque<Entry>> pending_;
+};
+
+}  // namespace rapid::hostdb
+
+#endif  // RAPID_HOSTDB_JOURNAL_H_

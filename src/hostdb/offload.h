@@ -1,0 +1,113 @@
+// Offload planning and the RAPID operator (Sections 3.1 and 3.2).
+//
+// The host's plan generator considers (i) full offload, (ii) partial
+// offload of fragments, and (iii) no offload, based on operator
+// support, table residency in RAPID, and the RAPID cost model. The
+// chosen fragment is wrapped in a placeholder — the *RAPID operator* —
+// which at start() checks SCN admissibility, triggers RAPID execution
+// and buffers results; on admission failure it falls back to the
+// System-X-only plan.
+
+#ifndef RAPID_HOSTDB_OFFLOAD_H_
+#define RAPID_HOSTDB_OFFLOAD_H_
+
+#include <string>
+#include <vector>
+
+#include "core/engine.h"
+#include "core/qcomp/cost_model.h"
+#include "hostdb/journal.h"
+#include "hostdb/volcano.h"
+
+namespace rapid::hostdb {
+
+struct OffloadDecision {
+  enum class Kind { kFull, kPartial, kNone };
+  Kind kind = Kind::kNone;
+  // kFull: the whole plan (one fragment). kPartial: every maximal
+  // offloadable subtree — the logical tree "typically contains one or
+  // many place holder node(s)" (Section 3.1).
+  std::vector<core::LogicalPtr> fragments;
+  double rapid_seconds = 0;   // estimated fragment cost on RAPID
+  double local_seconds = 0;   // estimated System-X-only cost
+  std::string reason;
+};
+
+class OffloadPlanner {
+ public:
+  OffloadPlanner(const dpu::DpuConfig& config, const dpu::CostParams& params)
+      : estimator_(config, params) {}
+
+  // Decides how much of `plan` to offload given what is loaded into
+  // the RAPID engine.
+  OffloadDecision Decide(const core::LogicalPtr& plan,
+                         const core::RapidEngine& engine,
+                         const core::Catalog& host_catalog) const;
+
+  // Tables referenced by the subtree.
+  static void CollectTables(const core::LogicalPtr& plan,
+                            std::vector<std::string>* out);
+
+  // True if every operator of the subtree is supported by RAPID and
+  // every referenced table is loaded.
+  static bool Offloadable(const core::LogicalPtr& plan,
+                          const core::RapidEngine& engine);
+
+ private:
+  // Rough cost estimates driving the cost-based decision.
+  double EstimateRapidSeconds(const core::LogicalPtr& plan,
+                              const core::Catalog& catalog) const;
+  double EstimateLocalSeconds(const core::LogicalPtr& plan,
+                              const core::Catalog& catalog) const;
+
+  core::CostEstimator estimator_;
+};
+
+// Result of executing a query through the host with offload.
+struct QueryReport {
+  core::ColumnSet rows;
+  bool offloaded = false;
+  bool fell_back = false;        // admissibility failed -> local plan
+  OffloadDecision::Kind decision = OffloadDecision::Kind::kNone;
+  double rapid_wall_seconds = 0;     // time spent executing in RAPID
+  double rapid_modeled_seconds = 0;  // modeled DPU time of the fragment
+  double host_wall_seconds = 0;      // host-side execution + post-processing
+  core::ExecutionStats rapid_stats;
+};
+
+// The RAPID placeholder operator: checks admissibility, triggers
+// RAPID execution of the fragment and serves its buffered rows; falls
+// back to local execution when admission is denied.
+class RapidOperator : public Iterator {
+ public:
+  RapidOperator(core::LogicalPtr fragment, core::RapidEngine* engine,
+                const ScnJournal* journal, uint64_t query_scn,
+                const core::Catalog* host_catalog,
+                const core::ExecOptions& options);
+
+  Status Start() override;
+  Result<bool> Fetch(Row* row) override;
+  void Close() override;
+
+  bool fell_back() const { return fell_back_; }
+  double rapid_wall_seconds() const { return rapid_wall_seconds_; }
+  const core::ExecutionStats& rapid_stats() const { return rapid_stats_; }
+
+ private:
+  core::LogicalPtr fragment_;
+  core::RapidEngine* engine_;
+  const ScnJournal* journal_;
+  uint64_t query_scn_;
+  const core::Catalog* host_catalog_;
+  core::ExecOptions options_;
+
+  core::ColumnSet buffered_;
+  size_t cursor_ = 0;
+  bool fell_back_ = false;
+  double rapid_wall_seconds_ = 0;
+  core::ExecutionStats rapid_stats_;
+};
+
+}  // namespace rapid::hostdb
+
+#endif  // RAPID_HOSTDB_OFFLOAD_H_

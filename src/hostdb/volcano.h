@@ -1,0 +1,68 @@
+// Volcano plan builder: lowers the same logical plans RAPID executes
+// into a pull-based iterator tree over the host's tables. This is the
+// System-X-only execution path — the fallback when offload is denied,
+// and the measured baseline of the software comparison (Figure 16).
+
+#ifndef RAPID_HOSTDB_VOLCANO_H_
+#define RAPID_HOSTDB_VOLCANO_H_
+
+#include <unordered_map>
+
+#include "core/qcomp/logical_plan.h"
+#include "core/qcomp/planner.h"
+#include "hostdb/iterator.h"
+
+namespace rapid::hostdb {
+
+// Maps a logical node to a pre-materialized result; used for partial
+// offload, where a subtree was executed by RAPID and the host consumes
+// its rows through the placeholder.
+using NodeOverrides =
+    std::unordered_map<const core::LogicalNode*, const core::ColumnSet*>;
+
+class VolcanoExecutor {
+ public:
+  // Builds the iterator tree for `plan` over `catalog`.
+  static Result<IteratorPtr> Build(const core::LogicalPtr& plan,
+                                   const core::Catalog& catalog,
+                                   const NodeOverrides& overrides = {});
+
+  // Builds, drains and returns all rows.
+  static Result<core::ColumnSet> Execute(const core::LogicalPtr& plan,
+                                         const core::Catalog& catalog,
+                                         const NodeOverrides& overrides = {});
+};
+
+// Iterator over an already-materialized ColumnSet (also the public
+// face of the RAPID placeholder operator's buffered result).
+class MaterializedIter : public Iterator {
+ public:
+  explicit MaterializedIter(const core::ColumnSet* set) : set_(set) {
+    schema_ = set->metas();
+  }
+
+  Status Start() override {
+    cursor_ = 0;
+    return Status::OK();
+  }
+
+  Result<bool> Fetch(Row* row) override {
+    if (cursor_ >= set_->num_rows()) return false;
+    row->resize(set_->num_columns());
+    for (size_t c = 0; c < set_->num_columns(); ++c) {
+      (*row)[c] = set_->Value(cursor_, c);
+    }
+    ++cursor_;
+    return true;
+  }
+
+  void Close() override {}
+
+ private:
+  const core::ColumnSet* set_;
+  size_t cursor_ = 0;
+};
+
+}  // namespace rapid::hostdb
+
+#endif  // RAPID_HOSTDB_VOLCANO_H_

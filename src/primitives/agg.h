@@ -1,0 +1,76 @@
+// Aggregation primitives: tight loops computing SUM/MIN/MAX/COUNT over
+// a tile, optionally restricted to rows selected by a bit vector.
+
+#ifndef RAPID_PRIMITIVES_AGG_H_
+#define RAPID_PRIMITIVES_AGG_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "common/bitvector.h"
+
+namespace rapid::primitives {
+
+enum class AggOp { kSum, kMin, kMax, kCount };
+
+struct AggState {
+  int64_t sum = 0;
+  int64_t min = INT64_MAX;
+  int64_t max = INT64_MIN;
+  uint64_t count = 0;
+
+  void Merge(const AggState& other) {
+    sum += other.sum;
+    if (other.min < min) min = other.min;
+    if (other.max > max) max = other.max;
+    count += other.count;
+  }
+};
+
+template <typename T>
+void AggTile(const T* values, size_t n, AggState* state) {
+  for (size_t i = 0; i < n; ++i) {
+    const int64_t v = static_cast<int64_t>(values[i]);
+    state->sum += v;
+    if (v < state->min) state->min = v;
+    if (v > state->max) state->max = v;
+  }
+  state->count += n;
+}
+
+template <typename T>
+void AggTileSelected(const T* values, const BitVector& selected,
+                     AggState* state) {
+  for (size_t wi = 0; wi < selected.num_words(); ++wi) {
+    uint64_t w = selected.words()[wi];
+    while (w != 0) {
+      const size_t row = wi * 64 + static_cast<size_t>(__builtin_ctzll(w));
+      const int64_t v = static_cast<int64_t>(values[row]);
+      state->sum += v;
+      if (v < state->min) state->min = v;
+      if (v > state->max) state->max = v;
+      ++state->count;
+      w &= (w - 1);
+    }
+  }
+}
+
+// Grouped aggregation update: state[group[i]] += values[i] etc.
+// Group ids must be < num_groups; state arrays are caller-allocated
+// (typically in DMEM).
+template <typename T>
+void AggTileGrouped(const T* values, const uint32_t* groups, size_t n,
+                    AggState* states) {
+  for (size_t i = 0; i < n; ++i) {
+    AggState& st = states[groups[i]];
+    const int64_t v = static_cast<int64_t>(values[i]);
+    st.sum += v;
+    if (v < st.min) st.min = v;
+    if (v > st.max) st.max = v;
+    ++st.count;
+  }
+}
+
+}  // namespace rapid::primitives
+
+#endif  // RAPID_PRIMITIVES_AGG_H_

@@ -1,0 +1,68 @@
+// Arithmetic primitives: expression evaluation over tiles
+// (Section 5.1, "Primitives"). DSB-aware: multiplication adds scales,
+// addition/subtraction requires equal scales (the planner inserts
+// rescales), division is avoided in favour of multiplying by
+// reciprocal constants pre-scaled by the compiler.
+
+#ifndef RAPID_PRIMITIVES_ARITH_H_
+#define RAPID_PRIMITIVES_ARITH_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "storage/dsb.h"
+
+namespace rapid::primitives {
+
+enum class ArithOp { kAdd, kSub, kMul };
+
+template <ArithOp op, typename T>
+inline T Apply(T a, T b) {
+  if constexpr (op == ArithOp::kAdd) return a + b;
+  if constexpr (op == ArithOp::kSub) return a - b;
+  if constexpr (op == ArithOp::kMul) return a * b;
+}
+
+// out[i] = left[i] op right[i].
+template <ArithOp op, typename T>
+void ArithColCol(const T* left, const T* right, size_t n, T* out) {
+  for (size_t i = 0; i < n; ++i) out[i] = Apply<op, T>(left[i], right[i]);
+}
+
+// out[i] = values[i] op constant.
+template <ArithOp op, typename T>
+void ArithColConst(const T* values, size_t n, T constant, T* out) {
+  for (size_t i = 0; i < n; ++i) out[i] = Apply<op, T>(values[i], constant);
+}
+
+// Rescales a tile of DSB mantissas in place from `from_scale` to
+// `to_scale` (>= from_scale). Used when vectors of the same column
+// carry different common scales.
+inline void DsbRescaleTile(int64_t* values, size_t n, int from_scale,
+                           int to_scale) {
+  if (from_scale == to_scale) return;
+  const int64_t factor = storage::Pow10(to_scale - from_scale);
+  for (size_t i = 0; i < n; ++i) values[i] *= factor;
+}
+
+// DSB multiply: mantissas multiply, scales add. The result scale is
+// returned so the consumer can track it; overflow is the caller's
+// responsibility (QComp bounds operand scales).
+inline int DsbMulTile(const int64_t* left, int left_scale, const int64_t* right,
+                      int right_scale, size_t n, int64_t* out) {
+  for (size_t i = 0; i < n; ++i) out[i] = left[i] * right[i];
+  return left_scale + right_scale;
+}
+
+// DSB multiply by a decimal constant given as (mantissa, scale),
+// e.g. * 0.5 == * (5, 1).
+inline int DsbMulConstTile(const int64_t* values, int scale,
+                           int64_t const_mantissa, int const_scale, size_t n,
+                           int64_t* out) {
+  for (size_t i = 0; i < n; ++i) out[i] = values[i] * const_mantissa;
+  return scale + const_scale;
+}
+
+}  // namespace rapid::primitives
+
+#endif  // RAPID_PRIMITIVES_ARITH_H_

@@ -1,0 +1,18 @@
+#include "primitives/filter.h"
+
+namespace rapid::primitives {
+
+void FilterDictSetBv(const uint32_t* codes, size_t n,
+                     const BitVector& qualifying_codes, BitVector* out) {
+  out->Resize(n);
+  uint64_t* words = out->mutable_words();
+  for (size_t i = 0; i < n; ++i) {
+    const uint64_t bit =
+        (codes[i] < qualifying_codes.size() && qualifying_codes.Test(codes[i]))
+            ? 1u
+            : 0u;
+    words[i >> 6] |= bit << (i & 63);
+  }
+}
+
+}  // namespace rapid::primitives

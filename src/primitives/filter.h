@@ -1,0 +1,136 @@
+// Filter primitives (Section 5.4, Listing 1).
+//
+// Each primitive is a type-specialized, side-effect-free tight loop
+// evaluating one predicate over a tile of column data. Mirroring the
+// dpCore implementation, primitives come in two row-representation
+// flavours:
+//   * bit-vector: consume/produce a bit vector of qualifying rows
+//     (the bvld/filteq loop of Listing 1), and
+//   * RID-list: consume/produce a list of row offsets, chosen when
+//     fewer than 1/32 of rows are expected to qualify.
+//
+// The C++ templates play the role of the paper's primitive generator
+// framework: one template body is instantiated for every supported
+// (operation, type) combination at compile time.
+
+#ifndef RAPID_PRIMITIVES_FILTER_H_
+#define RAPID_PRIMITIVES_FILTER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/bitvector.h"
+
+namespace rapid::primitives {
+
+enum class CmpOp { kEq, kNe, kLt, kLe, kGt, kGe };
+
+template <CmpOp op, typename T>
+inline bool Compare(T value, T constant) {
+  if constexpr (op == CmpOp::kEq) return value == constant;
+  if constexpr (op == CmpOp::kNe) return value != constant;
+  if constexpr (op == CmpOp::kLt) return value < constant;
+  if constexpr (op == CmpOp::kLe) return value <= constant;
+  if constexpr (op == CmpOp::kGt) return value > constant;
+  if constexpr (op == CmpOp::kGe) return value >= constant;
+}
+
+// ---- Bit-vector flavour ----------------------------------------------------
+
+// out[i] = (values[i] op constant), for all rows of the tile.
+// Branch-free body: the comparison result is written as a bit.
+template <CmpOp op, typename T>
+void FilterConstBv(const T* values, size_t n, T constant, BitVector* out) {
+  out->Resize(n);
+  uint64_t* words = out->mutable_words();
+  for (size_t i = 0; i < n; ++i) {
+    const uint64_t bit = Compare<op, T>(values[i], constant) ? 1u : 0u;
+    words[i >> 6] |= bit << (i & 63);
+  }
+}
+
+// Refines a previous predicate's bit vector: for rows whose bit is
+// set, re-evaluate; others stay unqualified. This is the
+// rpdmpr_bvflt loop of Listing 1 (bvld gathers the next qualifying
+// value, filteq tests it).
+template <CmpOp op, typename T>
+void FilterConstBvRefine(const T* values, size_t n, T constant,
+                         const BitVector& in, BitVector* out) {
+  out->Resize(n);
+  for (size_t wi = 0; wi < in.num_words(); ++wi) {
+    uint64_t w = in.words()[wi];
+    uint64_t result = 0;
+    while (w != 0) {
+      const int bit = __builtin_ctzll(w);
+      const size_t row = wi * 64 + static_cast<size_t>(bit);
+      if (row < n && Compare<op, T>(values[row], constant)) {
+        result |= uint64_t{1} << bit;
+      }
+      w &= (w - 1);
+    }
+    out->mutable_words()[wi] = result;
+  }
+}
+
+// values[i] in [lo, hi] — fused range predicate.
+template <typename T>
+void FilterBetweenBv(const T* values, size_t n, T lo, T hi, BitVector* out) {
+  out->Resize(n);
+  uint64_t* words = out->mutable_words();
+  for (size_t i = 0; i < n; ++i) {
+    const uint64_t bit = (values[i] >= lo && values[i] <= hi) ? 1u : 0u;
+    words[i >> 6] |= bit << (i & 63);
+  }
+}
+
+// Column-vs-column comparison (e.g. l_commitdate < l_receiptdate).
+template <CmpOp op, typename T>
+void FilterColColBv(const T* left, const T* right, size_t n, BitVector* out) {
+  out->Resize(n);
+  uint64_t* words = out->mutable_words();
+  for (size_t i = 0; i < n; ++i) {
+    const uint64_t bit = Compare<op, T>(left[i], right[i]) ? 1u : 0u;
+    words[i >> 6] |= bit << (i & 63);
+  }
+}
+
+// Dictionary-set membership: qualifying dictionary codes are given as
+// a bitmap over the code space (produced by Dictionary::RangeLookup /
+// PrefixLookup or an IN list).
+void FilterDictSetBv(const uint32_t* codes, size_t n,
+                     const BitVector& qualifying_codes, BitVector* out);
+
+// ---- RID-list flavour ------------------------------------------------------
+
+// Appends qualifying row offsets to `rids`; used when the expected
+// selectivity is below 1/32 (Section 5.4).
+template <CmpOp op, typename T>
+void FilterConstRid(const T* values, size_t n, T constant,
+                    std::vector<uint32_t>* rids) {
+  for (size_t i = 0; i < n; ++i) {
+    if (Compare<op, T>(values[i], constant)) {
+      rids->push_back(static_cast<uint32_t>(i));
+    }
+  }
+}
+
+// Refines an existing RID list in place: keeps rid r iff
+// values[r] op constant. `values` is indexed by the rids (a gathered
+// tile), i.e. values[i] corresponds to rids[i].
+template <CmpOp op, typename T>
+size_t FilterGatheredRid(const T* values, T constant,
+                         std::vector<uint32_t>* rids) {
+  size_t out = 0;
+  for (size_t i = 0; i < rids->size(); ++i) {
+    const bool keep = Compare<op, T>(values[i], constant);
+    (*rids)[out] = (*rids)[i];
+    out += keep ? 1 : 0;
+  }
+  rids->resize(out);
+  return out;
+}
+
+}  // namespace rapid::primitives
+
+#endif  // RAPID_PRIMITIVES_FILTER_H_

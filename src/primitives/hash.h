@@ -1,0 +1,33 @@
+// Hash primitives: vectorized CRC32 hash-value generation over tiles,
+// modeling the dpCore CRC32 instruction and the DMS hash engine.
+
+#ifndef RAPID_PRIMITIVES_HASH_H_
+#define RAPID_PRIMITIVES_HASH_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "common/crc32.h"
+
+namespace rapid::primitives {
+
+// out[i] = CRC32(keys[i]), one tight loop per tile.
+template <typename T>
+void HashTile(const T* keys, size_t n, uint32_t* out) {
+  for (size_t i = 0; i < n; ++i) {
+    out[i] = Crc32U64(static_cast<uint64_t>(keys[i]));
+  }
+}
+
+// Chains another key column into existing hash values (multi-key
+// joins / group-bys).
+template <typename T>
+void HashCombineTile(const T* keys, size_t n, uint32_t* inout) {
+  for (size_t i = 0; i < n; ++i) {
+    inout[i] = Crc32Combine(inout[i], static_cast<uint64_t>(keys[i]));
+  }
+}
+
+}  // namespace rapid::primitives
+
+#endif  // RAPID_PRIMITIVES_HASH_H_

@@ -1,0 +1,59 @@
+#include "primitives/join_kernel.h"
+
+namespace rapid::primitives {
+
+CompactJoinTable::CompactJoinTable(size_t num_rows, size_t num_buckets,
+                                   size_t dmem_capacity_rows)
+    : num_rows_(num_rows),
+      num_buckets_(num_buckets),
+      bucket_mask_(num_buckets - 1),
+      dmem_capacity_(dmem_capacity_rows) {
+  RAPID_CHECK(num_buckets > 0 && (num_buckets & (num_buckets - 1)) == 0);
+  // Entries must address any DMEM row offset plus the sentinel.
+  const size_t dmem_entries =
+      dmem_capacity_rows < num_rows ? dmem_capacity_rows : num_rows;
+  const int bits = BitsFor(dmem_entries);  // values 0..dmem_entries, sentinel
+  dmem_buckets_.Reset(num_buckets, bits);
+  dmem_link_.Reset(dmem_entries > 0 ? dmem_entries : 1, bits);
+  dmem_sentinel_ = dmem_buckets_.max_value();
+  dmem_buckets_.FillWithMax();
+  dmem_link_.FillWithMax();
+
+  if (num_rows > dmem_capacity_rows) {
+    // Statistics were off: pre-size the DRAM overflow region.
+    dram_buckets_.assign(num_buckets, kDramSentinel);
+    dram_link_.assign(num_rows - dmem_capacity_rows, kDramSentinel);
+  }
+}
+
+void CompactJoinTable::Insert(uint32_t hash, size_t row_offset) {
+  RAPID_CHECK(row_offset < num_rows_);
+  const size_t bucket = hash & bucket_mask_;
+  if (row_offset < dmem_capacity_) {
+    // Normal DMEM insert: chain backwards to the previous occupant.
+    dmem_link_.Set(row_offset, dmem_buckets_.Get(bucket));
+    dmem_buckets_.Set(bucket, row_offset);
+    ++dmem_rows_;
+  } else {
+    // Small-skew overflow: the row lands in the DRAM extension. The
+    // DRAM region has its own bucket heads so DMEM chains stay intact.
+    if (dram_buckets_.empty()) {
+      dram_buckets_.assign(num_buckets_, kDramSentinel);
+    }
+    const size_t slot = row_offset - dmem_capacity_;
+    if (slot >= dram_link_.size()) {
+      dram_link_.resize(slot + 1, kDramSentinel);
+    }
+    dram_link_[slot] = dram_buckets_[bucket];
+    dram_buckets_[bucket] = row_offset;
+    ++overflow_rows_;
+  }
+}
+
+void ComputeBucketIndices(const uint32_t* hashes, size_t n, size_t num_buckets,
+                          uint32_t* indices) {
+  const uint32_t mask = static_cast<uint32_t>(num_buckets) - 1;
+  for (size_t i = 0; i < n; ++i) indices[i] = hashes[i] & mask;
+}
+
+}  // namespace rapid::primitives

@@ -1,0 +1,147 @@
+// The RAPID hash-join kernel (Sections 6.3 and 6.4, Figures 6 and 7).
+//
+// A compact, pointer-free bucket-chained hash table over DMEM-resident
+// partitions:
+//   * bucket count is a power of two, typically 2-4x smaller than the
+//     row count (sized from NDV statistics),
+//   * `hash-buckets` maps a bucket to the row offset of the *last*
+//     inserted tuple with that hash,
+//   * `link` chains tuples with equal hash backwards by row offset,
+//   * both arrays store ceil(log2(N+1))-bit entries (CompactArray);
+//     the all-ones value is the end-of-chain sentinel (the paper's
+//     "111" in the 8-tuple example),
+//   * bucket index = CRC32(key) & (buckets-1) — fast modulo by
+//     bit-mask on the hardware-computed hash.
+//
+// DMEM & statistics resilience (Figure 7): the kernel is built with a
+// DMEM row capacity; if the partition turns out bigger than QComp's
+// estimate ("small skew"), rows beyond the capacity gracefully
+// overflow into a DRAM-resident extension of the same
+// buckets/link structure. Probes then consult both regions; DRAM
+// accesses are costed higher by the caller via ProbeStats.
+//
+// The kernel stores row offsets only; key comparison happens against
+// the caller's key arrays (DMEM tiles), keeping the kernel primitive
+// type-agnostic.
+
+#ifndef RAPID_PRIMITIVES_JOIN_KERNEL_H_
+#define RAPID_PRIMITIVES_JOIN_KERNEL_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/compact_array.h"
+#include "common/crc32.h"
+#include "common/logging.h"
+
+namespace rapid::primitives {
+
+struct ProbeStats {
+  uint64_t probes = 0;        // keys probed
+  uint64_t chain_steps = 0;   // link-array traversals (DMEM)
+  uint64_t overflow_steps = 0;  // bucket/link accesses in the DRAM region
+  uint64_t matches = 0;       // emitted result pairs
+
+  void Merge(const ProbeStats& other) {
+    probes += other.probes;
+    chain_steps += other.chain_steps;
+    overflow_steps += other.overflow_steps;
+    matches += other.matches;
+  }
+};
+
+class CompactJoinTable {
+ public:
+  // `num_rows`: build-side rows of this partition (may exceed the
+  //   estimate; see dmem_capacity_rows).
+  // `num_buckets`: power of two; QComp picks rows/2 .. rows/4 rounded
+  //   to a power of two based on NDV.
+  // `dmem_capacity_rows`: rows that fit in the DMEM budget. Rows with
+  //   offset >= capacity live in the DRAM overflow region.
+  CompactJoinTable(size_t num_rows, size_t num_buckets,
+                   size_t dmem_capacity_rows);
+
+  // Inserts the build tuple at `row_offset` with hash `hash`.
+  // Offsets must be inserted 0,1,2,... (the build scan order).
+  void Insert(uint32_t hash, size_t row_offset);
+
+  // Probes one key; calls emit(build_row_offset) for every build row
+  // whose key matches. `key_eq(offset)` performs the key comparison
+  // against the caller's build-key storage.
+  template <typename KeyEq, typename Emit>
+  void Probe(uint32_t hash, KeyEq&& key_eq, Emit&& emit, ProbeStats* stats) {
+    ++stats->probes;
+    const size_t bucket = hash & bucket_mask_;
+    // DMEM region chain.
+    WalkChain(dmem_buckets_.Get(bucket), dmem_sentinel_, /*overflow=*/false,
+              key_eq, emit, stats);
+    if (overflow_rows_ > 0) {
+      // DRAM overflow region chain (Figure 7(b): second hash-buckets
+      // version + link continuation in DRAM).
+      WalkChain(dram_buckets_[bucket], kDramSentinel, /*overflow=*/true,
+                key_eq, emit, stats);
+    }
+  }
+
+  size_t num_rows() const { return num_rows_; }
+  size_t num_buckets() const { return num_buckets_; }
+  size_t dmem_rows() const { return dmem_rows_; }
+  size_t overflow_rows() const { return overflow_rows_; }
+  bool overflowed() const { return overflow_rows_ > 0; }
+
+  // DMEM bytes consumed by the compact arrays — what op_dmem_size
+  // charges for the kernel.
+  size_t DmemBytes() const {
+    return dmem_buckets_.byte_size() + dmem_link_.byte_size();
+  }
+
+  // Bit width of the compact entries: ceil(log2(capacity+1)).
+  int entry_bits() const { return dmem_link_.bit_width(); }
+
+ private:
+  static constexpr uint64_t kDramSentinel = ~uint64_t{0};
+
+  template <typename KeyEq, typename Emit>
+  void WalkChain(uint64_t head, uint64_t sentinel, bool overflow,
+                 KeyEq&& key_eq, Emit&& emit, ProbeStats* stats) {
+    uint64_t offset = head;
+    while (offset != sentinel) {
+      if (overflow) {
+        ++stats->overflow_steps;
+      } else {
+        ++stats->chain_steps;
+      }
+      if (key_eq(static_cast<size_t>(offset))) {
+        ++stats->matches;
+        emit(static_cast<size_t>(offset));
+      }
+      offset = overflow ? dram_link_[offset - dmem_capacity_]
+                        : dmem_link_.Get(offset);
+    }
+  }
+
+  size_t num_rows_ = 0;
+  size_t num_buckets_ = 0;
+  size_t bucket_mask_ = 0;
+  size_t dmem_capacity_ = 0;
+
+  // DMEM region: compact bit-packed arrays.
+  CompactArray dmem_buckets_;
+  CompactArray dmem_link_;
+  uint64_t dmem_sentinel_ = 0;
+  size_t dmem_rows_ = 0;
+
+  // DRAM overflow region (plain arrays; DRAM is not bit-budgeted).
+  std::vector<uint64_t> dram_buckets_;
+  std::vector<uint64_t> dram_link_;
+  size_t overflow_rows_ = 0;
+};
+
+// Vectorized bucket-index primitive: indices[i] = hashes[i] & mask.
+void ComputeBucketIndices(const uint32_t* hashes, size_t n, size_t num_buckets,
+                          uint32_t* indices);
+
+}  // namespace rapid::primitives
+
+#endif  // RAPID_PRIMITIVES_JOIN_KERNEL_H_

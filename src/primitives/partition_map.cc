@@ -1,0 +1,39 @@
+#include "primitives/partition_map.h"
+
+#include "common/logging.h"
+
+namespace rapid::primitives {
+
+void ComputePartitionMap(const uint32_t* hashes, size_t n, int fanout,
+                         int shift, PartitionMap* map) {
+  RAPID_CHECK(fanout > 0 && (fanout & (fanout - 1)) == 0);
+  const uint32_t mask = static_cast<uint32_t>(fanout) - 1;
+
+  // Loop 1: partition id per row (branch-free).
+  map->partition_of.resize(n);
+  for (size_t i = 0; i < n; ++i) {
+    map->partition_of[i] = static_cast<uint16_t>((hashes[i] >> shift) & mask);
+  }
+
+  // Loop 2: histogram.
+  map->counts.assign(static_cast<size_t>(fanout), 0);
+  for (size_t i = 0; i < n; ++i) {
+    ++map->counts[map->partition_of[i]];
+  }
+
+  // Loop 3: prefix sum -> per-partition output offsets.
+  map->offsets.assign(static_cast<size_t>(fanout) + 1, 0);
+  for (int p = 0; p < fanout; ++p) {
+    map->offsets[static_cast<size_t>(p) + 1] =
+        map->offsets[static_cast<size_t>(p)] + map->counts[static_cast<size_t>(p)];
+  }
+
+  // Loop 4: scatter row ids into partition-grouped order.
+  map->rids.resize(n);
+  std::vector<uint32_t> cursor(map->offsets.begin(), map->offsets.end() - 1);
+  for (size_t i = 0; i < n; ++i) {
+    map->rids[cursor[map->partition_of[i]]++] = static_cast<uint32_t>(i);
+  }
+}
+
+}  // namespace rapid::primitives

@@ -1,0 +1,131 @@
+#include "storage/dsb.h"
+
+#include <cmath>
+#include <limits>
+
+#include "common/logging.h"
+
+namespace rapid::storage {
+
+int64_t Pow10(int exp) {
+  RAPID_CHECK(exp >= 0 && exp <= 18);
+  static constexpr int64_t kPowers[] = {1,
+                                        10,
+                                        100,
+                                        1000,
+                                        10000,
+                                        100000,
+                                        1000000,
+                                        10000000,
+                                        100000000,
+                                        1000000000,
+                                        10000000000,
+                                        100000000000,
+                                        1000000000000,
+                                        10000000000000,
+                                        100000000000000,
+                                        1000000000000000,
+                                        10000000000000000,
+                                        100000000000000000,
+                                        1000000000000000000};
+  return kPowers[exp];
+}
+
+namespace {
+
+// Tries to represent `v` exactly as mantissa * 10^-scale for the
+// smallest scale <= kDsbMaxScale. Returns false for exceptions.
+bool FindExactScale(double v, int* scale, int64_t* mantissa) {
+  for (int s = 0; s <= kDsbMaxScale; ++s) {
+    const double scaled = v * static_cast<double>(Pow10(s));
+    if (std::abs(scaled) >= 9.0e18) return false;  // would overflow int64
+    const double rounded = std::nearbyint(scaled);
+    // Exact representation: scaling back reproduces the input bit-for-bit.
+    if (rounded / static_cast<double>(Pow10(s)) == v) {
+      const int64_t m = static_cast<int64_t>(rounded);
+      if (m == kDsbExceptionSentinel) return false;
+      *scale = s;
+      *mantissa = m;
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+double DsbColumn::DecodeRow(uint32_t row) const {
+  if (IsException(row)) {
+    auto it = exceptions.find(row);
+    RAPID_CHECK(it != exceptions.end());
+    return it->second;
+  }
+  return static_cast<double>(mantissas[row]) /
+         static_cast<double>(Pow10(scale));
+}
+
+DsbColumn DsbEncode(const std::vector<double>& values) {
+  DsbColumn column;
+  column.mantissas.resize(values.size());
+
+  // Pass 1: find the common scale (minimum avoiding the decimal point
+  // in all non-exception values) and mark exceptions.
+  std::vector<int> scales(values.size(), -1);
+  std::vector<int64_t> mantissas(values.size(), 0);
+  int common_scale = 0;
+  for (size_t i = 0; i < values.size(); ++i) {
+    int s;
+    int64_t m;
+    if (FindExactScale(values[i], &s, &m)) {
+      scales[i] = s;
+      mantissas[i] = m;
+      if (s > common_scale) common_scale = s;
+    }
+  }
+  column.scale = common_scale;
+
+  // Pass 2: rescale every value to the common scale. Values whose
+  // mantissa overflows at the common scale also become exceptions.
+  for (size_t i = 0; i < values.size(); ++i) {
+    const auto row = static_cast<uint32_t>(i);
+    if (scales[i] < 0) {
+      column.mantissas[i] = kDsbExceptionSentinel;
+      column.exceptions[row] = values[i];
+      continue;
+    }
+    auto rescaled = DsbRescale(mantissas[i], scales[i], common_scale);
+    if (!rescaled.ok()) {
+      column.mantissas[i] = kDsbExceptionSentinel;
+      column.exceptions[row] = values[i];
+      continue;
+    }
+    column.mantissas[i] = rescaled.value();
+  }
+  return column;
+}
+
+std::vector<double> DsbDecode(const DsbColumn& column) {
+  std::vector<double> out(column.mantissas.size());
+  for (size_t i = 0; i < out.size(); ++i) {
+    out[i] = column.DecodeRow(static_cast<uint32_t>(i));
+  }
+  return out;
+}
+
+Result<int64_t> DsbRescale(int64_t mantissa, int from_scale, int to_scale) {
+  if (to_scale < from_scale) {
+    return Status::InvalidArgument("DSB rescale must not lose precision");
+  }
+  const int diff = to_scale - from_scale;
+  if (diff > 18) return Status::CapacityExceeded("DSB rescale overflow");
+  const int64_t factor = Pow10(diff);
+  if (mantissa > 0 && mantissa > std::numeric_limits<int64_t>::max() / factor) {
+    return Status::CapacityExceeded("DSB rescale overflow");
+  }
+  if (mantissa < 0 && mantissa < std::numeric_limits<int64_t>::min() / factor) {
+    return Status::CapacityExceeded("DSB rescale overflow");
+  }
+  return mantissa * factor;
+}
+
+}  // namespace rapid::storage

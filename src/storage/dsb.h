@@ -1,0 +1,63 @@
+// Decimal Scaled Binary (DSB) encoding (Section 4.2).
+//
+// The DPU deliberately lacks floating-point hardware, so decimal
+// columns are stored as int64 mantissas with one common scale per
+// vector, chosen as the minimum power of ten that clears the decimal
+// point in all values. Values that cannot be represented exactly at
+// any feasible scale (e.g. 1/3) are stored as *exception values*:
+// the slot holds a sentinel and the original double lives in a side
+// table keyed by row offset.
+
+#ifndef RAPID_STORAGE_DSB_H_
+#define RAPID_STORAGE_DSB_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+
+namespace rapid::storage {
+
+// Sentinel mantissa marking a row whose value lives in the exception
+// table. int64 min never arises from a legal scaled decimal because
+// encoding rejects mantissas that would overflow.
+inline constexpr int64_t kDsbExceptionSentinel = INT64_MIN;
+
+// Maximum decimal scale the encoder will try before declaring a value
+// an exception.
+inline constexpr int kDsbMaxScale = 12;
+
+struct DsbColumn {
+  // Mantissas; value = mantissa / 10^scale (except sentinel rows).
+  std::vector<int64_t> mantissas;
+  int scale = 0;
+  // Exception values by row offset.
+  std::unordered_map<uint32_t, double> exceptions;
+
+  bool IsException(uint32_t row) const {
+    return mantissas[row] == kDsbExceptionSentinel;
+  }
+
+  double DecodeRow(uint32_t row) const;
+};
+
+// Encodes `values` with the minimum common scale. Values needing more
+// than kDsbMaxScale digits of fraction, or whose mantissa would
+// overflow int64, become exceptions.
+DsbColumn DsbEncode(const std::vector<double>& values);
+
+// Decodes every row back to doubles.
+std::vector<double> DsbDecode(const DsbColumn& column);
+
+// Rescales an int64 mantissa from `from_scale` to `to_scale`
+// (to_scale >= from_scale), for arithmetic across vectors with
+// different common scales.
+Result<int64_t> DsbRescale(int64_t mantissa, int from_scale, int to_scale);
+
+// 10^exp for exp in [0, 18].
+int64_t Pow10(int exp);
+
+}  // namespace rapid::storage
+
+#endif  // RAPID_STORAGE_DSB_H_

@@ -1,0 +1,48 @@
+#include "storage/encoding_stack.h"
+
+namespace rapid::storage {
+
+RleColumn RleFromVector(const Vector& vector) {
+  std::vector<int64_t> widened(vector.size());
+  for (size_t i = 0; i < vector.size(); ++i) widened[i] = vector.GetInt(i);
+  return RleEncode(widened.data(), widened.size());
+}
+
+VectorEncodingChoice ChooseEncoding(const Vector& vector) {
+  VectorEncodingChoice choice;
+  choice.plain_bytes = vector.byte_size();
+  choice.encoded_bytes = choice.plain_bytes;
+  if (vector.size() == 0) return choice;
+
+  const RleColumn rle = RleFromVector(vector);
+  if (RleIsProfitable(rle, vector.width()) &&
+      rle.byte_size() < choice.plain_bytes) {
+    choice.encoding = VectorEncoding::kRle;
+    choice.encoded_bytes = rle.byte_size();
+  }
+  return choice;
+}
+
+std::vector<ColumnEncodingReport> AnalyzeTableEncodings(const Table& table) {
+  std::vector<ColumnEncodingReport> reports(table.schema().num_fields());
+  for (size_t c = 0; c < reports.size(); ++c) {
+    reports[c].column = table.schema().field(c).name;
+  }
+  for (size_t p = 0; p < table.num_partitions(); ++p) {
+    const Partition& part = table.partition(p);
+    for (size_t ch = 0; ch < part.num_chunks(); ++ch) {
+      const Chunk& chunk = part.chunk(ch);
+      for (size_t c = 0; c < chunk.num_columns(); ++c) {
+        const VectorEncodingChoice choice = ChooseEncoding(chunk.column(c));
+        ColumnEncodingReport& report = reports[c];
+        ++report.vectors_total;
+        if (choice.encoding == VectorEncoding::kRle) ++report.vectors_rle;
+        report.plain_bytes += choice.plain_bytes;
+        report.encoded_bytes += choice.encoded_bytes;
+      }
+    }
+  }
+  return reports;
+}
+
+}  // namespace rapid::storage

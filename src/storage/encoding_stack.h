@@ -1,0 +1,65 @@
+// Encoding stack (Section 4.2): "we apply a stack of encodings on
+// each column vector for lightweight compression (e.g., run length
+// encoding)".
+//
+// The analyzer inspects each column vector and selects the cheapest
+// representation: the base fixed-width encoding the loader already
+// applied (DSB mantissas, dictionary codes, day numbers), optionally
+// topped with run-length encoding when it is profitable for that
+// vector. Selection is per vector — the same column may be RLE in one
+// chunk and plain in another (sorted prefixes compress; random tails
+// do not).
+
+#ifndef RAPID_STORAGE_ENCODING_STACK_H_
+#define RAPID_STORAGE_ENCODING_STACK_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/rle.h"
+#include "storage/table.h"
+
+namespace rapid::storage {
+
+enum class VectorEncoding : uint8_t {
+  kPlain,  // flat fixed-width array (the base encoding)
+  kRle,    // run-length on top of the base encoding
+};
+
+struct VectorEncodingChoice {
+  VectorEncoding encoding = VectorEncoding::kPlain;
+  size_t plain_bytes = 0;
+  size_t encoded_bytes = 0;  // == plain_bytes for kPlain
+
+  double CompressionRatio() const {
+    return encoded_bytes == 0
+               ? 1.0
+               : static_cast<double>(plain_bytes) /
+                     static_cast<double>(encoded_bytes);
+  }
+};
+
+// Chooses the encoding for one vector.
+VectorEncodingChoice ChooseEncoding(const Vector& vector);
+
+// Per-column summary across all vectors of a table.
+struct ColumnEncodingReport {
+  std::string column;
+  size_t vectors_total = 0;
+  size_t vectors_rle = 0;
+  size_t plain_bytes = 0;
+  size_t encoded_bytes = 0;
+};
+
+// Analyzes every vector of every column (what the loader's encoding-
+// selection pass computes; QComp's primitive/encoding selection reads
+// this when costing scans).
+std::vector<ColumnEncodingReport> AnalyzeTableEncodings(const Table& table);
+
+// Materializes the RLE form of a vector (for vectors where RLE won).
+RleColumn RleFromVector(const Vector& vector);
+
+}  // namespace rapid::storage
+
+#endif  // RAPID_STORAGE_ENCODING_STACK_H_

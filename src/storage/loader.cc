@@ -1,0 +1,142 @@
+#include "storage/loader.h"
+
+#include <algorithm>
+
+#include "storage/dsb.h"
+
+namespace rapid::storage {
+
+namespace {
+
+size_t RowCountOf(const ColumnSpec& spec, const ColumnData& data) {
+  switch (spec.kind) {
+    case ColumnKind::kDecimal:
+      return data.decimals.size();
+    case ColumnKind::kString:
+      return data.strings.size();
+    default:
+      return data.ints.size();
+  }
+}
+
+}  // namespace
+
+Result<Table> LoadTable(const std::string& name,
+                        const std::vector<ColumnSpec>& specs,
+                        const std::vector<ColumnData>& data,
+                        const LoadOptions& options) {
+  if (specs.empty() || specs.size() != data.size()) {
+    return Status::InvalidArgument("specs and data must match and be nonempty");
+  }
+  const size_t num_rows = RowCountOf(specs[0], data[0]);
+  for (size_t c = 0; c < specs.size(); ++c) {
+    if (RowCountOf(specs[c], data[c]) != num_rows) {
+      return Status::InvalidArgument("column '" + specs[c].name +
+                                     "' has mismatched row count");
+    }
+  }
+  if (options.rows_per_chunk == 0 || options.num_partitions == 0) {
+    return Status::InvalidArgument("rows_per_chunk and num_partitions > 0");
+  }
+
+  std::vector<Field> fields;
+  fields.reserve(specs.size());
+  for (const ColumnSpec& spec : specs) {
+    fields.push_back(Field{spec.name, PhysicalTypeOf(spec.kind)});
+  }
+  Table table(name, Schema(std::move(fields)));
+  table.set_scn(options.scn);
+
+  // Pre-encode decimal columns: per-chunk common scale, column-level
+  // max scale recorded in stats for uniform downstream arithmetic.
+  // Pre-encode string columns through the table dictionary.
+  std::vector<std::vector<int64_t>> encoded(specs.size());
+  std::vector<int> column_scale(specs.size(), 0);
+  for (size_t c = 0; c < specs.size(); ++c) {
+    switch (specs[c].kind) {
+      case ColumnKind::kDecimal: {
+        const DsbColumn dsb = DsbEncode(data[c].decimals);
+        if (!dsb.exceptions.empty()) {
+          return Status::NotSupported(
+              "base table column '" + specs[c].name +
+              "' contains DSB exception values; base loads must be exact");
+        }
+        encoded[c] = dsb.mantissas;
+        column_scale[c] = dsb.scale;
+        break;
+      }
+      case ColumnKind::kString: {
+        Dictionary* dict = table.dictionary(c);
+        encoded[c].reserve(num_rows);
+        for (const std::string& s : data[c].strings) {
+          encoded[c].push_back(dict->GetOrInsert(s));
+        }
+        break;
+      }
+      default: {
+        encoded[c] = data[c].ints;
+        break;
+      }
+    }
+  }
+
+  // Slice into chunks and deal them round-robin over partitions,
+  // mirroring how LOAD's parallel scan threads fill RAPID nodes.
+  std::vector<Partition> partitions(options.num_partitions);
+  size_t chunk_index = 0;
+  for (size_t start = 0; start < num_rows; start += options.rows_per_chunk) {
+    const size_t rows = std::min(options.rows_per_chunk, num_rows - start);
+    Chunk chunk(table.schema(), rows);
+    for (size_t c = 0; c < specs.size(); ++c) {
+      Vector& v = chunk.column(c);
+      for (size_t r = 0; r < rows; ++r) {
+        v.SetInt(r, encoded[c][start + r]);
+      }
+      if (specs[c].kind == ColumnKind::kDecimal) {
+        v.set_dsb_scale(column_scale[c]);
+      }
+    }
+    partitions[chunk_index % options.num_partitions].AddChunk(
+        std::move(chunk));
+    ++chunk_index;
+  }
+  if (num_rows == 0) {
+    // An empty table still has its partitions.
+  }
+  for (auto& p : partitions) table.AddPartition(std::move(p));
+
+  table.set_rows_per_chunk(options.rows_per_chunk);
+  table.RecomputeStats();
+  for (size_t c = 0; c < specs.size(); ++c) {
+    table.stats(c).dsb_scale = column_scale[c];
+  }
+  return table;
+}
+
+Status ApplyRowChange(Table* table, uint64_t row_id,
+                      const std::vector<int64_t>& values) {
+  if (values.size() != table->schema().num_fields()) {
+    return Status::InvalidArgument("row change has wrong column count");
+  }
+  const size_t rows_per_chunk = table->rows_per_chunk();
+  if (rows_per_chunk == 0) {
+    return Status::InvalidArgument("table has no load geometry");
+  }
+  const size_t chunk_index = static_cast<size_t>(row_id) / rows_per_chunk;
+  const size_t num_partitions = table->num_partitions();
+  const size_t partition = chunk_index % num_partitions;
+  const size_t chunk = chunk_index / num_partitions;
+  const size_t row = static_cast<size_t>(row_id) % rows_per_chunk;
+  if (partition >= table->num_partitions() ||
+      chunk >= table->partition(partition).num_chunks() ||
+      row >= table->partition(partition).chunk(chunk).num_rows()) {
+    return Status::InvalidArgument("row id out of range");
+  }
+  Chunk& target = table->partition(partition).chunk(chunk);
+  for (size_t c = 0; c < values.size(); ++c) {
+    target.column(c).SetInt(row, values[c]);
+  }
+  return Status::OK();
+}
+
+}  // namespace rapid::storage

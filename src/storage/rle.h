@@ -1,0 +1,38 @@
+// Run-length encoding, one of the lightweight compressions RAPID
+// stacks on column vectors (Section 4.2).
+
+#ifndef RAPID_STORAGE_RLE_H_
+#define RAPID_STORAGE_RLE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace rapid::storage {
+
+struct RleRun {
+  int64_t value;
+  uint32_t length;
+};
+
+struct RleColumn {
+  std::vector<RleRun> runs;
+  size_t num_rows = 0;
+
+  // Compressed size in bytes (12 bytes per run).
+  size_t byte_size() const { return runs.size() * (sizeof(int64_t) + 4); }
+};
+
+RleColumn RleEncode(const int64_t* values, size_t n);
+std::vector<int64_t> RleDecode(const RleColumn& column);
+
+// Random access into the compressed form (binary search over runs).
+int64_t RleValueAt(const RleColumn& column, size_t row);
+
+// True if RLE actually compresses (fewer bytes than the flat array);
+// the encoding-stack selector uses this.
+bool RleIsProfitable(const RleColumn& column, size_t element_width);
+
+}  // namespace rapid::storage
+
+#endif  // RAPID_STORAGE_RLE_H_

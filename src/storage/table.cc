@@ -1,0 +1,36 @@
+#include "storage/table.h"
+
+#include <unordered_set>
+
+namespace rapid::storage {
+
+void Table::RecomputeStats() {
+  for (size_t col = 0; col < schema_.num_fields(); ++col) {
+    ColumnStats& st = stats_[col];
+    bool first = true;
+    std::unordered_set<int64_t> distinct;
+    for (const Partition& part : partitions_) {
+      for (size_t ci = 0; ci < part.num_chunks(); ++ci) {
+        const Vector& v = part.chunk(ci).column(col);
+        for (size_t row = 0; row < v.size(); ++row) {
+          const int64_t value = v.GetInt(row);
+          if (first) {
+            st.min = st.max = value;
+            first = false;
+          } else {
+            if (value < st.min) st.min = value;
+            if (value > st.max) st.max = value;
+          }
+          distinct.insert(value);
+        }
+      }
+    }
+    st.ndv = distinct.size();
+    if (first) {
+      st.min = st.max = 0;
+      st.ndv = 0;
+    }
+  }
+}
+
+}  // namespace rapid::storage

@@ -1,0 +1,75 @@
+// Update units and the tracker (Section 4.3).
+//
+// RAPID supports periodic updates to loaded base relations. Changes
+// are tracked per update unit (UU): a set of changed rows tagged with
+// the SCN at which they become visible and the SCN at which they
+// expire (because a newer version supersedes them). The tracker
+// resolves, for a query SCN, the valid version of every row so query
+// processing and update propagation can proceed concurrently.
+
+#ifndef RAPID_STORAGE_UPDATE_H_
+#define RAPID_STORAGE_UPDATE_H_
+
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/table.h"
+
+namespace rapid::storage {
+
+inline constexpr uint64_t kScnInfinity = std::numeric_limits<uint64_t>::max();
+
+// One changed row: full new row image (fixed-width values per column).
+struct RowChange {
+  uint64_t row_id = 0;            // global row number within the table
+  std::vector<int64_t> values;    // one per column, widened to int64
+};
+
+// A set of changes that became visible atomically at `scn`.
+struct UpdateUnit {
+  uint64_t scn = 0;
+  uint64_t expiration_scn = kScnInfinity;  // set when superseded
+  std::vector<RowChange> changes;
+};
+
+// Tracks update units for one table and resolves row versions by SCN.
+class Tracker {
+ public:
+  explicit Tracker(size_t num_columns) : num_columns_(num_columns) {}
+
+  // Applies a batch of changes visible from `scn` on. Marks the
+  // previous version of each touched row as expiring at `scn`.
+  Status ApplyUpdate(uint64_t scn, std::vector<RowChange> changes);
+
+  // Value of (row, column) visible to a query running at `query_scn`,
+  // or NotFound if the row was never updated (caller falls back to the
+  // base vector).
+  Result<int64_t> Resolve(uint64_t query_scn, uint64_t row_id,
+                          size_t column) const;
+
+  // True if some update with scn <= query_scn touched `row_id`.
+  bool HasVersionFor(uint64_t query_scn, uint64_t row_id) const;
+
+  // Drops versions no longer visible to any query at or after
+  // `min_active_scn`; returns the number of row versions reclaimed.
+  // (Section 4.3: accumulated updates occupy memory via outdated
+  // vectors; this is the garbage collection step.)
+  size_t Vacuum(uint64_t min_active_scn);
+
+  size_t num_units() const { return units_.size(); }
+  uint64_t latest_scn() const { return latest_scn_; }
+
+ private:
+  size_t num_columns_;
+  uint64_t latest_scn_ = 0;
+  std::vector<UpdateUnit> units_;
+  // row_id -> indices into units_ (ascending SCN) that touch the row.
+  std::map<uint64_t, std::vector<size_t>> row_index_;
+};
+
+}  // namespace rapid::storage
+
+#endif  // RAPID_STORAGE_UPDATE_H_

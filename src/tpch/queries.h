@@ -1,0 +1,68 @@
+// The evaluated TPC-H query set (the paper's "representative half"):
+// Q1, Q3, Q4, Q5, Q6, Q10, Q11, Q12, Q14, Q18, Q19.
+//
+// Each query is expressed as one or more logical-plan fragments plus
+// an optional host post-processing step (Section 3.2: the host's
+// RAPID operator applies decoding and transformations such as AVG
+// finalization or scalar-subquery glue). The same fragments run on
+// both engines — RAPID (vectorized, push-based, DPU-modeled) and the
+// host's Volcano engine — so results are directly comparable.
+
+#ifndef RAPID_TPCH_QUERIES_H_
+#define RAPID_TPCH_QUERIES_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/engine.h"
+#include "core/qcomp/logical_plan.h"
+#include "hostdb/database.h"
+
+namespace rapid::tpch {
+
+struct TpchQuery {
+  std::string name;
+  // Fragment builders; fragment i may inspect results of fragments
+  // < i (scalar-subquery style glue, e.g. Q11's HAVING threshold).
+  std::vector<std::function<Result<core::LogicalPtr>(
+      const core::Catalog& catalog,
+      const std::vector<core::ColumnSet>& prev)>>
+      fragments;
+  // Optional final host-side step over all fragment results; when
+  // null the last fragment's rows are the result.
+  std::function<core::ColumnSet(const std::vector<core::ColumnSet>&)> post;
+};
+
+// Builds the full query set. The catalog provides dictionaries for
+// encoding string constants; host and RAPID copies are encoded
+// identically, so either catalog works.
+std::vector<TpchQuery> BuildQuerySet();
+
+// Single queries by name ("Q1".."Q19").
+Result<TpchQuery> BuildQuery(const std::string& name);
+
+struct QueryRun {
+  core::ColumnSet result;
+  double wall_seconds = 0;          // measured on this host
+  double modeled_dpu_seconds = 0;   // RAPID runs only
+  core::WorkloadCounters workload;  // RAPID runs only
+};
+
+// Executes all fragments on the RAPID engine and applies post.
+Result<QueryRun> RunOnRapid(core::RapidEngine& engine, const TpchQuery& query,
+                            const core::ExecOptions& options = {});
+
+// Executes all fragments on the host's Volcano engine (System X only).
+Result<QueryRun> RunOnHost(hostdb::HostDatabase& host,
+                           const TpchQuery& query);
+
+// Generates TPC-H data at `scale_factor`, creates the tables in the
+// host database and loads them into the RAPID engine.
+Status LoadTpch(double scale_factor, hostdb::HostDatabase* host,
+                core::RapidEngine* engine, uint64_t seed = 42,
+                size_t rows_per_chunk = 2048);
+
+}  // namespace rapid::tpch
+
+#endif  // RAPID_TPCH_QUERIES_H_

@@ -1,0 +1,339 @@
+#include "tpch/tpch_gen.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.h"
+
+namespace rapid::tpch {
+
+namespace {
+
+using storage::ColumnData;
+using storage::ColumnKind;
+using storage::ColumnSpec;
+
+const char* kRegions[] = {"AFRICA", "AMERICA", "ASIA", "EUROPE",
+                          "MIDDLE EAST"};
+
+const char* kNations[] = {
+    "ALGERIA", "ARGENTINA", "BRAZIL", "CANADA", "EGYPT", "ETHIOPIA",
+    "FRANCE", "GERMANY", "INDIA", "INDONESIA", "IRAN", "IRAQ", "JAPAN",
+    "JORDAN", "KENYA", "MOROCCO", "MOZAMBIQUE", "PERU", "CHINA", "ROMANIA",
+    "SAUDI ARABIA", "VIETNAM", "RUSSIA", "UNITED KINGDOM", "UNITED STATES"};
+// region of each nation, per the TPC-H spec.
+const int kNationRegion[] = {0, 1, 1, 1, 4, 0, 3, 3, 2, 2, 4, 4, 2,
+                             4, 0, 0, 0, 1, 2, 3, 4, 2, 3, 3, 1};
+
+const char* kSegments[] = {"AUTOMOBILE", "BUILDING", "FURNITURE",
+                           "MACHINERY", "HOUSEHOLD"};
+const char* kPriorities[] = {"1-URGENT", "2-HIGH", "3-MEDIUM",
+                             "4-NOT SPECIFIED", "5-LOW"};
+const char* kShipModes[] = {"REG AIR", "AIR", "RAIL", "SHIP", "TRUCK",
+                            "MAIL", "FOB"};
+const char* kShipInstruct[] = {"DELIVER IN PERSON", "COLLECT COD", "NONE",
+                               "TAKE BACK RETURN"};
+const char* kTypeSyllable1[] = {"STANDARD", "SMALL", "MEDIUM", "LARGE",
+                                "ECONOMY", "PROMO"};
+const char* kTypeSyllable2[] = {"ANODIZED", "BURNISHED", "PLATED",
+                                "POLISHED", "BRUSHED"};
+const char* kTypeSyllable3[] = {"TIN", "NICKEL", "BRASS", "STEEL", "COPPER"};
+const char* kContainerSyllable1[] = {"SM", "LG", "MED", "JUMBO", "WRAP"};
+const char* kContainerSyllable2[] = {"CASE", "BOX", "BAG", "JAR", "PKG",
+                                     "PACK", "CAN", "DRUM"};
+
+}  // namespace
+
+int32_t DaysFromCivil(int year, int month, int day) {
+  // Howard Hinnant's algorithm.
+  year -= month <= 2;
+  const int era = (year >= 0 ? year : year - 399) / 400;
+  const unsigned yoe = static_cast<unsigned>(year - era * 400);
+  const unsigned doy = static_cast<unsigned>(
+      (153 * (month + (month > 2 ? -3 : 9)) + 2) / 5 + day - 1);
+  const unsigned doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;
+  return static_cast<int32_t>(era * 146097 +
+                              static_cast<int>(doe) - 719468);
+}
+
+size_t TableData::num_rows() const {
+  if (specs.empty()) return 0;
+  switch (specs[0].kind) {
+    case ColumnKind::kDecimal:
+      return data[0].decimals.size();
+    case ColumnKind::kString:
+      return data[0].strings.size();
+    default:
+      return data[0].ints.size();
+  }
+}
+
+TpchGenerator::TpchGenerator(double scale_factor, uint64_t seed)
+    : sf_(scale_factor), seed_(seed) {}
+
+size_t TpchGenerator::Scaled(size_t base) const {
+  const auto n =
+      static_cast<size_t>(std::llround(static_cast<double>(base) * sf_));
+  return std::max<size_t>(1, n);
+}
+
+TableData TpchGenerator::Region() {
+  TableData t;
+  t.name = "region";
+  t.specs = {{"r_regionkey", ColumnKind::kInt32},
+             {"r_name", ColumnKind::kString}};
+  t.data.resize(2);
+  for (int i = 0; i < 5; ++i) {
+    t.data[0].ints.push_back(i);
+    t.data[1].strings.push_back(kRegions[i]);
+  }
+  return t;
+}
+
+TableData TpchGenerator::Nation() {
+  TableData t;
+  t.name = "nation";
+  t.specs = {{"n_nationkey", ColumnKind::kInt32},
+             {"n_name", ColumnKind::kString},
+             {"n_regionkey", ColumnKind::kInt32}};
+  t.data.resize(3);
+  for (int i = 0; i < 25; ++i) {
+    t.data[0].ints.push_back(i);
+    t.data[1].strings.push_back(kNations[i]);
+    t.data[2].ints.push_back(kNationRegion[i]);
+  }
+  return t;
+}
+
+TableData TpchGenerator::Supplier() {
+  Rng rng(seed_ ^ 0x5001);
+  TableData t;
+  t.name = "supplier";
+  t.specs = {{"s_suppkey", ColumnKind::kInt32},
+             {"s_name", ColumnKind::kString},
+             {"s_nationkey", ColumnKind::kInt32},
+             {"s_acctbal", ColumnKind::kDecimal}};
+  t.data.resize(4);
+  const size_t n = num_suppliers();
+  for (size_t i = 0; i < n; ++i) {
+    t.data[0].ints.push_back(static_cast<int64_t>(i + 1));
+    t.data[1].strings.push_back("Supplier#" + std::to_string(i + 1));
+    t.data[2].ints.push_back(static_cast<int64_t>(rng.NextBounded(25)));
+    t.data[3].decimals.push_back(
+        static_cast<double>(rng.NextInRange(-99999, 999999)) / 100.0);
+  }
+  return t;
+}
+
+TableData TpchGenerator::Customer() {
+  Rng rng(seed_ ^ 0xC001);
+  TableData t;
+  t.name = "customer";
+  t.specs = {{"c_custkey", ColumnKind::kInt32},
+             {"c_name", ColumnKind::kString},
+             {"c_nationkey", ColumnKind::kInt32},
+             {"c_mktsegment", ColumnKind::kString},
+             {"c_acctbal", ColumnKind::kDecimal}};
+  t.data.resize(5);
+  const size_t n = num_customers();
+  for (size_t i = 0; i < n; ++i) {
+    t.data[0].ints.push_back(static_cast<int64_t>(i + 1));
+    t.data[1].strings.push_back("Customer#" + std::to_string(i + 1));
+    t.data[2].ints.push_back(static_cast<int64_t>(rng.NextBounded(25)));
+    t.data[3].strings.push_back(kSegments[rng.NextBounded(5)]);
+    t.data[4].decimals.push_back(
+        static_cast<double>(rng.NextInRange(-99999, 999999)) / 100.0);
+  }
+  return t;
+}
+
+TableData TpchGenerator::Part() {
+  Rng rng(seed_ ^ 0xBA01);
+  TableData t;
+  t.name = "part";
+  t.specs = {{"p_partkey", ColumnKind::kInt32},
+             {"p_brand", ColumnKind::kString},
+             {"p_type", ColumnKind::kString},
+             {"p_container", ColumnKind::kString},
+             {"p_size", ColumnKind::kInt32},
+             {"p_retailprice", ColumnKind::kDecimal}};
+  t.data.resize(6);
+  const size_t n = num_parts();
+  for (size_t i = 0; i < n; ++i) {
+    const auto key = static_cast<int64_t>(i + 1);
+    t.data[0].ints.push_back(key);
+    t.data[1].strings.push_back(
+        "Brand#" + std::to_string(1 + rng.NextBounded(5)) +
+        std::to_string(1 + rng.NextBounded(5)));
+    t.data[2].strings.push_back(std::string(kTypeSyllable1[rng.NextBounded(6)]) +
+                                " " + kTypeSyllable2[rng.NextBounded(5)] +
+                                " " + kTypeSyllable3[rng.NextBounded(5)]);
+    t.data[3].strings.push_back(
+        std::string(kContainerSyllable1[rng.NextBounded(5)]) + " " +
+        kContainerSyllable2[rng.NextBounded(8)]);
+    t.data[4].ints.push_back(static_cast<int64_t>(1 + rng.NextBounded(50)));
+    // TPC-H retail price formula.
+    t.data[5].decimals.push_back(
+        (90000.0 + static_cast<double>((key / 10) % 20001) +
+         100.0 * static_cast<double>(key % 1000)) /
+        100.0);
+  }
+  return t;
+}
+
+TableData TpchGenerator::PartSupp() {
+  Rng rng(seed_ ^ 0xB501);
+  TableData t;
+  t.name = "partsupp";
+  t.specs = {{"ps_partkey", ColumnKind::kInt32},
+             {"ps_suppkey", ColumnKind::kInt32},
+             {"ps_availqty", ColumnKind::kInt32},
+             {"ps_supplycost", ColumnKind::kDecimal}};
+  t.data.resize(4);
+  const size_t parts = num_parts();
+  const size_t suppliers = num_suppliers();
+  for (size_t p = 0; p < parts; ++p) {
+    // Four suppliers per part, spread per the spec's formula.
+    for (size_t s = 0; s < 4; ++s) {
+      const size_t suppkey =
+          (p + s * (suppliers / 4 + p / suppliers)) % suppliers + 1;
+      t.data[0].ints.push_back(static_cast<int64_t>(p + 1));
+      t.data[1].ints.push_back(static_cast<int64_t>(suppkey));
+      t.data[2].ints.push_back(static_cast<int64_t>(1 + rng.NextBounded(9999)));
+      t.data[3].decimals.push_back(
+          static_cast<double>(rng.NextInRange(100, 100000)) / 100.0);
+    }
+  }
+  return t;
+}
+
+void TpchGenerator::EnsureOrdersAndLineitem() {
+  if (orders_built_) return;
+  orders_built_ = true;
+
+  Rng rng(seed_ ^ 0x0D01);
+  const int32_t start = DaysFromCivil(1992, 1, 1);
+  const int32_t end = DaysFromCivil(1998, 8, 2);
+  const int32_t cutoff = DaysFromCivil(1995, 6, 17);
+  const size_t n_orders = num_orders();
+  const size_t n_cust = num_customers();
+  const size_t n_parts = num_parts();
+  const size_t n_supp = num_suppliers();
+
+  orders_.name = "orders";
+  orders_.specs = {{"o_orderkey", ColumnKind::kInt64},
+                   {"o_custkey", ColumnKind::kInt32},
+                   {"o_orderstatus", ColumnKind::kString},
+                   {"o_totalprice", ColumnKind::kDecimal},
+                   {"o_orderdate", ColumnKind::kDate},
+                   {"o_orderpriority", ColumnKind::kString},
+                   {"o_shippriority", ColumnKind::kInt32}};
+  orders_.data.resize(7);
+
+  lineitem_.name = "lineitem";
+  lineitem_.specs = {{"l_orderkey", ColumnKind::kInt64},
+                     {"l_partkey", ColumnKind::kInt32},
+                     {"l_suppkey", ColumnKind::kInt32},
+                     {"l_linenumber", ColumnKind::kInt32},
+                     {"l_quantity", ColumnKind::kDecimal},
+                     {"l_extendedprice", ColumnKind::kDecimal},
+                     {"l_discount", ColumnKind::kDecimal},
+                     {"l_tax", ColumnKind::kDecimal},
+                     {"l_returnflag", ColumnKind::kString},
+                     {"l_linestatus", ColumnKind::kString},
+                     {"l_shipdate", ColumnKind::kDate},
+                     {"l_commitdate", ColumnKind::kDate},
+                     {"l_receiptdate", ColumnKind::kDate},
+                     {"l_shipmode", ColumnKind::kString},
+                     {"l_shipinstruct", ColumnKind::kString}};
+  lineitem_.data.resize(15);
+
+  for (size_t o = 0; o < n_orders; ++o) {
+    const auto orderkey = static_cast<int64_t>(o + 1);
+    const auto custkey = static_cast<int64_t>(1 + rng.NextBounded(n_cust));
+    const auto orderdate = static_cast<int32_t>(
+        start + rng.NextBounded(static_cast<uint64_t>(end - start)));
+    const size_t lines = 1 + rng.NextBounded(7);
+
+    double total = 0;
+    bool any_open = false;
+    bool all_open = true;
+    for (size_t l = 0; l < lines; ++l) {
+      const auto partkey = static_cast<int64_t>(1 + rng.NextBounded(n_parts));
+      const auto suppkey = static_cast<int64_t>(1 + rng.NextBounded(n_supp));
+      const auto qty = static_cast<int64_t>(1 + rng.NextBounded(50));
+      // Integer cents keep every decimal exactly representable (the
+      // DSB encoder requires exact base-table decimals).
+      const int64_t unit_cents =
+          90000 + (partkey / 10) % 20001 + 100 * (partkey % 1000);
+      const double extprice =
+          static_cast<double>(qty * unit_cents) / 100.0;
+      const double discount =
+          static_cast<double>(rng.NextBounded(11)) / 100.0;  // 0.00-0.10
+      const double tax = static_cast<double>(rng.NextBounded(9)) / 100.0;
+      const auto shipdate =
+          static_cast<int32_t>(orderdate + 1 + rng.NextBounded(121));
+      const auto commitdate =
+          static_cast<int32_t>(orderdate + 30 + rng.NextBounded(61));
+      const auto receiptdate =
+          static_cast<int32_t>(shipdate + 1 + rng.NextBounded(30));
+      const bool open = shipdate > cutoff;
+      any_open |= open;
+      all_open &= open;
+      const char* returnflag =
+          receiptdate <= cutoff ? (rng.NextBounded(2) ? "R" : "A") : "N";
+
+      lineitem_.data[0].ints.push_back(orderkey);
+      lineitem_.data[1].ints.push_back(partkey);
+      lineitem_.data[2].ints.push_back(suppkey);
+      lineitem_.data[3].ints.push_back(static_cast<int64_t>(l + 1));
+      lineitem_.data[4].decimals.push_back(static_cast<double>(qty));
+      lineitem_.data[5].decimals.push_back(extprice);
+      lineitem_.data[6].decimals.push_back(discount);
+      lineitem_.data[7].decimals.push_back(tax);
+      lineitem_.data[8].strings.push_back(returnflag);
+      lineitem_.data[9].strings.push_back(open ? "O" : "F");
+      lineitem_.data[10].ints.push_back(shipdate);
+      lineitem_.data[11].ints.push_back(commitdate);
+      lineitem_.data[12].ints.push_back(receiptdate);
+      lineitem_.data[13].strings.push_back(kShipModes[rng.NextBounded(7)]);
+      lineitem_.data[14].strings.push_back(kShipInstruct[rng.NextBounded(4)]);
+
+      total += extprice * (1.0 - discount) * (1.0 + tax);
+    }
+
+    orders_.data[0].ints.push_back(orderkey);
+    orders_.data[1].ints.push_back(custkey);
+    orders_.data[2].strings.push_back(all_open ? "O"
+                                               : (any_open ? "P" : "F"));
+    orders_.data[3].decimals.push_back(std::round(total * 100.0) / 100.0);
+    orders_.data[4].ints.push_back(orderdate);
+    orders_.data[5].strings.push_back(kPriorities[rng.NextBounded(5)]);
+    orders_.data[6].ints.push_back(0);
+  }
+}
+
+TableData TpchGenerator::Orders() {
+  EnsureOrdersAndLineitem();
+  return orders_;
+}
+
+TableData TpchGenerator::Lineitem() {
+  EnsureOrdersAndLineitem();
+  return lineitem_;
+}
+
+std::vector<TableData> TpchGenerator::AllTables() {
+  std::vector<TableData> out;
+  out.push_back(Region());
+  out.push_back(Nation());
+  out.push_back(Supplier());
+  out.push_back(Customer());
+  out.push_back(Part());
+  out.push_back(PartSupp());
+  out.push_back(Orders());
+  out.push_back(Lineitem());
+  return out;
+}
+
+}  // namespace rapid::tpch

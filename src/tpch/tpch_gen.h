@@ -1,0 +1,72 @@
+// TPC-H data generation (the paper's evaluation workload).
+//
+// A from-scratch dbgen equivalent: all eight tables at a configurable
+// scale factor, with the standard cardinalities (lineitem ~= 6M * SF),
+// key relationships (orders -> lineitem 1..7 lines, correlated dates)
+// and value domains. Deterministic for a given seed.
+
+#ifndef RAPID_TPCH_TPCH_GEN_H_
+#define RAPID_TPCH_TPCH_GEN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/loader.h"
+
+namespace rapid::tpch {
+
+// Days since 1970-01-01 for a civil date (valid for years 1700-2100).
+int32_t DaysFromCivil(int year, int month, int day);
+
+struct TableData {
+  std::string name;
+  std::vector<storage::ColumnSpec> specs;
+  std::vector<storage::ColumnData> data;
+
+  size_t num_rows() const;
+};
+
+class TpchGenerator {
+ public:
+  explicit TpchGenerator(double scale_factor, uint64_t seed = 42);
+
+  // Individual tables. Orders and lineitem are correlated; generating
+  // either one materializes both internally.
+  TableData Region();
+  TableData Nation();
+  TableData Supplier();
+  TableData Customer();
+  TableData Part();
+  TableData PartSupp();
+  TableData Orders();
+  TableData Lineitem();
+
+  // All eight tables.
+  std::vector<TableData> AllTables();
+
+  // Standard cardinalities at this scale factor.
+  size_t num_orders() const { return Scaled(1'500'000); }
+  size_t num_customers() const { return Scaled(150'000); }
+  size_t num_parts() const { return Scaled(200'000); }
+  size_t num_suppliers() const { return Scaled(10'000); }
+
+ private:
+  size_t Scaled(size_t base) const;
+  void EnsureOrdersAndLineitem();
+
+  double sf_;
+  uint64_t seed_;
+  bool orders_built_ = false;
+  TableData orders_;
+  TableData lineitem_;
+};
+
+// Convenience: creates all TPC-H tables in the host database and
+// (optionally) loads them into a RAPID engine.
+class HostLoader;
+
+}  // namespace rapid::tpch
+
+#endif  // RAPID_TPCH_TPCH_GEN_H_

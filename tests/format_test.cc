@@ -1,0 +1,128 @@
+// Tests for result decoding/formatting and dictionary/type metadata
+// propagation through plans (the host's post-processing decode of
+// Section 3.2).
+
+#include <gtest/gtest.h>
+
+#include "core/engine.h"
+#include "core/result_format.h"
+#include "storage/loader.h"
+#include "tests/test_util.h"
+#include "tpch/tpch_gen.h"
+
+namespace rapid::core {
+namespace {
+
+using primitives::CmpOp;
+
+class FormatTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    std::vector<storage::ColumnSpec> specs = {
+        {"city", storage::ColumnKind::kString},
+        {"amount", storage::ColumnKind::kDecimal},
+        {"day", storage::ColumnKind::kDate},
+        {"n", storage::ColumnKind::kInt32}};
+    std::vector<storage::ColumnData> data(4);
+    const char* cities[] = {"basel", "zurich", "geneva"};
+    for (int i = 0; i < 300; ++i) {
+      data[0].strings.push_back(cities[i % 3]);
+      data[1].decimals.push_back(static_cast<double>(i) * 0.25);
+      data[2].ints.push_back(tpch::DaysFromCivil(1995, 3, 1 + i % 28));
+      data[3].ints.push_back(i);
+    }
+    auto table = storage::LoadTable("t", specs, data);
+    ASSERT_TRUE(table.ok());
+    ASSERT_TRUE(engine_.Load(std::move(table).value()).ok());
+  }
+
+  RapidEngine engine_;
+};
+
+TEST_F(FormatTest, ScanPropagatesDictAndTypes) {
+  auto plan = LogicalNode::Scan("t", {"city", "amount", "day", "n"});
+  ASSERT_OK_AND_ASSIGN(QueryResult result, engine_.Execute(plan));
+  const ColumnSet& rows = result.rows;
+  EXPECT_NE(rows.meta(0).dict, nullptr);
+  EXPECT_EQ(rows.meta(2).type, storage::DataType::kDate);
+  EXPECT_EQ(FormatCell(rows, 0, 0), "basel");
+  EXPECT_EQ(FormatCell(rows, 1, 0), "zurich");
+  EXPECT_EQ(FormatCell(rows, 1, 1), "0.25");
+  EXPECT_EQ(FormatCell(rows, 0, 2), "1995-03-01");
+  EXPECT_EQ(FormatCell(rows, 5, 3), "5");
+}
+
+TEST_F(FormatTest, GroupByKeysKeepDictionary) {
+  auto plan = LogicalNode::Sort(
+      LogicalNode::GroupBy(
+          LogicalNode::Scan("t", {"city", "n"}),
+          {{"city", Expr::Col("city")}},
+          {{"total", AggFunc::kSum, Expr::Col("n"), {}}}),
+      {{"city", true}});
+  ASSERT_OK_AND_ASSIGN(QueryResult result, engine_.Execute(plan));
+  ASSERT_EQ(result.rows.num_rows(), 3u);
+  // Codes sort by insertion order (basel=0, zurich=1, geneva=2).
+  EXPECT_EQ(FormatCell(result.rows, 0, 0), "basel");
+  EXPECT_EQ(FormatCell(result.rows, 1, 0), "zurich");
+  EXPECT_EQ(FormatCell(result.rows, 2, 0), "geneva");
+}
+
+TEST_F(FormatTest, JoinOutputKeepsSourceMetadata) {
+  auto left = LogicalNode::Scan(
+      "t", {"n", "city"}, {Predicate::CmpConst("n", CmpOp::kLt, 3)});
+  auto right = LogicalNode::Scan("t", {"n", "day"});
+  auto plan = LogicalNode::Join(left, right, {"n"}, {"n"}, {"city", "day"});
+  ASSERT_OK_AND_ASSIGN(QueryResult result, engine_.Execute(plan));
+  ASSERT_GT(result.rows.num_rows(), 0u);
+  EXPECT_NE(result.rows.meta(0).dict, nullptr);
+  EXPECT_EQ(result.rows.meta(1).type, storage::DataType::kDate);
+}
+
+TEST_F(FormatTest, NegativeDecimalsFormat) {
+  std::vector<ColumnMeta> metas(1);
+  metas[0].name = "d";
+  metas[0].type = storage::DataType::kDecimal;
+  metas[0].dsb_scale = 2;
+  ColumnSet set(metas);
+  set.AppendRow({-12345});  // -123.45
+  set.AppendRow({-45});     // -0.45
+  set.AppendRow({0});
+  EXPECT_EQ(FormatCell(set, 0, 0), "-123.45");
+  EXPECT_EQ(FormatCell(set, 1, 0), "-0.45");
+  EXPECT_EQ(FormatCell(set, 2, 0), "0.00");
+}
+
+TEST_F(FormatTest, TableRendering) {
+  auto plan = LogicalNode::Scan("t", {"city", "n"},
+                                {Predicate::CmpConst("n", CmpOp::kLt, 2)});
+  ASSERT_OK_AND_ASSIGN(QueryResult result, engine_.Execute(plan));
+  const std::string table = FormatTable(result.rows);
+  EXPECT_NE(table.find("city"), std::string::npos);
+  EXPECT_NE(table.find("basel"), std::string::npos);
+  EXPECT_NE(table.find("zurich"), std::string::npos);
+  // Truncation note appears when rows exceed the limit.
+  auto all = LogicalNode::Scan("t", {"n"});
+  ASSERT_OK_AND_ASSIGN(QueryResult big, engine_.Execute(all));
+  EXPECT_NE(FormatTable(big.rows, 5).find("rows total"), std::string::npos);
+}
+
+TEST_F(FormatTest, DateRoundTripAcrossDomain) {
+  // CivilFromDays must invert DaysFromCivil across the TPC-H range.
+  for (int y : {1970, 1992, 1995, 1998, 2000, 2038}) {
+    for (int m : {1, 2, 3, 6, 12}) {
+      for (int d : {1, 15, 28}) {
+        std::vector<ColumnMeta> metas(1);
+        metas[0].name = "dt";
+        metas[0].type = storage::DataType::kDate;
+        ColumnSet set(metas);
+        set.AppendRow({tpch::DaysFromCivil(y, m, d)});
+        char expected[16];
+        std::snprintf(expected, sizeof(expected), "%04d-%02d-%02d", y, m, d);
+        EXPECT_EQ(FormatCell(set, 0, 0), expected);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace rapid::core

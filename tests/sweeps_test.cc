@@ -1,0 +1,199 @@
+// Parameterized property sweeps: the same invariants checked across
+// operator parameter spaces — comparison operators, selectivities,
+// join fan-outs, tile sizes, group-by strategies and DSB scales.
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/engine.h"
+#include "core/ops/partition_exec.h"
+#include "hostdb/volcano.h"
+#include "storage/dsb.h"
+#include "storage/loader.h"
+#include "tests/test_util.h"
+
+namespace rapid {
+namespace {
+
+using core::AggFunc;
+using core::Expr;
+using core::LogicalNode;
+using core::Predicate;
+using primitives::CmpOp;
+using rapid::testing::ExpectSameRows;
+using rapid::testing::MakeColumnSet;
+using rapid::testing::SortedRows;
+
+// Shared two-engine fixture over one synthetic table.
+class SweepFixture {
+ public:
+  SweepFixture() {
+    Rng rng(777);
+    std::vector<storage::ColumnSpec> specs = {
+        {"k", storage::ColumnKind::kInt32},
+        {"g", storage::ColumnKind::kInt32},
+        {"v", storage::ColumnKind::kInt64}};
+    std::vector<storage::ColumnData> data(3);
+    for (int i = 0; i < 8000; ++i) {
+      data[0].ints.push_back(rng.NextInRange(0, 999));
+      data[1].ints.push_back(rng.NextInRange(0, 200));
+      data[2].ints.push_back(rng.NextInRange(-1000, 1000));
+    }
+    storage::LoadOptions opts;
+    opts.rows_per_chunk = 512;
+    engine_.Load(storage::LoadTable("s", specs, data, opts).value());
+    host_.emplace("s", storage::LoadTable("s", specs, data, opts).value());
+  }
+
+  void Check(const core::LogicalPtr& plan,
+             const core::ExecOptions& options = {}) {
+    auto rapid_result = engine_.Execute(plan, options);
+    ASSERT_TRUE(rapid_result.ok()) << rapid_result.status().ToString();
+    auto host_result = hostdb::VolcanoExecutor::Execute(plan, host_);
+    ASSERT_TRUE(host_result.ok());
+    ExpectSameRows(rapid_result.value().rows, host_result.value());
+  }
+
+  core::RapidEngine engine_;
+  core::Catalog host_;
+};
+
+SweepFixture& Fixture() {
+  static SweepFixture* fixture = new SweepFixture();
+  return *fixture;
+}
+
+// ---- Comparison operator x constant sweep ----------------------------------
+
+class CmpOpSweep
+    : public ::testing::TestWithParam<std::tuple<CmpOp, int64_t>> {};
+
+TEST_P(CmpOpSweep, FilterAgreesAcrossEngines) {
+  const auto [op, constant] = GetParam();
+  Fixture().Check(LogicalNode::Scan(
+      "s", {"k", "v"}, {Predicate::CmpConst("k", op, constant)}));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllOpsAndSelectivities, CmpOpSweep,
+    ::testing::Combine(::testing::Values(CmpOp::kEq, CmpOp::kNe, CmpOp::kLt,
+                                         CmpOp::kLe, CmpOp::kGt, CmpOp::kGe),
+                       // Constants spanning ~0%, 1%, 50%, 99%, 100%
+                       // selectivity for each operator.
+                       ::testing::Values(-1, 10, 500, 990, 1000)));
+
+// ---- Join fan-out sweep ------------------------------------------------
+
+class JoinFanoutSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(JoinFanoutSweep, ForcedFanoutKeepsResults) {
+  core::ExecOptions options;
+  options.planner.force_join_fanout = GetParam();
+  auto small = LogicalNode::Scan("s", {"g", "v"},
+                                 {Predicate::CmpConst("g", CmpOp::kLt, 20)});
+  auto big = LogicalNode::Scan("s", {"g", "k"});
+  auto plan = LogicalNode::Join(small, big, {"g"}, {"g"}, {"v", "k"});
+  Fixture().Check(plan, options);
+}
+
+INSTANTIATE_TEST_SUITE_P(PowersOfTwo, JoinFanoutSweep,
+                         ::testing::Values(2, 4, 8, 16, 32));
+
+// ---- Partition tile-size sweep -------------------------------------------
+
+class PartitionTileSweep : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(PartitionTileSweep, AllTileSizesRouteIdentically) {
+  dpu::Dpu dpu;
+  Rng rng(5);
+  std::vector<int64_t> keys(3000);
+  std::vector<int64_t> vals(3000);
+  for (size_t i = 0; i < keys.size(); ++i) {
+    keys[i] = rng.NextInRange(0, 500);
+    vals[i] = static_cast<int64_t>(i);
+  }
+  core::ColumnSet input = MakeColumnSet({"k", "v"}, {keys, vals});
+  core::PartitionScheme scheme;
+  scheme.rounds.push_back(core::PartitionRound{16, 16});
+  auto parts =
+      core::PartitionExec::Execute(dpu, input, {0}, scheme, GetParam());
+  ASSERT_TRUE(parts.ok());
+  // Tile size must never change the routing, only the modeled cost.
+  std::vector<std::vector<int64_t>> all;
+  for (const auto& p : parts.value().partitions) {
+    for (auto& row : rapid::testing::Rows(p)) all.push_back(row);
+  }
+  std::sort(all.begin(), all.end());
+  EXPECT_EQ(all, SortedRows(input));
+}
+
+INSTANTIATE_TEST_SUITE_P(TileSizes, PartitionTileSweep,
+                         ::testing::Values(64, 128, 256, 512, 1024));
+
+// ---- Group-by strategy sweep -----------------------------------------------
+
+class GroupByStrategySweep
+    : public ::testing::TestWithParam<std::tuple<size_t, size_t>> {};
+
+TEST_P(GroupByStrategySweep, StrategyNeverChangesResults) {
+  const auto [low_ndv_threshold, max_partition_rows] = GetParam();
+  core::ExecOptions options;
+  options.planner.low_ndv_threshold = low_ndv_threshold;
+  options.planner.groupby_max_partition_rows = max_partition_rows;
+  auto plan = LogicalNode::GroupBy(
+      LogicalNode::Scan("s", {"g", "v"}),
+      {{"g", Expr::Col("g")}},
+      {{"sum_v", AggFunc::kSum, Expr::Col("v"), {}},
+       {"n", AggFunc::kCount, nullptr, {}},
+       {"min_v", AggFunc::kMin, Expr::Col("v"), {}}});
+  Fixture().Check(plan, options);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Strategies, GroupByStrategySweep,
+    ::testing::Values(std::make_tuple(100000, 0),  // low-NDV on-the-fly
+                      std::make_tuple(10, 0),      // high-NDV partitioned
+                      std::make_tuple(10, 32),     // + runtime re-partition
+                      std::make_tuple(10, 8)));    // aggressive re-partition
+
+// ---- DSB scale sweep ---------------------------------------------------
+
+class DsbScaleSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(DsbScaleSweep, ExactRoundTripAtEveryScale) {
+  const int scale = GetParam();
+  Rng rng(static_cast<uint64_t>(scale) + 1);
+  std::vector<double> values;
+  const double p = static_cast<double>(storage::Pow10(scale));
+  for (int i = 0; i < 500; ++i) {
+    values.push_back(static_cast<double>(rng.NextInRange(-1000000, 1000000)) /
+                     p);
+  }
+  const storage::DsbColumn col = storage::DsbEncode(values);
+  EXPECT_TRUE(col.exceptions.empty());
+  EXPECT_LE(col.scale, scale);
+  EXPECT_EQ(storage::DsbDecode(col), values);
+}
+
+INSTANTIATE_TEST_SUITE_P(Scales, DsbScaleSweep,
+                         ::testing::Range(0, 10));
+
+// ---- Join DMEM capacity sweep ----------------------------------------------
+
+class JoinCapacitySweep : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(JoinCapacitySweep, OverflowNeverChangesResults) {
+  core::ExecOptions options;
+  options.planner.join_dmem_capacity_rows = GetParam();
+  auto small = LogicalNode::Scan("s", {"g", "v"},
+                                 {Predicate::CmpConst("v", CmpOp::kGt, 0)});
+  auto big = LogicalNode::Scan("s", {"g", "k"});
+  auto plan = LogicalNode::Join(small, big, {"g"}, {"g"}, {"v", "k"});
+  Fixture().Check(plan, options);
+}
+
+INSTANTIATE_TEST_SUITE_P(Capacities, JoinCapacitySweep,
+                         ::testing::Values(1, 8, 64, 1024, 1u << 20));
+
+}  // namespace
+}  // namespace rapid

@@ -1,0 +1,90 @@
+// Shared helpers for the RAPID test suite.
+
+#ifndef RAPID_TESTS_TEST_UTIL_H_
+#define RAPID_TESTS_TEST_UTIL_H_
+
+#include <algorithm>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/qef/column_set.h"
+#include "storage/loader.h"
+
+namespace rapid::testing {
+
+// All rows of a ColumnSet as row tuples, sorted — engine results are
+// order-insensitive unless a sort step fixed the order.
+inline std::vector<std::vector<int64_t>> SortedRows(
+    const core::ColumnSet& set) {
+  std::vector<std::vector<int64_t>> rows;
+  rows.reserve(set.num_rows());
+  for (size_t r = 0; r < set.num_rows(); ++r) {
+    std::vector<int64_t> row(set.num_columns());
+    for (size_t c = 0; c < set.num_columns(); ++c) row[c] = set.Value(r, c);
+    rows.push_back(std::move(row));
+  }
+  std::sort(rows.begin(), rows.end());
+  return rows;
+}
+
+inline std::vector<std::vector<int64_t>> Rows(const core::ColumnSet& set) {
+  std::vector<std::vector<int64_t>> rows;
+  rows.reserve(set.num_rows());
+  for (size_t r = 0; r < set.num_rows(); ++r) {
+    std::vector<int64_t> row(set.num_columns());
+    for (size_t c = 0; c < set.num_columns(); ++c) row[c] = set.Value(r, c);
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+// Asserts two result sets hold the same bag of rows (sorted compare)
+// and the same column names.
+inline void ExpectSameRows(const core::ColumnSet& a,
+                           const core::ColumnSet& b) {
+  ASSERT_EQ(a.num_columns(), b.num_columns());
+  for (size_t c = 0; c < a.num_columns(); ++c) {
+    EXPECT_EQ(a.meta(c).name, b.meta(c).name) << "column " << c;
+  }
+  EXPECT_EQ(SortedRows(a), SortedRows(b));
+}
+
+// Builds a ColumnSet from widened columns, with int64 metadata.
+inline core::ColumnSet MakeColumnSet(
+    const std::vector<std::string>& names,
+    const std::vector<std::vector<int64_t>>& columns) {
+  std::vector<core::ColumnMeta> metas;
+  for (const auto& name : names) {
+    core::ColumnMeta m;
+    m.name = name;
+    metas.push_back(m);
+  }
+  core::ColumnSet out(metas);
+  for (size_t c = 0; c < columns.size(); ++c) out.column(c) = columns[c];
+  return out;
+}
+
+#define ASSERT_OK(expr)                                          \
+  do {                                                           \
+    auto _st = (expr);                                           \
+    ASSERT_TRUE(_st.ok()) << _st.ToString();                     \
+  } while (0)
+
+#define EXPECT_OK(expr)                                          \
+  do {                                                           \
+    auto _st = (expr);                                           \
+    EXPECT_TRUE(_st.ok()) << _st.ToString();                     \
+  } while (0)
+
+#define ASSERT_OK_AND_ASSIGN(lhs, rexpr)                         \
+  ASSERT_OK_AND_ASSIGN_IMPL(RAPID_CONCAT(_res_, __LINE__), lhs, rexpr)
+
+#define ASSERT_OK_AND_ASSIGN_IMPL(tmp, lhs, rexpr)               \
+  auto tmp = (rexpr);                                            \
+  ASSERT_TRUE(tmp.ok()) << tmp.status().ToString();              \
+  lhs = std::move(tmp).value()
+
+}  // namespace rapid::testing
+
+#endif  // RAPID_TESTS_TEST_UTIL_H_

@@ -1,0 +1,226 @@
+// TPC-H workload tests: generator invariants and, for every query in
+// the evaluated set, exact agreement between RAPID and the System X
+// Volcano engine on the same data.
+
+#include <set>
+#include <unordered_set>
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+#include "tpch/queries.h"
+#include "tpch/tpch_gen.h"
+
+namespace rapid::tpch {
+namespace {
+
+using rapid::testing::ExpectSameRows;
+
+// ---- Date helper -----------------------------------------------------------
+
+TEST(DateTest, KnownDates) {
+  EXPECT_EQ(DaysFromCivil(1970, 1, 1), 0);
+  EXPECT_EQ(DaysFromCivil(1970, 1, 2), 1);
+  EXPECT_EQ(DaysFromCivil(1969, 12, 31), -1);
+  EXPECT_EQ(DaysFromCivil(2000, 3, 1), 11017);
+  // Ordering across the TPC-H date domain.
+  EXPECT_LT(DaysFromCivil(1992, 1, 1), DaysFromCivil(1998, 8, 2));
+  EXPECT_EQ(DaysFromCivil(1995, 3, 15) - DaysFromCivil(1995, 3, 14), 1);
+}
+
+// ---- Generator -------------------------------------------------------------
+
+class GeneratorTest : public ::testing::Test {
+ protected:
+  static constexpr double kSf = 0.005;
+  GeneratorTest() : gen_(kSf, 7) {}
+  TpchGenerator gen_;
+};
+
+TEST_F(GeneratorTest, Cardinalities) {
+  EXPECT_EQ(gen_.Region().num_rows(), 5u);
+  EXPECT_EQ(gen_.Nation().num_rows(), 25u);
+  EXPECT_EQ(gen_.Supplier().num_rows(), 50u);
+  EXPECT_EQ(gen_.Customer().num_rows(), 750u);
+  EXPECT_EQ(gen_.Part().num_rows(), 1000u);
+  EXPECT_EQ(gen_.PartSupp().num_rows(), 4000u);  // 4 suppliers per part
+  EXPECT_EQ(gen_.Orders().num_rows(), 7500u);
+  // Lineitem: 1-7 lines per order.
+  const size_t lines = gen_.Lineitem().num_rows();
+  EXPECT_GE(lines, 7500u);
+  EXPECT_LE(lines, 7u * 7500u);
+}
+
+TEST_F(GeneratorTest, ForeignKeysInRange) {
+  TableData orders = gen_.Orders();
+  TableData lineitem = gen_.Lineitem();
+  std::unordered_set<int64_t> orderkeys(orders.data[0].ints.begin(),
+                                        orders.data[0].ints.end());
+  for (int64_t ok : lineitem.data[0].ints) {
+    ASSERT_TRUE(orderkeys.count(ok));
+  }
+  for (int64_t ck : orders.data[1].ints) {
+    ASSERT_GE(ck, 1);
+    ASSERT_LE(ck, 750);
+  }
+  for (int64_t pk : lineitem.data[1].ints) {
+    ASSERT_GE(pk, 1);
+    ASSERT_LE(pk, 1000);
+  }
+}
+
+TEST_F(GeneratorTest, DateCorrelations) {
+  TableData orders = gen_.Orders();
+  TableData lineitem = gen_.Lineitem();
+  std::unordered_map<int64_t, int64_t> orderdate;
+  for (size_t i = 0; i < orders.num_rows(); ++i) {
+    orderdate[orders.data[0].ints[i]] = orders.data[4].ints[i];
+  }
+  for (size_t i = 0; i < lineitem.num_rows(); ++i) {
+    const int64_t od = orderdate[lineitem.data[0].ints[i]];
+    const int64_t ship = lineitem.data[10].ints[i];
+    const int64_t commit = lineitem.data[11].ints[i];
+    const int64_t receipt = lineitem.data[12].ints[i];
+    ASSERT_GT(ship, od);
+    ASSERT_LE(ship, od + 121);
+    ASSERT_GT(commit, od);
+    ASSERT_GT(receipt, ship);
+  }
+}
+
+TEST_F(GeneratorTest, ValueDomains) {
+  TableData lineitem = gen_.Lineitem();
+  for (double q : lineitem.data[4].decimals) {
+    ASSERT_GE(q, 1);
+    ASSERT_LE(q, 50);
+  }
+  for (double d : lineitem.data[6].decimals) {
+    ASSERT_GE(d, 0.0);
+    ASSERT_LE(d, 0.10);
+  }
+  for (double t : lineitem.data[7].decimals) {
+    ASSERT_GE(t, 0.0);
+    ASSERT_LE(t, 0.08);
+  }
+  // linestatus is correlated with shipdate.
+  const int32_t cutoff = DaysFromCivil(1995, 6, 17);
+  for (size_t i = 0; i < lineitem.num_rows(); ++i) {
+    const bool open = lineitem.data[10].ints[i] > cutoff;
+    ASSERT_EQ(lineitem.data[9].strings[i], open ? "O" : "F");
+  }
+}
+
+TEST_F(GeneratorTest, DeterministicForSeed) {
+  TpchGenerator a(kSf, 99);
+  TpchGenerator b(kSf, 99);
+  EXPECT_EQ(a.Lineitem().data[5].decimals, b.Lineitem().data[5].decimals);
+  TpchGenerator c(kSf, 100);
+  EXPECT_NE(a.Lineitem().data[5].decimals, c.Lineitem().data[5].decimals);
+}
+
+// ---- Query agreement: RAPID vs System X ------------------------------------
+
+class TpchQueryTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    host_ = new hostdb::HostDatabase();
+    engine_ = new core::RapidEngine();
+    RAPID_CHECK_OK(LoadTpch(0.01, host_, engine_, /*seed=*/5,
+                            /*rows_per_chunk=*/1024));
+  }
+  static void TearDownTestSuite() {
+    delete host_;
+    delete engine_;
+    host_ = nullptr;
+    engine_ = nullptr;
+  }
+
+  void CheckQuery(const std::string& name, bool expect_rows = true) {
+    ASSERT_OK_AND_ASSIGN(TpchQuery query, BuildQuery(name));
+    ASSERT_OK_AND_ASSIGN(QueryRun rapid, RunOnRapid(*engine_, query));
+    ASSERT_OK_AND_ASSIGN(QueryRun host, RunOnHost(*host_, query));
+    ExpectSameRows(rapid.result, host.result);
+    if (expect_rows) {
+      EXPECT_GT(rapid.result.num_rows(), 0u) << name;
+    }
+    EXPECT_GT(rapid.modeled_dpu_seconds, 0) << name;
+  }
+
+  static hostdb::HostDatabase* host_;
+  static core::RapidEngine* engine_;
+};
+
+hostdb::HostDatabase* TpchQueryTest::host_ = nullptr;
+core::RapidEngine* TpchQueryTest::engine_ = nullptr;
+
+TEST_F(TpchQueryTest, Q1) { CheckQuery("Q1"); }
+TEST_F(TpchQueryTest, Q3) { CheckQuery("Q3"); }
+TEST_F(TpchQueryTest, Q4) { CheckQuery("Q4"); }
+TEST_F(TpchQueryTest, Q5) { CheckQuery("Q5"); }
+TEST_F(TpchQueryTest, Q6) { CheckQuery("Q6"); }
+TEST_F(TpchQueryTest, Q10) { CheckQuery("Q10"); }
+TEST_F(TpchQueryTest, Q11) { CheckQuery("Q11"); }
+TEST_F(TpchQueryTest, Q12) { CheckQuery("Q12"); }
+TEST_F(TpchQueryTest, Q14) { CheckQuery("Q14"); }
+TEST_F(TpchQueryTest, Q18) { CheckQuery("Q18", /*expect_rows=*/false); }
+TEST_F(TpchQueryTest, Q19) { CheckQuery("Q19", /*expect_rows=*/false); }
+
+TEST_F(TpchQueryTest, QuerySetComplete) {
+  const std::vector<TpchQuery> set = BuildQuerySet();
+  EXPECT_EQ(set.size(), 11u);
+  EXPECT_FALSE(BuildQuery("Q99").ok());
+}
+
+TEST_F(TpchQueryTest, Q1AveragesAreFinalizedByHost) {
+  ASSERT_OK_AND_ASSIGN(TpchQuery q1, BuildQuery("Q1"));
+  ASSERT_OK_AND_ASSIGN(QueryRun run, RunOnRapid(*engine_, q1));
+  // Post-processing appends avg_qty / avg_price / avg_disc.
+  EXPECT_OK(run.result.IndexOf("avg_qty").status());
+  EXPECT_OK(run.result.IndexOf("avg_price").status());
+  ASSERT_OK_AND_ASSIGN(size_t avg_qty, run.result.IndexOf("avg_qty"));
+  ASSERT_OK_AND_ASSIGN(size_t sum_qty, run.result.IndexOf("sum_qty"));
+  ASSERT_OK_AND_ASSIGN(size_t cnt, run.result.IndexOf("count_order"));
+  for (size_t r = 0; r < run.result.num_rows(); ++r) {
+    const double expected = run.result.Decimal(r, sum_qty) /
+                            static_cast<double>(run.result.Value(r, cnt));
+    EXPECT_NEAR(run.result.Decimal(r, avg_qty), expected, 0.01);
+  }
+}
+
+TEST_F(TpchQueryTest, Q6MatchesDirectComputation) {
+  // Independent computation of Q6 from the generated data.
+  TpchGenerator gen(0.01, 5);
+  TableData li = gen.Lineitem();
+  const int32_t lo = DaysFromCivil(1994, 1, 1);
+  const int32_t hi = DaysFromCivil(1994, 12, 31);
+  double revenue = 0;
+  for (size_t i = 0; i < li.num_rows(); ++i) {
+    const int64_t ship = li.data[10].ints[i];
+    const double disc = li.data[6].decimals[i];
+    const double qty = li.data[4].decimals[i];
+    if (ship >= lo && ship <= hi && disc >= 0.05 - 1e-9 &&
+        disc <= 0.07 + 1e-9 && qty < 24) {
+      revenue += li.data[5].decimals[i] * disc;
+    }
+  }
+  ASSERT_OK_AND_ASSIGN(TpchQuery q6, BuildQuery("Q6"));
+  ASSERT_OK_AND_ASSIGN(QueryRun run, RunOnRapid(*engine_, q6));
+  ASSERT_EQ(run.result.num_rows(), 1u);
+  EXPECT_NEAR(run.result.Decimal(0, 0), revenue, 0.01);
+}
+
+TEST_F(TpchQueryTest, FullQuerySetThroughOffloadPath) {
+  // Queries routed through the host database offload machinery must
+  // produce the same rows as direct RAPID execution.
+  ASSERT_OK_AND_ASSIGN(TpchQuery q6, BuildQuery("Q6"));
+  ASSERT_OK_AND_ASSIGN(core::LogicalPtr plan,
+                       q6.fragments[0](host_->catalog(), {}));
+  ASSERT_OK_AND_ASSIGN(hostdb::QueryReport report,
+                       host_->ExecuteQuery(plan, engine_));
+  EXPECT_TRUE(report.offloaded);
+  ASSERT_OK_AND_ASSIGN(QueryRun direct, RunOnRapid(*engine_, q6));
+  ExpectSameRows(report.rows, direct.result);
+}
+
+}  // namespace
+}  // namespace rapid::tpch
