@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_dms_transfer"
+  "../bench/bench_dms_transfer.pdb"
+  "CMakeFiles/bench_dms_transfer.dir/bench_dms_transfer.cc.o"
+  "CMakeFiles/bench_dms_transfer.dir/bench_dms_transfer.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_dms_transfer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

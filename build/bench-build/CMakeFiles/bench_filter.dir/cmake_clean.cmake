@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_filter"
+  "../bench/bench_filter.pdb"
+  "CMakeFiles/bench_filter.dir/bench_filter.cc.o"
+  "CMakeFiles/bench_filter.dir/bench_filter.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_filter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

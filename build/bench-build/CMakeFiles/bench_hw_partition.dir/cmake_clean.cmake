@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_hw_partition"
+  "../bench/bench_hw_partition.pdb"
+  "CMakeFiles/bench_hw_partition.dir/bench_hw_partition.cc.o"
+  "CMakeFiles/bench_hw_partition.dir/bench_hw_partition.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_hw_partition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_join_probe"
+  "../bench/bench_join_probe.pdb"
+  "CMakeFiles/bench_join_probe.dir/bench_join_probe.cc.o"
+  "CMakeFiles/bench_join_probe.dir/bench_join_probe.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_join_probe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

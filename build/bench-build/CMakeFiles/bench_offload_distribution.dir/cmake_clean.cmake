@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_offload_distribution"
+  "../bench/bench_offload_distribution.pdb"
+  "CMakeFiles/bench_offload_distribution.dir/bench_offload_distribution.cc.o"
+  "CMakeFiles/bench_offload_distribution.dir/bench_offload_distribution.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_offload_distribution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

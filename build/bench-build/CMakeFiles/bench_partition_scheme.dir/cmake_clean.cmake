@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_partition_scheme"
+  "../bench/bench_partition_scheme.pdb"
+  "CMakeFiles/bench_partition_scheme.dir/bench_partition_scheme.cc.o"
+  "CMakeFiles/bench_partition_scheme.dir/bench_partition_scheme.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_partition_scheme.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_skew_resilience"
+  "../bench/bench_skew_resilience.pdb"
+  "CMakeFiles/bench_skew_resilience.dir/bench_skew_resilience.cc.o"
+  "CMakeFiles/bench_skew_resilience.dir/bench_skew_resilience.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_skew_resilience.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

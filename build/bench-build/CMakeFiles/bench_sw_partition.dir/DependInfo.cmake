@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_sw_partition.cc" "bench-build/CMakeFiles/bench_sw_partition.dir/bench_sw_partition.cc.o" "gcc" "bench-build/CMakeFiles/bench_sw_partition.dir/bench_sw_partition.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/rapid_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/hostdb/CMakeFiles/rapid_hostdb.dir/DependInfo.cmake"
+  "/root/repo/build/src/tpch/CMakeFiles/rapid_tpch.dir/DependInfo.cmake"
+  "/root/repo/build/src/dpu/CMakeFiles/rapid_dpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/primitives/CMakeFiles/rapid_primitives.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/rapid_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/rapid_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_task_formation"
+  "../bench/bench_task_formation.pdb"
+  "CMakeFiles/bench_task_formation.dir/bench_task_formation.cc.o"
+  "CMakeFiles/bench_task_formation.dir/bench_task_formation.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_task_formation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_tpch_perfwatt"
+  "../bench/bench_tpch_perfwatt.pdb"
+  "CMakeFiles/bench_tpch_perfwatt.dir/bench_tpch_perfwatt.cc.o"
+  "CMakeFiles/bench_tpch_perfwatt.dir/bench_tpch_perfwatt.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tpch_perfwatt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

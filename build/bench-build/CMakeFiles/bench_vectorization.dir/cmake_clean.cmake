@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_vectorization"
+  "../bench/bench_vectorization.pdb"
+  "CMakeFiles/bench_vectorization.dir/bench_vectorization.cc.o"
+  "CMakeFiles/bench_vectorization.dir/bench_vectorization.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_vectorization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/offload_demo.dir/offload_demo.cpp.o"
+  "CMakeFiles/offload_demo.dir/offload_demo.cpp.o.d"
+  "offload_demo"
+  "offload_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/offload_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/skew_join.dir/skew_join.cpp.o"
+  "CMakeFiles/skew_join.dir/skew_join.cpp.o.d"
+  "skew_join"
+  "skew_join.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/skew_join.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rapid_common.dir/bitvector.cc.o"
+  "CMakeFiles/rapid_common.dir/bitvector.cc.o.d"
+  "CMakeFiles/rapid_common.dir/crc32.cc.o"
+  "CMakeFiles/rapid_common.dir/crc32.cc.o.d"
+  "CMakeFiles/rapid_common.dir/rng.cc.o"
+  "CMakeFiles/rapid_common.dir/rng.cc.o.d"
+  "CMakeFiles/rapid_common.dir/status.cc.o"
+  "CMakeFiles/rapid_common.dir/status.cc.o.d"
+  "librapid_common.a"
+  "librapid_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rapid_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

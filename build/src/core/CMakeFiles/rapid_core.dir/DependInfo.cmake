@@ -1,0 +1,43 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/engine.cc" "src/core/CMakeFiles/rapid_core.dir/engine.cc.o" "gcc" "src/core/CMakeFiles/rapid_core.dir/engine.cc.o.d"
+  "/root/repo/src/core/expr.cc" "src/core/CMakeFiles/rapid_core.dir/expr.cc.o" "gcc" "src/core/CMakeFiles/rapid_core.dir/expr.cc.o.d"
+  "/root/repo/src/core/ops/filter_op.cc" "src/core/CMakeFiles/rapid_core.dir/ops/filter_op.cc.o" "gcc" "src/core/CMakeFiles/rapid_core.dir/ops/filter_op.cc.o.d"
+  "/root/repo/src/core/ops/groupby_op.cc" "src/core/CMakeFiles/rapid_core.dir/ops/groupby_op.cc.o" "gcc" "src/core/CMakeFiles/rapid_core.dir/ops/groupby_op.cc.o.d"
+  "/root/repo/src/core/ops/join_exec.cc" "src/core/CMakeFiles/rapid_core.dir/ops/join_exec.cc.o" "gcc" "src/core/CMakeFiles/rapid_core.dir/ops/join_exec.cc.o.d"
+  "/root/repo/src/core/ops/merge_join_exec.cc" "src/core/CMakeFiles/rapid_core.dir/ops/merge_join_exec.cc.o" "gcc" "src/core/CMakeFiles/rapid_core.dir/ops/merge_join_exec.cc.o.d"
+  "/root/repo/src/core/ops/partition_exec.cc" "src/core/CMakeFiles/rapid_core.dir/ops/partition_exec.cc.o" "gcc" "src/core/CMakeFiles/rapid_core.dir/ops/partition_exec.cc.o.d"
+  "/root/repo/src/core/ops/project_op.cc" "src/core/CMakeFiles/rapid_core.dir/ops/project_op.cc.o" "gcc" "src/core/CMakeFiles/rapid_core.dir/ops/project_op.cc.o.d"
+  "/root/repo/src/core/ops/setop_exec.cc" "src/core/CMakeFiles/rapid_core.dir/ops/setop_exec.cc.o" "gcc" "src/core/CMakeFiles/rapid_core.dir/ops/setop_exec.cc.o.d"
+  "/root/repo/src/core/ops/sort_exec.cc" "src/core/CMakeFiles/rapid_core.dir/ops/sort_exec.cc.o" "gcc" "src/core/CMakeFiles/rapid_core.dir/ops/sort_exec.cc.o.d"
+  "/root/repo/src/core/ops/window_exec.cc" "src/core/CMakeFiles/rapid_core.dir/ops/window_exec.cc.o" "gcc" "src/core/CMakeFiles/rapid_core.dir/ops/window_exec.cc.o.d"
+  "/root/repo/src/core/qcomp/cost_model.cc" "src/core/CMakeFiles/rapid_core.dir/qcomp/cost_model.cc.o" "gcc" "src/core/CMakeFiles/rapid_core.dir/qcomp/cost_model.cc.o.d"
+  "/root/repo/src/core/qcomp/logical_plan.cc" "src/core/CMakeFiles/rapid_core.dir/qcomp/logical_plan.cc.o" "gcc" "src/core/CMakeFiles/rapid_core.dir/qcomp/logical_plan.cc.o.d"
+  "/root/repo/src/core/qcomp/partition_scheme.cc" "src/core/CMakeFiles/rapid_core.dir/qcomp/partition_scheme.cc.o" "gcc" "src/core/CMakeFiles/rapid_core.dir/qcomp/partition_scheme.cc.o.d"
+  "/root/repo/src/core/qcomp/plan_serde.cc" "src/core/CMakeFiles/rapid_core.dir/qcomp/plan_serde.cc.o" "gcc" "src/core/CMakeFiles/rapid_core.dir/qcomp/plan_serde.cc.o.d"
+  "/root/repo/src/core/qcomp/planner.cc" "src/core/CMakeFiles/rapid_core.dir/qcomp/planner.cc.o" "gcc" "src/core/CMakeFiles/rapid_core.dir/qcomp/planner.cc.o.d"
+  "/root/repo/src/core/qcomp/steps.cc" "src/core/CMakeFiles/rapid_core.dir/qcomp/steps.cc.o" "gcc" "src/core/CMakeFiles/rapid_core.dir/qcomp/steps.cc.o.d"
+  "/root/repo/src/core/qcomp/task_formation.cc" "src/core/CMakeFiles/rapid_core.dir/qcomp/task_formation.cc.o" "gcc" "src/core/CMakeFiles/rapid_core.dir/qcomp/task_formation.cc.o.d"
+  "/root/repo/src/core/qef/column_set.cc" "src/core/CMakeFiles/rapid_core.dir/qef/column_set.cc.o" "gcc" "src/core/CMakeFiles/rapid_core.dir/qef/column_set.cc.o.d"
+  "/root/repo/src/core/qef/relation_accessor.cc" "src/core/CMakeFiles/rapid_core.dir/qef/relation_accessor.cc.o" "gcc" "src/core/CMakeFiles/rapid_core.dir/qef/relation_accessor.cc.o.d"
+  "/root/repo/src/core/result_format.cc" "src/core/CMakeFiles/rapid_core.dir/result_format.cc.o" "gcc" "src/core/CMakeFiles/rapid_core.dir/result_format.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/rapid_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/dpu/CMakeFiles/rapid_dpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/primitives/CMakeFiles/rapid_primitives.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/rapid_storage.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

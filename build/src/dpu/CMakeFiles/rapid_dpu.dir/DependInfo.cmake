@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dpu/cost_model.cc" "src/dpu/CMakeFiles/rapid_dpu.dir/cost_model.cc.o" "gcc" "src/dpu/CMakeFiles/rapid_dpu.dir/cost_model.cc.o.d"
+  "/root/repo/src/dpu/dms.cc" "src/dpu/CMakeFiles/rapid_dpu.dir/dms.cc.o" "gcc" "src/dpu/CMakeFiles/rapid_dpu.dir/dms.cc.o.d"
+  "/root/repo/src/dpu/dpu.cc" "src/dpu/CMakeFiles/rapid_dpu.dir/dpu.cc.o" "gcc" "src/dpu/CMakeFiles/rapid_dpu.dir/dpu.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/rapid_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

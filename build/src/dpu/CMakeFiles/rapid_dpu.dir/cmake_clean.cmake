@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rapid_dpu.dir/cost_model.cc.o"
+  "CMakeFiles/rapid_dpu.dir/cost_model.cc.o.d"
+  "CMakeFiles/rapid_dpu.dir/dms.cc.o"
+  "CMakeFiles/rapid_dpu.dir/dms.cc.o.d"
+  "CMakeFiles/rapid_dpu.dir/dpu.cc.o"
+  "CMakeFiles/rapid_dpu.dir/dpu.cc.o.d"
+  "librapid_dpu.a"
+  "librapid_dpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rapid_dpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rapid_hostdb.dir/database.cc.o"
+  "CMakeFiles/rapid_hostdb.dir/database.cc.o.d"
+  "CMakeFiles/rapid_hostdb.dir/iterator.cc.o"
+  "CMakeFiles/rapid_hostdb.dir/iterator.cc.o.d"
+  "CMakeFiles/rapid_hostdb.dir/journal.cc.o"
+  "CMakeFiles/rapid_hostdb.dir/journal.cc.o.d"
+  "CMakeFiles/rapid_hostdb.dir/offload.cc.o"
+  "CMakeFiles/rapid_hostdb.dir/offload.cc.o.d"
+  "CMakeFiles/rapid_hostdb.dir/volcano.cc.o"
+  "CMakeFiles/rapid_hostdb.dir/volcano.cc.o.d"
+  "librapid_hostdb.a"
+  "librapid_hostdb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rapid_hostdb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

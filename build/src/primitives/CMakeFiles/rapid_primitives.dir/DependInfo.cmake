@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/primitives/filter.cc" "src/primitives/CMakeFiles/rapid_primitives.dir/filter.cc.o" "gcc" "src/primitives/CMakeFiles/rapid_primitives.dir/filter.cc.o.d"
+  "/root/repo/src/primitives/join_kernel.cc" "src/primitives/CMakeFiles/rapid_primitives.dir/join_kernel.cc.o" "gcc" "src/primitives/CMakeFiles/rapid_primitives.dir/join_kernel.cc.o.d"
+  "/root/repo/src/primitives/partition_map.cc" "src/primitives/CMakeFiles/rapid_primitives.dir/partition_map.cc.o" "gcc" "src/primitives/CMakeFiles/rapid_primitives.dir/partition_map.cc.o.d"
+  "/root/repo/src/primitives/registry.cc" "src/primitives/CMakeFiles/rapid_primitives.dir/registry.cc.o" "gcc" "src/primitives/CMakeFiles/rapid_primitives.dir/registry.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/rapid_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/rapid_storage.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rapid_primitives.dir/filter.cc.o"
+  "CMakeFiles/rapid_primitives.dir/filter.cc.o.d"
+  "CMakeFiles/rapid_primitives.dir/join_kernel.cc.o"
+  "CMakeFiles/rapid_primitives.dir/join_kernel.cc.o.d"
+  "CMakeFiles/rapid_primitives.dir/partition_map.cc.o"
+  "CMakeFiles/rapid_primitives.dir/partition_map.cc.o.d"
+  "CMakeFiles/rapid_primitives.dir/registry.cc.o"
+  "CMakeFiles/rapid_primitives.dir/registry.cc.o.d"
+  "librapid_primitives.a"
+  "librapid_primitives.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rapid_primitives.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/storage/dictionary.cc" "src/storage/CMakeFiles/rapid_storage.dir/dictionary.cc.o" "gcc" "src/storage/CMakeFiles/rapid_storage.dir/dictionary.cc.o.d"
+  "/root/repo/src/storage/dsb.cc" "src/storage/CMakeFiles/rapid_storage.dir/dsb.cc.o" "gcc" "src/storage/CMakeFiles/rapid_storage.dir/dsb.cc.o.d"
+  "/root/repo/src/storage/encoding_stack.cc" "src/storage/CMakeFiles/rapid_storage.dir/encoding_stack.cc.o" "gcc" "src/storage/CMakeFiles/rapid_storage.dir/encoding_stack.cc.o.d"
+  "/root/repo/src/storage/loader.cc" "src/storage/CMakeFiles/rapid_storage.dir/loader.cc.o" "gcc" "src/storage/CMakeFiles/rapid_storage.dir/loader.cc.o.d"
+  "/root/repo/src/storage/rle.cc" "src/storage/CMakeFiles/rapid_storage.dir/rle.cc.o" "gcc" "src/storage/CMakeFiles/rapid_storage.dir/rle.cc.o.d"
+  "/root/repo/src/storage/table.cc" "src/storage/CMakeFiles/rapid_storage.dir/table.cc.o" "gcc" "src/storage/CMakeFiles/rapid_storage.dir/table.cc.o.d"
+  "/root/repo/src/storage/update.cc" "src/storage/CMakeFiles/rapid_storage.dir/update.cc.o" "gcc" "src/storage/CMakeFiles/rapid_storage.dir/update.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/rapid_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rapid_storage.dir/dictionary.cc.o"
+  "CMakeFiles/rapid_storage.dir/dictionary.cc.o.d"
+  "CMakeFiles/rapid_storage.dir/dsb.cc.o"
+  "CMakeFiles/rapid_storage.dir/dsb.cc.o.d"
+  "CMakeFiles/rapid_storage.dir/encoding_stack.cc.o"
+  "CMakeFiles/rapid_storage.dir/encoding_stack.cc.o.d"
+  "CMakeFiles/rapid_storage.dir/loader.cc.o"
+  "CMakeFiles/rapid_storage.dir/loader.cc.o.d"
+  "CMakeFiles/rapid_storage.dir/rle.cc.o"
+  "CMakeFiles/rapid_storage.dir/rle.cc.o.d"
+  "CMakeFiles/rapid_storage.dir/table.cc.o"
+  "CMakeFiles/rapid_storage.dir/table.cc.o.d"
+  "CMakeFiles/rapid_storage.dir/update.cc.o"
+  "CMakeFiles/rapid_storage.dir/update.cc.o.d"
+  "librapid_storage.a"
+  "librapid_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rapid_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

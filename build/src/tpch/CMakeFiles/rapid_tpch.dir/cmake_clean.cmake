@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rapid_tpch.dir/queries.cc.o"
+  "CMakeFiles/rapid_tpch.dir/queries.cc.o.d"
+  "CMakeFiles/rapid_tpch.dir/tpch_gen.cc.o"
+  "CMakeFiles/rapid_tpch.dir/tpch_gen.cc.o.d"
+  "librapid_tpch.a"
+  "librapid_tpch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rapid_tpch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,38 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/common_test.cc" "tests/CMakeFiles/rapid_tests.dir/common_test.cc.o" "gcc" "tests/CMakeFiles/rapid_tests.dir/common_test.cc.o.d"
+  "/root/repo/tests/dpu_test.cc" "tests/CMakeFiles/rapid_tests.dir/dpu_test.cc.o" "gcc" "tests/CMakeFiles/rapid_tests.dir/dpu_test.cc.o.d"
+  "/root/repo/tests/engine_test.cc" "tests/CMakeFiles/rapid_tests.dir/engine_test.cc.o" "gcc" "tests/CMakeFiles/rapid_tests.dir/engine_test.cc.o.d"
+  "/root/repo/tests/extensions_test.cc" "tests/CMakeFiles/rapid_tests.dir/extensions_test.cc.o" "gcc" "tests/CMakeFiles/rapid_tests.dir/extensions_test.cc.o.d"
+  "/root/repo/tests/format_test.cc" "tests/CMakeFiles/rapid_tests.dir/format_test.cc.o" "gcc" "tests/CMakeFiles/rapid_tests.dir/format_test.cc.o.d"
+  "/root/repo/tests/hostdb_test.cc" "tests/CMakeFiles/rapid_tests.dir/hostdb_test.cc.o" "gcc" "tests/CMakeFiles/rapid_tests.dir/hostdb_test.cc.o.d"
+  "/root/repo/tests/ops_test.cc" "tests/CMakeFiles/rapid_tests.dir/ops_test.cc.o" "gcc" "tests/CMakeFiles/rapid_tests.dir/ops_test.cc.o.d"
+  "/root/repo/tests/primitives_test.cc" "tests/CMakeFiles/rapid_tests.dir/primitives_test.cc.o" "gcc" "tests/CMakeFiles/rapid_tests.dir/primitives_test.cc.o.d"
+  "/root/repo/tests/qcomp_test.cc" "tests/CMakeFiles/rapid_tests.dir/qcomp_test.cc.o" "gcc" "tests/CMakeFiles/rapid_tests.dir/qcomp_test.cc.o.d"
+  "/root/repo/tests/serde_test.cc" "tests/CMakeFiles/rapid_tests.dir/serde_test.cc.o" "gcc" "tests/CMakeFiles/rapid_tests.dir/serde_test.cc.o.d"
+  "/root/repo/tests/storage_test.cc" "tests/CMakeFiles/rapid_tests.dir/storage_test.cc.o" "gcc" "tests/CMakeFiles/rapid_tests.dir/storage_test.cc.o.d"
+  "/root/repo/tests/sweeps_test.cc" "tests/CMakeFiles/rapid_tests.dir/sweeps_test.cc.o" "gcc" "tests/CMakeFiles/rapid_tests.dir/sweeps_test.cc.o.d"
+  "/root/repo/tests/tpch_test.cc" "tests/CMakeFiles/rapid_tests.dir/tpch_test.cc.o" "gcc" "tests/CMakeFiles/rapid_tests.dir/tpch_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/rapid_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/hostdb/CMakeFiles/rapid_hostdb.dir/DependInfo.cmake"
+  "/root/repo/build/src/tpch/CMakeFiles/rapid_tpch.dir/DependInfo.cmake"
+  "/root/repo/build/src/dpu/CMakeFiles/rapid_dpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/primitives/CMakeFiles/rapid_primitives.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/rapid_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/rapid_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,36 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rapid_tests.dir/common_test.cc.o"
+  "CMakeFiles/rapid_tests.dir/common_test.cc.o.d"
+  "CMakeFiles/rapid_tests.dir/dpu_test.cc.o"
+  "CMakeFiles/rapid_tests.dir/dpu_test.cc.o.d"
+  "CMakeFiles/rapid_tests.dir/engine_test.cc.o"
+  "CMakeFiles/rapid_tests.dir/engine_test.cc.o.d"
+  "CMakeFiles/rapid_tests.dir/extensions_test.cc.o"
+  "CMakeFiles/rapid_tests.dir/extensions_test.cc.o.d"
+  "CMakeFiles/rapid_tests.dir/format_test.cc.o"
+  "CMakeFiles/rapid_tests.dir/format_test.cc.o.d"
+  "CMakeFiles/rapid_tests.dir/hostdb_test.cc.o"
+  "CMakeFiles/rapid_tests.dir/hostdb_test.cc.o.d"
+  "CMakeFiles/rapid_tests.dir/ops_test.cc.o"
+  "CMakeFiles/rapid_tests.dir/ops_test.cc.o.d"
+  "CMakeFiles/rapid_tests.dir/primitives_test.cc.o"
+  "CMakeFiles/rapid_tests.dir/primitives_test.cc.o.d"
+  "CMakeFiles/rapid_tests.dir/qcomp_test.cc.o"
+  "CMakeFiles/rapid_tests.dir/qcomp_test.cc.o.d"
+  "CMakeFiles/rapid_tests.dir/serde_test.cc.o"
+  "CMakeFiles/rapid_tests.dir/serde_test.cc.o.d"
+  "CMakeFiles/rapid_tests.dir/storage_test.cc.o"
+  "CMakeFiles/rapid_tests.dir/storage_test.cc.o.d"
+  "CMakeFiles/rapid_tests.dir/sweeps_test.cc.o"
+  "CMakeFiles/rapid_tests.dir/sweeps_test.cc.o.d"
+  "CMakeFiles/rapid_tests.dir/tpch_test.cc.o"
+  "CMakeFiles/rapid_tests.dir/tpch_test.cc.o.d"
+  "rapid_tests"
+  "rapid_tests.pdb"
+  "rapid_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rapid_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
