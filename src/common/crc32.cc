@@ -1,5 +1,19 @@
 #include "common/crc32.h"
 
+#include <cstring>
+
+#if defined(__x86_64__) || defined(_M_X64) || defined(__i386__)
+#define RAPID_CRC32_X86 1
+#if defined(__GNUC__) || defined(__clang__)
+#include <cpuid.h>
+#endif
+#endif
+
+#if defined(__aarch64__) && defined(__ARM_FEATURE_CRC32)
+#define RAPID_CRC32_ARM 1
+#include <arm_acle.h>
+#endif
+
 namespace rapid {
 
 namespace {
@@ -26,9 +40,88 @@ const Crc32Table& Table() {
   return table;
 }
 
+#if defined(RAPID_CRC32_X86)
+
+// The SSE4.2 crc32 instruction implements CRC32C with the same
+// reflected polynomial and no final inversion — bit-identical to the
+// table walk. Compiled with a function-level target attribute so the
+// translation unit itself needs no -msse4.2 (the software path must
+// stay runnable on any x86).
+__attribute__((target("sse4.2"))) uint32_t Crc32Sse42(const void* data,
+                                                      size_t len,
+                                                      uint32_t seed) {
+  const auto* bytes = static_cast<const uint8_t*>(data);
+  uint64_t crc = seed;
+  while (len >= 8) {
+    uint64_t chunk;
+    std::memcpy(&chunk, bytes, 8);
+    crc = __builtin_ia32_crc32di(crc, chunk);
+    bytes += 8;
+    len -= 8;
+  }
+  auto crc32 = static_cast<uint32_t>(crc);
+  while (len > 0) {
+    crc32 = __builtin_ia32_crc32qi(crc32, *bytes);
+    ++bytes;
+    --len;
+  }
+  return crc32;
+}
+
+bool CpuHasSse42() {
+#if defined(__GNUC__) || defined(__clang__)
+  unsigned eax = 0, ebx = 0, ecx = 0, edx = 0;
+  if (!__get_cpuid(1, &eax, &ebx, &ecx, &edx)) return false;
+  return (ecx & bit_SSE4_2) != 0;
+#else
+  return false;
+#endif
+}
+
+#endif  // RAPID_CRC32_X86
+
+#if defined(RAPID_CRC32_ARM)
+
+uint32_t Crc32Armv8(const void* data, size_t len, uint32_t seed) {
+  const auto* bytes = static_cast<const uint8_t*>(data);
+  uint32_t crc = seed;
+  while (len >= 8) {
+    uint64_t chunk;
+    std::memcpy(&chunk, bytes, 8);
+    crc = __crc32cd(crc, chunk);
+    bytes += 8;
+    len -= 8;
+  }
+  while (len > 0) {
+    crc = __crc32cb(crc, *bytes);
+    ++bytes;
+    --len;
+  }
+  return crc;
+}
+
+#endif  // RAPID_CRC32_ARM
+
+using Crc32Fn = uint32_t (*)(const void*, size_t, uint32_t);
+
+Crc32Fn ResolveCrc32() {
+#if defined(RAPID_CRC32_X86)
+  if (CpuHasSse42()) return &Crc32Sse42;
+#endif
+#if defined(RAPID_CRC32_ARM)
+  return &Crc32Armv8;
+#endif
+  return &Crc32Software;
+}
+
+Crc32Fn DispatchedCrc32() {
+  static const Crc32Fn fn = ResolveCrc32();
+  return fn;
+}
+
 }  // namespace
 
-uint32_t Crc32(const void* data, size_t len, uint32_t seed) {
+uint32_t Crc32Software(const void* data, size_t len, uint32_t seed) {
   const auto* bytes = static_cast<const uint8_t*>(data);
   const auto& table = Table();
   uint32_t crc = seed;
@@ -36,6 +129,14 @@ uint32_t Crc32(const void* data, size_t len, uint32_t seed) {
     crc = (crc >> 8) ^ table.entries[(crc ^ bytes[i]) & 0xFF];
   }
   return crc;
+}
+
+bool Crc32HardwareAvailable() {
+  return DispatchedCrc32() != &Crc32Software;
+}
+
+uint32_t Crc32(const void* data, size_t len, uint32_t seed) {
+  return DispatchedCrc32()(data, len, seed);
 }
 
 }  // namespace rapid

@@ -1,6 +1,12 @@
 // CRC32 hashing, modeling the dpCore's single-cycle CRC32 instruction
 // and the DMS hash engine (Sections 2.1 and 5.4). All hash
 // partitioning, group-by and join hashing in RAPID use CRC32C.
+//
+// Two implementations exist: a table-driven software fallback and a
+// hardware path using SSE4.2 `crc32` (x86) or the ARMv8 CRC32C
+// extension. Both compute the exact same function — join and
+// partition hash stability across machines depends on it — and the
+// dispatch is resolved once at startup via a function pointer.
 
 #ifndef RAPID_COMMON_CRC32_H_
 #define RAPID_COMMON_CRC32_H_
@@ -11,7 +17,16 @@
 namespace rapid {
 
 // CRC32C (Castagnoli) of a byte buffer, seeded with `seed`.
+// Dispatches to the hardware instruction when available.
 uint32_t Crc32(const void* data, size_t len, uint32_t seed = 0xFFFFFFFFu);
+
+// Table-driven software implementation (always available; the
+// reference the hardware path is validated against).
+uint32_t Crc32Software(const void* data, size_t len,
+                       uint32_t seed = 0xFFFFFFFFu);
+
+// True when this process dispatches to a hardware CRC32C instruction.
+bool Crc32HardwareAvailable();
 
 // Hash of a single fixed-width key, the common case in join/group-by.
 inline uint32_t Crc32U64(uint64_t key, uint32_t seed = 0xFFFFFFFFu) {

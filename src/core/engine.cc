@@ -111,8 +111,10 @@ Result<QueryResult> RapidEngine::ExecutePhysical(const PhysicalPlan& plan,
     }
     const double step_seconds =
         std::max(max_compute, sum_dms) / params_.clock_hz;
-    result.stats.steps.push_back(StepTiming{step->Describe(), step_seconds});
+    result.stats.steps.push_back(
+        StepTiming{step->Describe(), step_seconds, max_compute, sum_dms});
     result.stats.modeled_seconds += step_seconds;
+    result.stats.total_dms_cycles += sum_dms;
   }
   const auto wall_end = std::chrono::steady_clock::now();
 

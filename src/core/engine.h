@@ -28,12 +28,18 @@ struct ExecOptions {
 struct StepTiming {
   std::string description;
   double modeled_seconds = 0;  // max-core cycle delta / 800 MHz
+  double compute_cycles = 0;   // slowest core's compute cycles this step
+  double dms_cycles = 0;       // summed DMS cycles this step (shared DRAM)
 };
 
 struct ExecutionStats {
   double modeled_seconds = 0;  // total modeled DPU time
   double wall_seconds = 0;     // host wall clock (x86 software mode)
   double total_compute_cycles = 0;
+  // Summed DMS transfer cycles across all steps and cores — the
+  // data-movement volume pipeline fusion eliminates (fused chains pay
+  // one load per input tile and one store per output tile).
+  double total_dms_cycles = 0;
   std::vector<StepTiming> steps;
   WorkloadCounters workload;
 };

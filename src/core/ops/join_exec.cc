@@ -1,7 +1,9 @@
 #include "core/ops/join_exec.h"
 
 #include <algorithm>
+#include <map>
 #include <unordered_map>
+#include <unordered_set>
 
 #include "common/crc32.h"
 #include "common/logging.h"
@@ -39,6 +41,9 @@ bool KeysEqual(const ColumnSet& build, const std::vector<size_t>& bkeys,
 
 // Space-saving heavy-hitter sketch: k counters, evict-min on overflow.
 // Overestimates counts, never underestimates — safe for detection.
+// Counters are indexed by a count-ordered bucket map so increment and
+// evict-min are O(log k) instead of an O(k) scan per insert — the
+// sketch runs on the hot build path of every partition pair.
 class SpaceSaving {
  public:
   explicit SpaceSaving(size_t capacity) : capacity_(capacity) {}
@@ -46,21 +51,24 @@ class SpaceSaving {
   void Add(int64_t key) {
     auto it = counts_.find(key);
     if (it != counts_.end()) {
+      MoveBucket(key, it->second, it->second + 1);
       ++it->second;
       return;
     }
     if (counts_.size() < capacity_) {
       counts_[key] = 1;
+      by_count_[1].insert(key);
       return;
     }
-    // Evict the minimum and inherit its count (+1).
-    auto min_it = counts_.begin();
-    for (auto i = counts_.begin(); i != counts_.end(); ++i) {
-      if (i->second < min_it->second) min_it = i;
-    }
-    const uint64_t inherited = min_it->second + 1;
-    counts_.erase(min_it);
+    // Evict a minimum-count key and inherit its count (+1).
+    auto min_bucket = by_count_.begin();
+    const uint64_t inherited = min_bucket->first + 1;
+    const int64_t victim = *min_bucket->second.begin();
+    min_bucket->second.erase(min_bucket->second.begin());
+    if (min_bucket->second.empty()) by_count_.erase(min_bucket);
+    counts_.erase(victim);
     counts_[key] = inherited;
+    by_count_[inherited].insert(key);
   }
 
   std::vector<int64_t> KeysAbove(uint64_t threshold) const {
@@ -72,8 +80,18 @@ class SpaceSaving {
   }
 
  private:
+  void MoveBucket(int64_t key, uint64_t from, uint64_t to) {
+    auto it = by_count_.find(from);
+    it->second.erase(key);
+    if (it->second.empty()) by_count_.erase(it);
+    by_count_[to].insert(key);
+  }
+
   size_t capacity_;
   std::unordered_map<int64_t, uint64_t> counts_;
+  // count -> keys currently at that count; begin() is the eviction
+  // candidate set.
+  std::map<uint64_t, std::unordered_set<int64_t>> by_count_;
 };
 
 struct PairResult {
@@ -209,63 +227,103 @@ void JoinPair(dpu::Dpu& dpu, dpu::DpCore& core, const ColumnSet& build,
   // ---- Probe stage ----
   primitives::ProbeStats probe_stats;
   const std::vector<size_t>& pkeys = spec.probe_keys;
+  // The batched path hashes a whole DMEM tile then calls ProbeBatch
+  // once per tile. It preserves emission order for inner/semi/anti
+  // joins; left-outer interleaves match and null rows per probe row,
+  // and heavy-hitter side passes need per-row bookkeeping, so those
+  // keep the per-row loop.
+  const bool batched =
+      heavy_rows.empty() && spec.type != JoinType::kLeftOuter;
+  std::vector<uint32_t> tile_hashes;
+  std::vector<uint32_t> tile_match_counts;
+  if (batched) {
+    tile_hashes.resize(spec.tile_rows);
+    tile_match_counts.resize(spec.tile_rows);
+  }
   for (size_t start = 0; start < probe_rows; start += spec.tile_rows) {
     const size_t rows = std::min(spec.tile_rows, probe_rows - start);
     primitives::ProbeStats tile_stats;
-    for (size_t i = 0; i < rows; ++i) {
-      const size_t prow = start + i;
-      const uint32_t hash = HashRow(probe, pkeys, prow) >> shift;
-      size_t match_count = 0;
-      table.Probe(
-          hash,
-          [&](size_t brow) {
+    if (batched) {
+      for (size_t i = 0; i < rows; ++i) {
+        tile_hashes[i] = HashRow(probe, pkeys, start + i) >> shift;
+      }
+      table.ProbeBatch(
+          tile_hashes.data(), rows,
+          [&](size_t i, size_t brow) {
             return KeysEqual(build, spec.build_keys, brow, probe, pkeys,
-                             prow);
+                             start + i);
           },
-          [&](size_t brow) {
-            ++match_count;
-            if (spec.type == JoinType::kInner ||
-                spec.type == JoinType::kLeftOuter) {
-              EmitMatch(build, probe, spec, brow, prow, &result->output);
+          [&](size_t i, size_t brow) {
+            if (spec.type == JoinType::kInner) {
+              EmitMatch(build, probe, spec, brow, start + i, &result->output);
             }
           },
-          &tile_stats);
+          tile_match_counts.data(), &tile_stats);
+      for (size_t i = 0; i < rows; ++i) {
+        const uint32_t match_count = tile_match_counts[i];
+        if (spec.type == JoinType::kSemi && match_count > 0) {
+          EmitMatch(build, probe, spec, SIZE_MAX, start + i, &result->output);
+        } else if (spec.type == JoinType::kAnti && match_count == 0) {
+          EmitMatch(build, probe, spec, SIZE_MAX, start + i, &result->output);
+        }
+        result->stats.matches += match_count;
+      }
+    } else {
+      for (size_t i = 0; i < rows; ++i) {
+        const size_t prow = start + i;
+        const uint32_t hash = HashRow(probe, pkeys, prow) >> shift;
+        size_t match_count = 0;
+        table.Probe(
+            hash,
+            [&](size_t brow) {
+              return KeysEqual(build, spec.build_keys, brow, probe, pkeys,
+                               prow);
+            },
+            [&](size_t brow) {
+              ++match_count;
+              if (spec.type == JoinType::kInner ||
+                  spec.type == JoinType::kLeftOuter) {
+                EmitMatch(build, probe, spec, brow, prow, &result->output);
+              }
+            },
+            &tile_stats);
 
-      // Heavy-hitter side pass: probe the broadcast list.
-      if (!heavy_rows.empty() && pkeys.size() == 1) {
-        auto it = heavy_rows.find(probe.Value(prow, pkeys[0]));
-        if (it != heavy_rows.end()) {
-          for (uint32_t brow : it->second) {
-            ++match_count;
-            ++result->stats.heavy_hitter_matches;
-            if (spec.type == JoinType::kInner ||
-                spec.type == JoinType::kLeftOuter) {
-              EmitMatch(build, probe, spec, brow, prow, &result->output);
+        // Heavy-hitter side pass: probe the broadcast list.
+        if (!heavy_rows.empty() && pkeys.size() == 1) {
+          auto it = heavy_rows.find(probe.Value(prow, pkeys[0]));
+          if (it != heavy_rows.end()) {
+            for (uint32_t brow : it->second) {
+              ++match_count;
+              ++result->stats.heavy_hitter_matches;
+              if (spec.type == JoinType::kInner ||
+                  spec.type == JoinType::kLeftOuter) {
+                EmitMatch(build, probe, spec, brow, prow, &result->output);
+              }
             }
           }
         }
-      }
 
-      switch (spec.type) {
-        case JoinType::kSemi:
-          if (match_count > 0) {
-            EmitMatch(build, probe, spec, SIZE_MAX, prow, &result->output);
-          }
-          break;
-        case JoinType::kAnti:
-          if (match_count == 0) {
-            EmitMatch(build, probe, spec, SIZE_MAX, prow, &result->output);
-          }
-          break;
-        case JoinType::kLeftOuter:
-          if (match_count == 0) {
-            EmitMatch(build, probe, spec, SIZE_MAX, prow, &result->output);
-          }
-          break;
-        case JoinType::kInner:
-          break;
+        switch (spec.type) {
+          case JoinType::kSemi:
+            if (match_count > 0) {
+              EmitMatch(build, probe, spec, SIZE_MAX, prow, &result->output);
+            }
+            break;
+          case JoinType::kAnti:
+            if (match_count == 0) {
+              EmitMatch(build, probe, spec, SIZE_MAX, prow, &result->output);
+            }
+            break;
+          case JoinType::kLeftOuter:
+            if (match_count == 0) {
+              EmitMatch(build, probe, spec, SIZE_MAX, prow, &result->output);
+            }
+            break;
+          case JoinType::kInner:
+            break;
+        }
+        result->stats.matches += match_count;
       }
-      result->stats.matches += match_count;
     }
     core.cycles().ChargeCompute(dpu::JoinProbeTileCycles(
         params, rows, tile_stats.chain_steps,

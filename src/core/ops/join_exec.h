@@ -69,6 +69,13 @@ struct JoinSpec {
   // Keys with (approximate) count >= threshold are heavy hitters;
   // 0 disables detection.
   size_t heavy_hitter_threshold = 0;
+
+  // Planner cardinality estimates for the whole (pre-partitioning)
+  // build/probe inputs; the pipeline-fusion pass uses them to decide
+  // whether a broadcast-style fused probe is cheaper than the
+  // partitioned join. 0 = unknown.
+  size_t est_build_rows = 0;
+  size_t est_probe_rows = 0;
 };
 
 struct JoinStats {

@@ -1,0 +1,333 @@
+#include "core/qcomp/pipeline_fusion.h"
+
+#include <algorithm>
+#include <functional>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+
+#include "core/qcomp/task_formation.h"
+
+namespace rapid::core {
+
+namespace {
+
+// Column names an expression list reads (deduplicated, in order).
+std::vector<std::string> ExprColumns(
+    const std::vector<std::pair<std::string, ExprPtr>>& projections) {
+  std::vector<std::string> cols;
+  for (const auto& [name, expr] : projections) {
+    std::vector<std::string> refs;
+    expr->CollectColumns(&refs);
+    for (const auto& r : refs) {
+      if (std::find(cols.begin(), cols.end(), r) == cols.end()) {
+        cols.push_back(r);
+      }
+    }
+  }
+  return cols;
+}
+
+// A pipeline-safe chain accumulated but not yet emitted. Keyed by the
+// old id of the last absorbed step; flushed (as the original step when
+// nothing fused, as a PipelineStep otherwise) the first time a
+// non-fusable consumer needs it.
+struct Desc {
+  std::string table;                     // base-table source, or
+  int input = -1;                        // old id of intermediate source
+  std::vector<std::string> base_columns;
+  std::vector<PipelineStageSpec> stages;
+  size_t tile_rows = 1024;
+  bool use_rid_list = false;
+  size_t fused_steps = 1;  // original steps absorbed into this chain
+  int original = -1;       // old id of the sole step when fused_steps == 1
+};
+
+class Fuser {
+ public:
+  Fuser(PhysicalPlan plan, const dpu::DpuConfig& config, size_t max_build_rows)
+      : plan_(std::move(plan)),
+        config_(config),
+        max_build_rows_(max_build_rows),
+        old_to_new_(plan_.steps.size(), -1),
+        consumers_(plan_.steps.size(), 0) {}
+
+  Result<PhysicalPlan> Run();
+
+ private:
+  Result<int> Materialize(int old_id);
+  Status HandleJoin(int id, JoinStep* join);
+  bool ChainFitsDmem(const Desc& desc, const PipelineStageSpec* extra) const;
+
+  PhysicalPlan plan_;
+  const dpu::DpuConfig& config_;
+  const size_t max_build_rows_;
+
+  PhysicalPlan out_;
+  std::vector<int> old_to_new_;
+  std::vector<int> consumers_;
+  std::unordered_map<int, Desc> pending_;
+  std::unordered_set<int> deferred_partitions_;
+};
+
+// Checks via task formation that the chain (plus an optional extra
+// stage) fits the per-core DMEM budget at some tile size.
+bool Fuser::ChainFitsDmem(const Desc& desc,
+                          const PipelineStageSpec* extra) const {
+  std::vector<OpProfile> profiles;
+  const size_t src_cols =
+      desc.table.empty() ? 4 : std::max<size_t>(1, desc.base_columns.size());
+  profiles.push_back({"accessor", 64, 2 * 8 * src_cols, 1.0, 8 * src_cols});
+
+  auto add_stage = [&](const PipelineStageSpec& stage) {
+    if (stage.kind == PipelineStageSpec::Kind::kFilterProject) {
+      const size_t pass = ExprColumns(stage.projections).size();
+      profiles.push_back({"filter", 64, 8 * (pass + 1), 1.0, 8});
+      profiles.push_back(
+          {"project", 64, 8 * std::max<size_t>(1, stage.projections.size()),
+           1.0, 8 * std::max<size_t>(1, stage.projections.size())});
+    } else {
+      // Broadcast table: ~6 bytes/build row covers bucket heads plus
+      // chain links at the capacities the gate admits.
+      const size_t table_bytes = 6 * std::max<size_t>(64, stage.join_spec.est_build_rows);
+      const size_t out_width = 8 * std::max<size_t>(1, stage.output_columns.size());
+      profiles.push_back({"probe", table_bytes, out_width + 8, 1.0, out_width});
+    }
+  };
+  for (const auto& stage : desc.stages) add_stage(stage);
+  if (extra != nullptr) add_stage(*extra);
+
+  return MaxTileRows(profiles, 0, profiles.size() - 1, config_.dmem_bytes).ok();
+}
+
+Result<int> Fuser::Materialize(int old_id) {
+  if (old_to_new_[static_cast<size_t>(old_id)] >= 0) {
+    return old_to_new_[static_cast<size_t>(old_id)];
+  }
+
+  auto pit = pending_.find(old_id);
+  if (pit != pending_.end()) {
+    Desc desc = std::move(pit->second);
+    pending_.erase(pit);
+    int new_input = -1;
+    if (desc.table.empty()) {
+      RAPID_ASSIGN_OR_RETURN(new_input, Materialize(desc.input));
+    }
+    const int nid = static_cast<int>(out_.steps.size());
+    const bool has_probe = std::any_of(
+        desc.stages.begin(), desc.stages.end(), [](const PipelineStageSpec& s) {
+          return s.kind == PipelineStageSpec::Kind::kProbe;
+        });
+    if (desc.fused_steps == 1 && !has_probe) {
+      // Nothing fused: keep the original step (renumbered).
+      auto step = std::move(plan_.steps[static_cast<size_t>(desc.original)]);
+      step->RemapInputs(old_to_new_);
+      step->set_id(nid);
+      out_.steps.push_back(std::move(step));
+    } else {
+      out_.steps.push_back(std::make_unique<PipelineStep>(
+          nid, desc.table, std::move(desc.base_columns), new_input,
+          std::move(desc.stages), desc.tile_rows, desc.use_rid_list));
+    }
+    old_to_new_[static_cast<size_t>(old_id)] = nid;
+    return nid;
+  }
+
+  if (deferred_partitions_.count(old_id) > 0) {
+    deferred_partitions_.erase(old_id);
+    auto* part =
+        static_cast<PartitionStep*>(plan_.steps[static_cast<size_t>(old_id)].get());
+    RAPID_RETURN_NOT_OK(Materialize(part->input()).status());
+    auto step = std::move(plan_.steps[static_cast<size_t>(old_id)]);
+    const int nid = static_cast<int>(out_.steps.size());
+    step->RemapInputs(old_to_new_);
+    step->set_id(nid);
+    out_.steps.push_back(std::move(step));
+    old_to_new_[static_cast<size_t>(old_id)] = nid;
+    return nid;
+  }
+
+  return Status::Internal("pipeline fusion: step #" + std::to_string(old_id) +
+                          " has no pending chain and was never emitted");
+}
+
+Status Fuser::HandleJoin(int id, JoinStep* join) {
+  const int build_part = join->build_input();
+  const int probe_part = join->probe_input();
+
+  // Broadcast-probe eligibility: both inputs are single-consumer
+  // PartitionSteps, the probe partition's producer is a pending
+  // single-consumer chain, the planner estimates a small build side,
+  // and the extended chain still fits DMEM.
+  bool fuse = max_build_rows_ > 0 &&
+              deferred_partitions_.count(build_part) > 0 &&
+              deferred_partitions_.count(probe_part) > 0 &&
+              consumers_[static_cast<size_t>(build_part)] == 1 &&
+              consumers_[static_cast<size_t>(probe_part)] == 1;
+  int build_src = -1;
+  int probe_src = -1;
+  if (fuse) {
+    build_src = static_cast<PartitionStep*>(
+                    plan_.steps[static_cast<size_t>(build_part)].get())
+                    ->input();
+    probe_src = static_cast<PartitionStep*>(
+                    plan_.steps[static_cast<size_t>(probe_part)].get())
+                    ->input();
+    const JoinSpec& spec = join->spec_template();
+    // Broadcast-cost gate: every core re-reads the build side
+    // (num_cores x est_build rows of DMS traffic), which must stay
+    // below the movement fusion eliminates — both partition passes
+    // (~2 x build + 2 x probe) plus the probe-side scan
+    // materialization (~1 x probe... folded as 2 x probe + 3 x build).
+    const size_t broadcast_rows =
+        static_cast<size_t>(config_.num_cores) * spec.est_build_rows;
+    const size_t saved_rows = 3 * spec.est_build_rows + 2 * spec.est_probe_rows;
+    fuse = pending_.count(probe_src) > 0 &&
+           consumers_[static_cast<size_t>(probe_src)] == 1 &&
+           spec.est_build_rows > 0 &&
+           spec.est_build_rows <= max_build_rows_ &&
+           spec.est_build_rows <= std::max<size_t>(1, spec.est_probe_rows) &&
+           broadcast_rows <= saved_rows;
+  }
+  if (fuse) {
+    PipelineStageSpec stage;
+    stage.kind = PipelineStageSpec::Kind::kProbe;
+    stage.build_keys = join->build_keys();
+    stage.probe_keys = join->probe_keys();
+    stage.output_columns = join->output_columns();
+    stage.join_type = join->type();
+    stage.join_spec = join->spec_template();
+    // The broadcast table holds the whole (unpartitioned) build side.
+    stage.join_spec.dmem_capacity_rows =
+        std::max<size_t>(1024, 2 * stage.join_spec.est_build_rows);
+    fuse = ChainFitsDmem(pending_.at(probe_src), &stage);
+    if (fuse) {
+      RAPID_ASSIGN_OR_RETURN(stage.build_input, Materialize(build_src));
+      Desc desc = std::move(pending_.at(probe_src));
+      pending_.erase(probe_src);
+      desc.stages.push_back(std::move(stage));
+      desc.fused_steps += 3;  // both partitions + the join itself
+      deferred_partitions_.erase(build_part);
+      deferred_partitions_.erase(probe_part);
+      plan_.steps[static_cast<size_t>(build_part)].reset();
+      plan_.steps[static_cast<size_t>(probe_part)].reset();
+      pending_.emplace(id, std::move(desc));
+      return Status::OK();
+    }
+  }
+
+  // Not fusable: keep the partitioned join as-is.
+  RAPID_RETURN_NOT_OK(Materialize(build_part).status());
+  RAPID_RETURN_NOT_OK(Materialize(probe_part).status());
+  auto step = std::move(plan_.steps[static_cast<size_t>(id)]);
+  const int nid = static_cast<int>(out_.steps.size());
+  step->RemapInputs(old_to_new_);
+  step->set_id(nid);
+  out_.steps.push_back(std::move(step));
+  old_to_new_[static_cast<size_t>(id)] = nid;
+  return Status::OK();
+}
+
+Result<PhysicalPlan> Fuser::Run() {
+  const size_t n = plan_.steps.size();
+  if (plan_.root < 0 || static_cast<size_t>(plan_.root) >= n) {
+    return std::move(plan_);
+  }
+  for (const auto& step : plan_.steps) {
+    for (int in : step->Inputs()) ++consumers_[static_cast<size_t>(in)];
+  }
+  ++consumers_[static_cast<size_t>(plan_.root)];  // the query result itself
+
+  for (size_t id = 0; id < n; ++id) {
+    PlanStep* step = plan_.steps[id].get();
+    if (step == nullptr) continue;  // partition absorbed by a fused probe
+
+    if (auto* scan = dynamic_cast<ScanStep*>(step)) {
+      Desc desc;
+      desc.table = scan->table();
+      desc.base_columns = scan->base_columns();
+      desc.tile_rows = scan->tile_rows();
+      desc.use_rid_list = scan->use_rid_list();
+      desc.original = static_cast<int>(id);
+      PipelineStageSpec stage;
+      stage.predicates = scan->predicates();
+      stage.projections = scan->projections();
+      desc.stages.push_back(std::move(stage));
+      pending_.emplace(static_cast<int>(id), std::move(desc));
+      continue;
+    }
+
+    if (auto* pipe = dynamic_cast<PipeStep*>(step)) {
+      PipelineStageSpec stage;
+      stage.predicates = pipe->predicates();
+      stage.projections = pipe->projections();
+      const int in = pipe->input();
+      auto pit = pending_.find(in);
+      if (pit != pending_.end() && consumers_[static_cast<size_t>(in)] == 1 &&
+          ChainFitsDmem(pit->second, &stage)) {
+        Desc desc = std::move(pit->second);
+        pending_.erase(pit);
+        desc.stages.push_back(std::move(stage));
+        desc.tile_rows = std::min(desc.tile_rows, pipe->tile_rows());
+        ++desc.fused_steps;
+        pending_.emplace(static_cast<int>(id), std::move(desc));
+      } else {
+        Desc desc;
+        desc.input = in;
+        desc.tile_rows = pipe->tile_rows();
+        desc.original = static_cast<int>(id);
+        desc.stages.push_back(std::move(stage));
+        pending_.emplace(static_cast<int>(id), std::move(desc));
+      }
+      continue;
+    }
+
+    if (dynamic_cast<PartitionStep*>(step) != nullptr) {
+      // Emission deferred: a fusable join consumes it without ever
+      // materializing the partitioned sets.
+      deferred_partitions_.insert(static_cast<int>(id));
+      continue;
+    }
+
+    if (auto* join = dynamic_cast<JoinStep*>(step)) {
+      RAPID_RETURN_NOT_OK(HandleJoin(static_cast<int>(id), join));
+      continue;
+    }
+
+    // Pipeline breaker (group-by, sort, top-k, set op, window, ...):
+    // materialize its inputs and re-emit it unchanged.
+    for (int in : step->Inputs()) {
+      RAPID_RETURN_NOT_OK(Materialize(in).status());
+    }
+    auto owned = std::move(plan_.steps[id]);
+    const int nid = static_cast<int>(out_.steps.size());
+    owned->RemapInputs(old_to_new_);
+    owned->set_id(nid);
+    out_.steps.push_back(std::move(owned));
+    old_to_new_[id] = nid;
+  }
+
+  RAPID_ASSIGN_OR_RETURN(out_.root, Materialize(plan_.root));
+
+  // Flush anything unreachable from the root (defensive: lowered plans
+  // should not produce dead steps, but never silently drop them).
+  for (size_t id = 0; id < n; ++id) {
+    if (old_to_new_[id] < 0 &&
+        (pending_.count(static_cast<int>(id)) > 0 ||
+         deferred_partitions_.count(static_cast<int>(id)) > 0)) {
+      RAPID_RETURN_NOT_OK(Materialize(static_cast<int>(id)).status());
+    }
+  }
+  return std::move(out_);
+}
+
+}  // namespace
+
+Result<PhysicalPlan> FusePipelines(PhysicalPlan plan,
+                                   const dpu::DpuConfig& config,
+                                   size_t max_build_rows) {
+  Fuser fuser(std::move(plan), config, max_build_rows);
+  return fuser.Run();
+}
+
+}  // namespace rapid::core

@@ -1,0 +1,39 @@
+// Pipeline fusion (QComp post-pass).
+//
+// Rewrites a lowered PhysicalPlan, grouping maximal runs of
+// pipeline-safe steps — scan, filter, project and small-build
+// hash-join probes — into fused PipelineSteps that execute as a single
+// ParallelFor round with the whole operator chain DMEM-resident.
+// Pipeline breakers (join build, partition, group-by, sort, set ops,
+// windows) remain barriers.
+//
+// Fusion rules:
+//   * Scan -> Pipe chains fuse when every intermediate step has exactly
+//     one consumer (its output is never re-read).
+//   * A partitioned join collapses into a broadcast probe stage when
+//     the estimated build side is small (<= max_build_rows and no
+//     larger than the probe side): both PartitionSteps and the
+//     JoinStep disappear, the build producer stays materialized, and
+//     each dpCore builds a private DMEM hash table over it.
+//   * A candidate chain is only fused if task formation's MaxTileRows
+//     confirms the whole chain's working set fits the DMEM budget at
+//     some tile size.
+
+#ifndef RAPID_CORE_QCOMP_PIPELINE_FUSION_H_
+#define RAPID_CORE_QCOMP_PIPELINE_FUSION_H_
+
+#include "core/qcomp/steps.h"
+#include "dpu/config.h"
+
+namespace rapid::core {
+
+// Returns the fused plan (steps renumbered 0..n-1 in execution order).
+// `max_build_rows` gates broadcast-probe fusion; 0 disables probe
+// fusion but still fuses scan/filter/project chains.
+Result<PhysicalPlan> FusePipelines(PhysicalPlan plan,
+                                   const dpu::DpuConfig& config,
+                                   size_t max_build_rows);
+
+}  // namespace rapid::core
+
+#endif  // RAPID_CORE_QCOMP_PIPELINE_FUSION_H_

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "core/qcomp/partition_scheme.h"
+#include "core/qcomp/pipeline_fusion.h"
 #include "core/qcomp/task_formation.h"
 
 namespace rapid::core {
@@ -269,6 +270,11 @@ Result<Planner::Lowered> Planner::Lower(const LogicalNode& node,
       }
       spec.large_skew_factor = options_.large_skew_factor;
       spec.heavy_hitter_threshold = options_.heavy_hitter_threshold;
+      // Cardinality estimates for the pipeline-fusion pass.
+      spec.est_build_rows =
+          static_cast<size_t>(std::max(1.0, build.est_rows));
+      spec.est_probe_rows =
+          static_cast<size_t>(std::max(1.0, probe.est_rows));
 
       const int id = NextId(*plan);
       AddStep(plan, std::make_unique<JoinStep>(
@@ -420,6 +426,15 @@ Result<PhysicalPlan> Planner::Plan(const LogicalPtr& root,
   PhysicalPlan plan;
   RAPID_ASSIGN_OR_RETURN(Lowered lowered, Lower(*root, catalog, &plan));
   plan.root = lowered.step;
+  // Tile-pipeline fusion pass. Skew/capacity overrides force the
+  // partitioned join machinery, so fusion stands down for them.
+  if (options_.enable_fusion && options_.force_join_fanout == 0 &&
+      options_.heavy_hitter_threshold == 0 &&
+      options_.join_dmem_capacity_rows == 0) {
+    RAPID_ASSIGN_OR_RETURN(
+        plan, FusePipelines(std::move(plan), config_,
+                            options_.fusion_max_build_rows));
+  }
   return plan;
 }
 

@@ -45,6 +45,14 @@ struct PlannerOptions {
   // High-NDV group-by: partitions above this row count re-partition at
   // runtime (0 = derive from the DMEM budget).
   size_t groupby_max_partition_rows = 0;
+  // Tile-pipeline fusion: fuse maximal scan/filter/project/probe runs
+  // into single-round PipelineSteps (skipped automatically when skew
+  // knobs above force the partitioned join paths).
+  bool enable_fusion = true;
+  // Broadcast-probe gate: joins whose estimated build side exceeds
+  // this stay partitioned. Default keeps the per-core table within the
+  // 32 KiB DMEM scratchpad.
+  size_t fusion_max_build_rows = 8192;
 };
 
 // Estimated selectivity of a predicate from column statistics.

@@ -7,6 +7,7 @@
 #include <sstream>
 
 #include "core/ops/filter_op.h"
+#include "core/ops/probe_op.h"
 #include "core/ops/project_op.h"
 #include "core/ops/sink_op.h"
 #include "core/qef/relation_accessor.h"
@@ -390,6 +391,343 @@ std::string JoinStep::Describe() const {
       os << " left-outer";
       break;
   }
+  return os.str();
+}
+
+// ---- PipelineStep ----------------------------------------------------------
+
+std::vector<int> PipelineStep::Inputs() const {
+  std::vector<int> in;
+  if (input_ >= 0) in.push_back(input_);
+  for (const PipelineStageSpec& s : stages_) {
+    if (s.kind == PipelineStageSpec::Kind::kProbe) {
+      in.push_back(s.build_input);
+    }
+  }
+  return in;
+}
+
+void PipelineStep::RemapInputs(const std::vector<int>& old_to_new) {
+  if (input_ >= 0) input_ = old_to_new[static_cast<size_t>(input_)];
+  for (PipelineStageSpec& s : stages_) {
+    if (s.kind == PipelineStageSpec::Kind::kProbe) {
+      s.build_input = old_to_new[static_cast<size_t>(s.build_input)];
+    }
+  }
+}
+
+namespace {
+
+// Per-stage execution info resolved once (shared by all cores).
+struct ResolvedStage {
+  const PipelineStageSpec* spec = nullptr;
+  ColumnBinding in_binding;                // stage input: name -> tile pos
+  std::vector<std::string> pass_through;   // kFilterProject
+  ProbeOpSpec probe;                       // kProbe
+};
+
+}  // namespace
+
+Status PipelineStep::Execute(ExecEnv& env) const {
+  if (stages_.empty() ||
+      stages_.front().kind != PipelineStageSpec::Kind::kFilterProject) {
+    return Status::InvalidArgument(
+        "pipeline step needs a leading filter/project stage");
+  }
+  const bool table_source = !table_.empty();
+
+  // ---- Resolve the source: binding + metadata of the incoming columns.
+  const storage::Table* table = nullptr;
+  const ColumnSet* input_set = nullptr;
+  std::vector<const storage::Chunk*> all_chunks;
+  std::vector<size_t> col_indices;
+  std::vector<int> target_scales;
+  ColumnBinding binding;
+  std::unordered_map<std::string, ColumnMeta> avail;  // name -> meta
+  size_t src_width = 0;
+
+  if (table_source) {
+    auto table_it = env.catalog->find(table_);
+    if (table_it == env.catalog->end()) {
+      return Status::NotFound("table '" + table_ + "' not loaded");
+    }
+    table = &table_it->second;
+    for (size_t c = 0; c < base_columns_.size(); ++c) {
+      RAPID_ASSIGN_OR_RETURN(size_t idx,
+                             table->schema().IndexOf(base_columns_[c]));
+      col_indices.push_back(idx);
+      target_scales.push_back(table->stats(idx).dsb_scale);
+      binding[base_columns_[c]] = c;
+      ColumnMeta m;
+      m.name = base_columns_[c];
+      m.type = table->schema().field(idx).type;
+      m.dsb_scale = table->stats(idx).dsb_scale;
+      m.dict = table->dictionary(idx);
+      avail[m.name] = m;
+      src_width += storage::WidthOf(m.type);
+    }
+    for (size_t p = 0; p < table->num_partitions(); ++p) {
+      const storage::Partition& part = table->partition(p);
+      for (size_t c = 0; c < part.num_chunks(); ++c) {
+        all_chunks.push_back(&part.chunk(c));
+      }
+    }
+    size_t scan_rows = 0;
+    for (const storage::Chunk* chunk : all_chunks) {
+      scan_rows += chunk->num_rows();
+    }
+    env.counters.scanned_rows += scan_rows;
+    env.counters.scanned_bytes += scan_rows * src_width;
+  } else {
+    const StepOutput& in = env.outputs[static_cast<size_t>(input_)];
+    if (in.partitioned) {
+      return Status::InvalidArgument(
+          "pipeline step needs an unpartitioned input");
+    }
+    input_set = &in.set;
+    for (size_t c = 0; c < input_set->num_columns(); ++c) {
+      binding[input_set->meta(c).name] = c;
+      col_indices.push_back(c);
+      avail[input_set->meta(c).name] = input_set->meta(c);
+    }
+    src_width = 8 * input_set->num_columns();
+    env.counters.scanned_rows += input_set->num_rows();
+    env.counters.scanned_bytes += input_set->num_rows() * src_width;
+  }
+
+  // ---- Walk the stages, resolving bindings and output metadata.
+  std::vector<ResolvedStage> resolved;
+  std::vector<ColumnMeta> metas;  // metas of the running stage output
+  ColumnBinding cur_binding = binding;
+  size_t chain_row_bytes = 2 * src_width;  // accessor double buffer
+  size_t num_probe_stages = 0;
+
+  for (const PipelineStageSpec& stage : stages_) {
+    ResolvedStage rs;
+    rs.spec = &stage;
+    rs.in_binding = cur_binding;
+    if (stage.kind == PipelineStageSpec::Kind::kFilterProject) {
+      rs.pass_through = ProjectionInputs(stage.projections);
+      metas = ProjectionMetas(stage.projections);
+      for (size_t c = 0; c < stage.projections.size(); ++c) {
+        const Expr& expr = *stage.projections[c].second;
+        if (expr.kind == Expr::Kind::kColumn) {
+          auto it = avail.find(expr.column);
+          if (it != avail.end()) {
+            metas[c].type = it->second.type;
+            metas[c].dsb_scale = it->second.dsb_scale;
+            metas[c].dict = it->second.dict;
+          }
+        }
+      }
+      chain_row_bytes += 8 * (rs.pass_through.size() +
+                              stage.projections.size()) + 8;
+    } else {
+      ++num_probe_stages;
+      const StepOutput& bout =
+          env.outputs[static_cast<size_t>(stage.build_input)];
+      if (bout.partitioned) {
+        return Status::InvalidArgument(
+            "pipelined probe needs an unpartitioned build input");
+      }
+      const ColumnSet& bset = bout.set;
+      rs.probe.build = &bset;
+      rs.probe.type = stage.join_type;
+      rs.probe.tile_rows = stage.join_spec.tile_rows;
+      rs.probe.bucket_reduction = stage.join_spec.bucket_reduction;
+      rs.probe.dmem_capacity_rows = stage.join_spec.dmem_capacity_rows;
+      for (const std::string& k : stage.build_keys) {
+        RAPID_ASSIGN_OR_RETURN(size_t idx, bset.IndexOf(k));
+        rs.probe.build_keys.push_back(idx);
+      }
+      for (const std::string& k : stage.probe_keys) {
+        auto it = cur_binding.find(k);
+        if (it == cur_binding.end()) {
+          return Status::NotFound("probe key '" + k + "' not in pipeline");
+        }
+        rs.probe.probe_keys.push_back(it->second);
+      }
+      metas.clear();
+      for (const std::string& name : stage.output_columns) {
+        auto b = bset.IndexOf(name);
+        if (b.ok() && stage.join_type != JoinType::kSemi &&
+            stage.join_type != JoinType::kAnti) {
+          rs.probe.outputs.push_back(ProbeOpSpec::Output{true, b.value()});
+          metas.push_back(bset.meta(b.value()));
+          continue;
+        }
+        auto p = cur_binding.find(name);
+        if (p != cur_binding.end()) {
+          rs.probe.outputs.push_back(ProbeOpSpec::Output{false, p->second});
+          ColumnMeta m;
+          m.name = name;
+          auto it = avail.find(name);
+          if (it != avail.end()) m = it->second;
+          metas.push_back(m);
+          continue;
+        }
+        return Status::NotFound("pipeline output column '" + name +
+                                "' not found");
+      }
+      env.counters.join_build_rows += bset.num_rows();
+      chain_row_bytes += 8 * stage.output_columns.size() + 8;
+    }
+    // Stage output becomes the next stage's input.
+    cur_binding.clear();
+    avail.clear();
+    for (size_t c = 0; c < metas.size(); ++c) {
+      cur_binding[metas[c].name] = c;
+      avail[metas[c].name] = metas[c];
+    }
+    resolved.push_back(std::move(rs));
+  }
+
+  // ---- Tile size: the whole chain's working set shares the 32 KiB
+  // scratchpad; probe stages additionally reserve room for their DMEM
+  // hash tables (their Open() degrades capacity to what is left).
+  size_t budget = env.dpu->config().dmem_bytes;
+  if (num_probe_stages > 0) budget /= 2;
+  const size_t tile_rows = FitTileRows(tile_rows_, chain_row_bytes, budget);
+
+  const int num_cores = env.dpu->num_cores();
+  std::vector<ColumnSet> per_core(static_cast<size_t>(num_cores),
+                                  ColumnSet(metas));
+  std::vector<Status> statuses(static_cast<size_t>(num_cores));
+  std::vector<JoinStats> core_join_stats(static_cast<size_t>(num_cores));
+
+  const size_t n_input = table_source ? 0 : input_set->num_rows();
+  const size_t share =
+      table_source ? 0
+                   : (n_input + static_cast<size_t>(num_cores) - 1) /
+                         static_cast<size_t>(num_cores);
+
+  env.dpu->ParallelFor([&](dpu::DpCore& core) {
+    const auto cid = static_cast<size_t>(core.id());
+    core.dmem().Reset();
+
+    // Build this core's fused operator chain.
+    std::vector<std::unique_ptr<PipelineOp>> ops;
+    for (size_t s = 0; s < resolved.size(); ++s) {
+      const ResolvedStage& rs = resolved[s];
+      if (rs.spec->kind == PipelineStageSpec::Kind::kFilterProject) {
+        auto filter = std::make_unique<FilterOp>(
+            rs.spec->predicates, rs.pass_through, rs.in_binding, tile_rows,
+            s == 0 && use_rid_list_);
+        auto project = std::make_unique<ProjectOp>(
+            rs.spec->projections, filter->OutputBinding(), tile_rows);
+        ops.push_back(std::move(filter));
+        ops.push_back(std::move(project));
+      } else {
+        ProbeOpSpec pspec = rs.probe;
+        pspec.tile_rows = tile_rows;
+        ops.push_back(std::make_unique<HashJoinProbeOp>(std::move(pspec)));
+      }
+    }
+    MaterializeSink sink(&per_core[cid]);
+    for (size_t i = 0; i + 1 < ops.size(); ++i) {
+      ops[i]->set_downstream(ops[i + 1].get());
+    }
+    ops.back()->set_downstream(&sink);
+
+    ExecCtx ctx{&core, &env.dpu->dms(), &env.dpu->params(), env.vectorized};
+    Status st = Status::OK();
+    for (auto& op : ops) {
+      if (st.ok()) st = op->Open(ctx);
+    }
+    if (st.ok()) st = sink.Open(ctx);
+    if (st.ok()) {
+      if (table_source) {
+        std::vector<const storage::Chunk*> mine;
+        for (size_t i = cid; i < all_chunks.size();
+             i += static_cast<size_t>(num_cores)) {
+          mine.push_back(all_chunks[i]);
+        }
+        st = RelationAccessor::PushChunks(ctx, mine, col_indices,
+                                          target_scales, tile_rows,
+                                          ops.front().get());
+      } else {
+        const size_t begin = std::min(n_input, cid * share);
+        const size_t end = std::min(n_input, begin + share);
+        st = RelationAccessor::PushColumnSet(ctx, *input_set, col_indices,
+                                             begin, end, tile_rows,
+                                             ops.front().get());
+      }
+    }
+    statuses[cid] = st;
+    for (const auto& op : ops) {
+      if (const auto* probe = dynamic_cast<const HashJoinProbeOp*>(op.get())) {
+        const JoinStats& js = probe->stats();
+        JoinStats& agg = core_join_stats[cid];
+        agg.build_rows += js.build_rows;
+        agg.probe_rows += js.probe_rows;
+        agg.matches += js.matches;
+        agg.chain_steps += js.chain_steps;
+        agg.overflow_steps += js.overflow_steps;
+        agg.overflowed_partitions += js.overflowed_partitions;
+      }
+    }
+    core.dmem().Reset();
+  });
+  for (const Status& st : statuses) RAPID_RETURN_NOT_OK(st);
+
+  last_join_stats = JoinStats{};
+  for (const JoinStats& js : core_join_stats) {
+    last_join_stats.build_rows += js.build_rows;
+    last_join_stats.probe_rows += js.probe_rows;
+    last_join_stats.matches += js.matches;
+    last_join_stats.chain_steps += js.chain_steps;
+    last_join_stats.overflow_steps += js.overflow_steps;
+    last_join_stats.overflowed_partitions += js.overflowed_partitions;
+  }
+  env.counters.join_probe_rows += last_join_stats.probe_rows;
+
+  StepOutput& out = env.outputs[static_cast<size_t>(id_)];
+  out.partitioned = false;
+  out.set = ColumnSet(metas);
+  for (const ColumnSet& cs : per_core) {
+    for (size_t col = 0; col < metas.size(); ++col) {
+      if (cs.num_rows() > 0) out.set.meta(col) = cs.meta(col);
+    }
+  }
+  for (ColumnSet& cs : per_core) out.set.Append(cs);
+  return Status::OK();
+}
+
+std::string PipelineStep::Describe() const {
+  std::ostringstream os;
+  os << "PIPELINE ";
+  if (!table_.empty()) {
+    os << "scan " << table_;
+  } else {
+    os << "#" << input_;
+  }
+  for (const PipelineStageSpec& s : stages_) {
+    if (s.kind == PipelineStageSpec::Kind::kFilterProject) {
+      os << " | filter+project preds=" << s.predicates.size()
+         << " proj=" << s.projections.size();
+    } else {
+      os << " | probe build=#" << s.build_input << " keys=(";
+      for (size_t i = 0; i < s.build_keys.size(); ++i) {
+        os << (i ? "," : "") << s.build_keys[i] << "=" << s.probe_keys[i];
+      }
+      os << ")";
+      switch (s.join_type) {
+        case JoinType::kInner:
+          os << " inner";
+          break;
+        case JoinType::kSemi:
+          os << " semi";
+          break;
+        case JoinType::kAnti:
+          os << " anti";
+          break;
+        case JoinType::kLeftOuter:
+          os << " left-outer";
+          break;
+      }
+    }
+  }
+  os << " tile=" << tile_rows_ << (use_rid_list_ ? " rid" : " bv");
   return os.str();
 }
 

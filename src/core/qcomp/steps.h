@@ -66,7 +66,18 @@ class PlanStep {
   virtual Status Execute(ExecEnv& env) const = 0;
   virtual std::string Describe() const = 0;
 
+  // Step ids of this step's inputs (empty for base-table sources).
+  // The pipeline-fusion pass uses this to count consumers and rewrite
+  // the plan.
+  virtual std::vector<int> Inputs() const { return {}; }
+  // Rewrites input step ids through old_to_new (indexed by old id)
+  // after the fusion pass renumbers the plan.
+  virtual void RemapInputs(const std::vector<int>& old_to_new) {
+    (void)old_to_new;
+  }
+
   int id() const { return id_; }
+  void set_id(int id) { id_ = id; }
 
  protected:
   int id_;
@@ -100,6 +111,17 @@ class ScanStep : public PlanStep {
   Status Execute(ExecEnv& env) const override;
   std::string Describe() const override;
 
+  const std::string& table() const { return table_; }
+  const std::vector<std::string>& base_columns() const {
+    return base_columns_;
+  }
+  const std::vector<Predicate>& predicates() const { return predicates_; }
+  const std::vector<std::pair<std::string, ExprPtr>>& projections() const {
+    return projections_;
+  }
+  size_t tile_rows() const { return tile_rows_; }
+  bool use_rid_list() const { return use_rid_list_; }
+
  private:
   std::string table_;
   std::vector<std::string> base_columns_;  // columns read from the table
@@ -124,6 +146,17 @@ class PipeStep : public PlanStep {
 
   Status Execute(ExecEnv& env) const override;
   std::string Describe() const override;
+  std::vector<int> Inputs() const override { return {input_}; }
+  void RemapInputs(const std::vector<int>& old_to_new) override {
+    input_ = old_to_new[static_cast<size_t>(input_)];
+  }
+
+  int input() const { return input_; }
+  const std::vector<Predicate>& predicates() const { return predicates_; }
+  const std::vector<std::pair<std::string, ExprPtr>>& projections() const {
+    return projections_;
+  }
+  size_t tile_rows() const { return tile_rows_; }
 
  private:
   int input_;
@@ -144,6 +177,12 @@ class PartitionStep : public PlanStep {
 
   Status Execute(ExecEnv& env) const override;
   std::string Describe() const override;
+  std::vector<int> Inputs() const override { return {input_}; }
+  void RemapInputs(const std::vector<int>& old_to_new) override {
+    input_ = old_to_new[static_cast<size_t>(input_)];
+  }
+
+  int input() const { return input_; }
 
  private:
   int input_;
@@ -170,6 +209,23 @@ class JoinStep : public PlanStep {
 
   Status Execute(ExecEnv& env) const override;
   std::string Describe() const override;
+  std::vector<int> Inputs() const override {
+    return {build_input_, probe_input_};
+  }
+  void RemapInputs(const std::vector<int>& old_to_new) override {
+    build_input_ = old_to_new[static_cast<size_t>(build_input_)];
+    probe_input_ = old_to_new[static_cast<size_t>(probe_input_)];
+  }
+
+  int build_input() const { return build_input_; }
+  int probe_input() const { return probe_input_; }
+  const std::vector<std::string>& build_keys() const { return build_keys_; }
+  const std::vector<std::string>& probe_keys() const { return probe_keys_; }
+  const std::vector<std::string>& output_columns() const {
+    return output_columns_;
+  }
+  JoinType type() const { return type_; }
+  const JoinSpec& spec_template() const { return spec_template_; }
 
   // Stats of the last execution (skew handling introspection).
   mutable JoinStats last_stats;
@@ -200,6 +256,10 @@ class GroupByStep : public PlanStep {
 
   Status Execute(ExecEnv& env) const override;
   std::string Describe() const override;
+  std::vector<int> Inputs() const override { return {input_}; }
+  void RemapInputs(const std::vector<int>& old_to_new) override {
+    input_ = old_to_new[static_cast<size_t>(input_)];
+  }
 
  private:
   Status ExecuteLowNdv(ExecEnv& env, const ColumnSet& input,
@@ -225,6 +285,10 @@ class SortStep : public PlanStep {
 
   Status Execute(ExecEnv& env) const override;
   std::string Describe() const override;
+  std::vector<int> Inputs() const override { return {input_}; }
+  void RemapInputs(const std::vector<int>& old_to_new) override {
+    input_ = old_to_new[static_cast<size_t>(input_)];
+  }
 
  private:
   int input_;
@@ -239,6 +303,10 @@ class TopKStep : public PlanStep {
 
   Status Execute(ExecEnv& env) const override;
   std::string Describe() const override;
+  std::vector<int> Inputs() const override { return {input_}; }
+  void RemapInputs(const std::vector<int>& old_to_new) override {
+    input_ = old_to_new[static_cast<size_t>(input_)];
+  }
 
  private:
   int input_;
@@ -253,6 +321,11 @@ class SetOpStep : public PlanStep {
 
   Status Execute(ExecEnv& env) const override;
   std::string Describe() const override;
+  std::vector<int> Inputs() const override { return {left_, right_}; }
+  void RemapInputs(const std::vector<int>& old_to_new) override {
+    left_ = old_to_new[static_cast<size_t>(left_)];
+    right_ = old_to_new[static_cast<size_t>(right_)];
+  }
 
  private:
   SetOpKind kind_;
@@ -267,10 +340,78 @@ class WindowStep : public PlanStep {
 
   Status Execute(ExecEnv& env) const override;
   std::string Describe() const override;
+  std::vector<int> Inputs() const override { return {input_}; }
+  void RemapInputs(const std::vector<int>& old_to_new) override {
+    input_ = old_to_new[static_cast<size_t>(input_)];
+  }
 
  private:
   int input_;
   std::vector<LogicalWindow> windows_;
+};
+
+// One stage of a fused pipeline (see PipelineStep).
+struct PipelineStageSpec {
+  enum class Kind { kFilterProject, kProbe };
+  Kind kind = Kind::kFilterProject;
+
+  // kFilterProject: ordered predicates + projection expressions,
+  // exactly the payload of a ScanStep/PipeStep.
+  std::vector<Predicate> predicates;
+  std::vector<std::pair<std::string, ExprPtr>> projections;
+
+  // kProbe: a broadcast hash-join probe. `build_input` is the step id
+  // producing the unpartitioned build side; each core builds a private
+  // DMEM table over it and streams probe tiles through.
+  int build_input = -1;
+  std::vector<std::string> build_keys;
+  std::vector<std::string> probe_keys;
+  std::vector<std::string> output_columns;
+  JoinType join_type = JoinType::kInner;
+  JoinSpec join_spec;
+};
+
+// A fused run of pipeline-safe steps (scan/filter/project/probe),
+// executed as ONE ParallelFor round: every dpCore streams its share of
+// input tiles through the whole operator chain DMEM-resident — one DMS
+// load per input tile, one DMS store per output tile, no intermediate
+// ColumnSet and no per-step barrier. Pipeline breakers (join build,
+// partition, group-by, sort) stay separate steps.
+class PipelineStep : public PlanStep {
+ public:
+  // Source is either a base table (`!table.empty()`, input == -1) or a
+  // materialized intermediate (`input` >= 0). The first stage must be
+  // kFilterProject; stages[i]'s output feeds stages[i+1].
+  PipelineStep(int id, std::string table, std::vector<std::string> base_columns,
+               int input, std::vector<PipelineStageSpec> stages,
+               size_t tile_rows, bool use_rid_list)
+      : PlanStep(id),
+        table_(std::move(table)),
+        base_columns_(std::move(base_columns)),
+        input_(input),
+        stages_(std::move(stages)),
+        tile_rows_(tile_rows),
+        use_rid_list_(use_rid_list) {}
+
+  Status Execute(ExecEnv& env) const override;
+  std::string Describe() const override;
+  std::vector<int> Inputs() const override;
+  void RemapInputs(const std::vector<int>& old_to_new) override;
+
+  const std::vector<PipelineStageSpec>& stages() const { return stages_; }
+  size_t tile_rows() const { return tile_rows_; }
+
+  // Aggregated probe stats of the last execution (all probe stages,
+  // all cores).
+  mutable JoinStats last_join_stats;
+
+ private:
+  std::string table_;
+  std::vector<std::string> base_columns_;
+  int input_;
+  std::vector<PipelineStageSpec> stages_;
+  size_t tile_rows_;
+  bool use_rid_list_;
 };
 
 // Shared helpers.

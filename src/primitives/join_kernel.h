@@ -84,6 +84,34 @@ class CompactJoinTable {
     }
   }
 
+  // Batched probe over a tile of hashes — the tile-granularity entry
+  // point used by the pipelined executor (one call per DMEM tile
+  // instead of one per row). For probe row i, calls key_eq(i, brow)
+  // to compare keys and emit(i, brow) for every match; match_counts[i]
+  // receives the number of matches for row i. Rows are processed in
+  // order, so emission order equals the per-row Probe loop.
+  template <typename KeyEq, typename Emit>
+  void ProbeBatch(const uint32_t* hashes, size_t n, KeyEq&& key_eq,
+                  Emit&& emit, uint32_t* match_counts, ProbeStats* stats) {
+    stats->probes += n;
+    for (size_t i = 0; i < n; ++i) {
+      uint32_t count = 0;
+      const size_t bucket = hashes[i] & bucket_mask_;
+      auto row_eq = [&](size_t brow) { return key_eq(i, brow); };
+      auto row_emit = [&](size_t brow) {
+        ++count;
+        emit(i, brow);
+      };
+      WalkChain(dmem_buckets_.Get(bucket), dmem_sentinel_, /*overflow=*/false,
+                row_eq, row_emit, stats);
+      if (overflow_rows_ > 0) {
+        WalkChain(dram_buckets_[bucket], kDramSentinel, /*overflow=*/true,
+                  row_eq, row_emit, stats);
+      }
+      match_counts[i] = count;
+    }
+  }
+
   size_t num_rows() const { return num_rows_; }
   size_t num_buckets() const { return num_buckets_; }
   size_t dmem_rows() const { return dmem_rows_; }

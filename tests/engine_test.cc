@@ -384,6 +384,77 @@ TEST_F(EngineTest, VacuumReclaimsSupersededVersions) {
   EXPECT_EQ(engine_.VacuumTrackers(base + 2), 0u);
 }
 
+TEST_F(EngineTest, FusedPipelineMatchesUnfused) {
+  // The fused broadcast-probe pipeline must be row-identical to the
+  // materialize/partition/join path on every join flavor, and must
+  // move strictly fewer modeled DMS cycles (it skips materializing the
+  // scan output and both partition passes).
+  ExecOptions unfused;
+  unfused.planner.enable_fusion = false;
+
+  std::vector<LogicalPtr> plans;
+  auto facts = LogicalNode::Scan("facts", {"f_dim", "f_qty"});
+  auto dims = LogicalNode::Scan("dims", {"d_id", "d_class"});
+  plans.push_back(LogicalNode::Join(dims, facts, {"d_id"}, {"f_dim"},
+                                    {"d_class", "f_qty"}));
+  auto filtered = LogicalNode::Scan(
+      "facts", {"f_dim", "f_qty"},
+      {Predicate::CmpConst("f_qty", CmpOp::kGe, 25)});
+  plans.push_back(LogicalNode::Join(dims, filtered, {"d_id"}, {"f_dim"},
+                                    {"d_class", "f_qty"},
+                                    JoinType::kInner));
+  plans.push_back(LogicalNode::Join(dims, facts, {"d_id"}, {"f_dim"},
+                                    {"f_dim", "f_qty"}, JoinType::kSemi));
+  plans.push_back(LogicalNode::Join(dims, facts, {"d_id"}, {"f_dim"},
+                                    {"f_dim", "f_qty"}, JoinType::kAnti));
+  // Left outer: the build side (left) is filtered far below the probe
+  // side so the broadcast-cost gate admits it (32 cores re-reading the
+  // build must cost less than the partition passes it replaces);
+  // unmatched dims take nulls.
+  auto small_facts = LogicalNode::Scan(
+      "facts", {"f_dim", "f_qty"},
+      {Predicate::CmpConst("f_id", CmpOp::kLt, 10)});
+  plans.push_back(LogicalNode::Join(small_facts, dims, {"f_dim"}, {"d_id"},
+                                    {"f_qty", "d_id", "d_class"},
+                                    JoinType::kLeftOuter));
+
+  for (const LogicalPtr& plan : plans) {
+    auto fused_result = engine_.Execute(plan);
+    ASSERT_TRUE(fused_result.ok()) << fused_result.status().ToString();
+    auto unfused_result = engine_.Execute(plan, unfused);
+    ASSERT_TRUE(unfused_result.ok()) << unfused_result.status().ToString();
+    ASSERT_NE(fused_result.value().plan_text.find("PIPELINE"),
+              std::string::npos)
+        << fused_result.value().plan_text;
+    ASSERT_EQ(unfused_result.value().plan_text.find("PIPELINE"),
+              std::string::npos);
+    ExpectSameRows(fused_result.value().rows, unfused_result.value().rows);
+    EXPECT_LT(fused_result.value().stats.total_dms_cycles,
+              unfused_result.value().stats.total_dms_cycles)
+        << fused_result.value().plan_text;
+  }
+}
+
+TEST_F(EngineTest, FusedJoinThenGroupBy) {
+  // A breaker (group-by) downstream of a fused probe pipeline: the
+  // pipeline materializes once, the group-by consumes it.
+  auto facts = LogicalNode::Scan("facts", {"f_dim", "f_price", "f_qty"});
+  auto dims = LogicalNode::Scan("dims", {"d_id", "d_class"});
+  auto join = LogicalNode::Join(dims, facts, {"d_id"}, {"f_dim"},
+                                {"d_class", "f_price", "f_qty"});
+  auto plan = LogicalNode::GroupBy(
+      join, {{"d_class", Expr::Col("d_class")}},
+      {{"revenue", AggFunc::kSum,
+        Expr::Mul(Expr::Col("f_price"), Expr::Col("f_qty")), {}}});
+  auto result = engine_.Execute(plan);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_NE(result.value().plan_text.find("PIPELINE"), std::string::npos)
+      << result.value().plan_text;
+  auto host_result = hostdb::VolcanoExecutor::Execute(plan, host_catalog_);
+  ASSERT_TRUE(host_result.ok());
+  ExpectSameRows(result.value().rows, host_result.value());
+}
+
 TEST_F(EngineTest, EmptyResultQueries) {
   CheckAgainstVolcano(LogicalNode::Scan(
       "facts", {"f_id"}, {Predicate::CmpConst("f_id", CmpOp::kLt, -1)}));

@@ -322,11 +322,14 @@ TEST_F(PlannerTest, JoinBuildsOnSmallerSide) {
   // Left side is the full table, right side is filtered to ~1%;
   // the planner must build on the right side. Verify via the
   // partition step order: the build partition step comes first.
+  // (Fusion disabled: this test pins the partitioned-join shape.)
   auto big = LogicalNode::Scan("t", {"id", "val"});
   auto small = LogicalNode::Scan(
       "t", {"id", "grp"}, {Predicate::CmpConst("id", CmpOp::kLt, 100)});
   auto join = LogicalNode::Join(big, small, {"id"}, {"id"}, {"val", "grp"});
-  ASSERT_OK_AND_ASSIGN(PhysicalPlan plan, Plan(join));
+  Planner planner(dpu::DpuConfig::Default(), dpu::CostParams::Default(),
+                  PlannerOptions{.enable_fusion = false});
+  ASSERT_OK_AND_ASSIGN(PhysicalPlan plan, planner.Plan(join, catalog_));
   // Steps: scan(big)=0, scan(small)=1, partition(build)=2,
   // partition(probe)=3, join=4. Build partition must reference step 1.
   ASSERT_GE(plan.steps.size(), 5u);
@@ -349,6 +352,74 @@ TEST_F(PlannerTest, FilterOverScanFuses) {
   ASSERT_OK_AND_ASSIGN(PhysicalPlan plan, Plan(plan_node));
   EXPECT_EQ(plan.steps.size(), 1u);  // fused into the scan task
   EXPECT_NE(plan.steps[0]->Describe().find("preds=1"), std::string::npos);
+}
+
+// ---- Pipeline fusion -------------------------------------------------------
+
+TEST_F(PlannerTest, SmallBuildJoinFusesIntoPipeline) {
+  // Build side is ~100 estimated rows: the fusion pass must collapse
+  // partition/partition/join into a broadcast probe stage riding the
+  // probe-side scan pipeline.
+  auto big = LogicalNode::Scan("t", {"id", "val"});
+  auto small = LogicalNode::Scan(
+      "t", {"id", "grp"}, {Predicate::CmpConst("id", CmpOp::kLt, 100)});
+  auto join = LogicalNode::Join(big, small, {"id"}, {"id"}, {"val", "grp"});
+  ASSERT_OK_AND_ASSIGN(PhysicalPlan plan, Plan(join));
+  const std::string desc = plan.Describe();
+  EXPECT_NE(desc.find("PIPELINE"), std::string::npos) << desc;
+  EXPECT_NE(desc.find("probe build=#"), std::string::npos) << desc;
+  EXPECT_EQ(desc.find("PARTITION"), std::string::npos) << desc;
+  EXPECT_EQ(desc.find("HASHJOIN"), std::string::npos) << desc;
+  // Build-side producer + fused pipeline.
+  EXPECT_EQ(plan.steps.size(), 2u) << desc;
+  EXPECT_EQ(plan.root, 1);
+}
+
+TEST_F(PlannerTest, LargeBuildJoinStaysPartitioned) {
+  // Same join but the gate is lowered below the build estimate: the
+  // partitioned join shape must survive.
+  auto big = LogicalNode::Scan("t", {"id", "val"});
+  auto small = LogicalNode::Scan(
+      "t", {"id", "grp"}, {Predicate::CmpConst("id", CmpOp::kLt, 100)});
+  auto join = LogicalNode::Join(big, small, {"id"}, {"id"}, {"val", "grp"});
+  Planner planner(dpu::DpuConfig::Default(), dpu::CostParams::Default(),
+                  PlannerOptions{.fusion_max_build_rows = 10});
+  ASSERT_OK_AND_ASSIGN(PhysicalPlan plan, planner.Plan(join, catalog_));
+  const std::string desc = plan.Describe();
+  EXPECT_NE(desc.find("PARTITION"), std::string::npos) << desc;
+  EXPECT_NE(desc.find("HASHJOIN"), std::string::npos) << desc;
+  EXPECT_EQ(desc.find("PIPELINE"), std::string::npos) << desc;
+}
+
+TEST_F(PlannerTest, SkewKnobsDisableFusion) {
+  auto big = LogicalNode::Scan("t", {"id", "val"});
+  auto small = LogicalNode::Scan(
+      "t", {"id", "grp"}, {Predicate::CmpConst("id", CmpOp::kLt, 100)});
+  auto join = LogicalNode::Join(big, small, {"id"}, {"id"}, {"val", "grp"});
+  Planner planner(dpu::DpuConfig::Default(), dpu::CostParams::Default(),
+                  PlannerOptions{.force_join_fanout = 8});
+  ASSERT_OK_AND_ASSIGN(PhysicalPlan plan, planner.Plan(join, catalog_));
+  EXPECT_EQ(plan.Describe().find("PIPELINE"), std::string::npos)
+      << plan.Describe();
+}
+
+TEST_F(PlannerTest, FusionStopsAtPipelineBreakers) {
+  // Sort and group-by are barriers: the chain beneath fuses, the
+  // breaker stays its own step and ids stay consecutive.
+  auto agg = LogicalNode::GroupBy(
+      LogicalNode::Filter(LogicalNode::Scan("t", {"grp", "val"}),
+                          {Predicate::CmpConst("val", CmpOp::kLt, 50)}),
+      {{"grp", Expr::Col("grp")}},
+      {{"s", AggFunc::kSum, Expr::Col("val"), {}}});
+  auto sorted = LogicalNode::Sort(agg, {{"grp", true}});
+  ASSERT_OK_AND_ASSIGN(PhysicalPlan plan, Plan(sorted));
+  const std::string desc = plan.Describe();
+  EXPECT_NE(desc.find("GROUPBY"), std::string::npos) << desc;
+  EXPECT_NE(desc.find("SORT"), std::string::npos) << desc;
+  for (size_t i = 0; i < plan.steps.size(); ++i) {
+    EXPECT_EQ(plan.steps[i]->id(), static_cast<int>(i));
+  }
+  EXPECT_EQ(plan.root, static_cast<int>(plan.steps.size()) - 1);
 }
 
 }  // namespace
