@@ -1,0 +1,95 @@
+// Query-level cancellation and deadline propagation.
+//
+// A CancelToken is shared between the query's issuer and every dpCore
+// working on its behalf. The QEF polls it at tile-loop and barrier
+// boundaries — the natural preemption points of the non-preemptive
+// actor model (Section 5.1): a task never blocks mid-tile, so a
+// cancelled query unwinds within one tile round. Cancellation and
+// deadline expiry surface as kCancelled / kDeadlineExceeded, which the
+// host treats as final (no Volcano fallback — the query itself is
+// dead, not the DPU).
+
+#ifndef RAPID_COMMON_CANCEL_H_
+#define RAPID_COMMON_CANCEL_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+
+#include "common/status.h"
+
+namespace rapid {
+
+class CancelToken {
+ public:
+  CancelToken() = default;
+
+  // Requests cancellation. Safe from any thread, including while the
+  // DPU worker pool is mid-round.
+  void Cancel() { cancelled_.store(true, std::memory_order_release); }
+
+  bool cancelled() const {
+    return cancelled_.load(std::memory_order_acquire);
+  }
+
+  // Absolute deadline; checks fail with kDeadlineExceeded once passed.
+  void SetDeadline(std::chrono::steady_clock::time_point deadline) {
+    deadline_ns_.store(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            deadline.time_since_epoch())
+            .count(),
+        std::memory_order_release);
+  }
+
+  // Relative form: deadline = now + seconds.
+  void SetTimeout(double seconds) {
+    SetDeadline(std::chrono::steady_clock::now() +
+                std::chrono::nanoseconds(
+                    static_cast<int64_t>(seconds * 1e9)));
+  }
+
+  bool has_deadline() const {
+    return deadline_ns_.load(std::memory_order_acquire) != 0;
+  }
+
+  // Chains this token to a caller-owned one: Check() trips when either
+  // token does. The engine uses this to combine its own deadline token
+  // with the caller's cancellation token. Set before the token is
+  // shared with worker threads.
+  void set_parent(const CancelToken* parent) { parent_ = parent; }
+
+  // The poll: OK, or the terminal status of this query.
+  Status Check() const {
+    if (parent_ != nullptr) {
+      Status st = parent_->Check();
+      if (!st.ok()) return st;
+    }
+    if (cancelled()) return Status::Cancelled("query cancelled");
+    const int64_t deadline = deadline_ns_.load(std::memory_order_acquire);
+    if (deadline != 0 &&
+        std::chrono::steady_clock::now().time_since_epoch() >=
+            std::chrono::nanoseconds(deadline)) {
+      return Status::DeadlineExceeded("query deadline elapsed");
+    }
+    return Status::OK();
+  }
+
+  // Null-tolerant form for call sites where no token may be attached.
+  static Status Check(const CancelToken* token) {
+    if (token == nullptr) return Status::OK();
+    return token->Check();
+  }
+
+  CancelToken(const CancelToken&) = delete;
+  CancelToken& operator=(const CancelToken&) = delete;
+
+ private:
+  std::atomic<bool> cancelled_{false};
+  // Nanoseconds since steady_clock epoch; 0 = no deadline.
+  std::atomic<int64_t> deadline_ns_{0};
+  const CancelToken* parent_ = nullptr;
+};
+
+}  // namespace rapid
+
+#endif  // RAPID_COMMON_CANCEL_H_

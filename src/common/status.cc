@@ -24,6 +24,12 @@ const char* CodeName(StatusCode code) {
       return "AdmissionDenied";
     case StatusCode::kCapacityExceeded:
       return "CapacityExceeded";
+    case StatusCode::kCancelled:
+      return "Cancelled";
+    case StatusCode::kDeadlineExceeded:
+      return "DeadlineExceeded";
+    case StatusCode::kRetryExhausted:
+      return "RetryExhausted";
   }
   return "Unknown";
 }

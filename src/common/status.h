@@ -24,6 +24,9 @@ enum class StatusCode {
   kInternal,
   kAdmissionDenied,   // SCN admissibility check failed (Section 3.3)
   kCapacityExceeded,  // e.g. partition fan-out or hash table overflow
+  kCancelled,         // query cancelled via CancelToken
+  kDeadlineExceeded,  // query deadline elapsed mid-execution
+  kRetryExhausted,    // transient failure persisted past the retry budget
 };
 
 // A success-or-error value. Cheap to copy in the success case.
@@ -58,10 +61,41 @@ class Status {
   static Status CapacityExceeded(std::string msg) {
     return Status(StatusCode::kCapacityExceeded, std::move(msg));
   }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status RetryExhausted(std::string msg) {
+    return Status(StatusCode::kRetryExhausted, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
   const std::string& message() const { return message_; }
+
+  bool IsOutOfMemory() const { return code_ == StatusCode::kOutOfMemory; }
+  bool IsAdmissionDenied() const {
+    return code_ == StatusCode::kAdmissionDenied;
+  }
+  bool IsCapacityExceeded() const {
+    return code_ == StatusCode::kCapacityExceeded;
+  }
+  bool IsCancelled() const { return code_ == StatusCode::kCancelled; }
+  bool IsDeadlineExceeded() const {
+    return code_ == StatusCode::kDeadlineExceeded;
+  }
+  bool IsRetryExhausted() const {
+    return code_ == StatusCode::kRetryExhausted;
+  }
+  // Cancellation and deadline expiry describe the *query*, not the
+  // engine: re-running the fragment elsewhere cannot help, so the host
+  // must propagate these instead of falling back (Section 3.2 covers
+  // only execution failures).
+  bool IsCancellation() const {
+    return IsCancelled() || IsDeadlineExceeded();
+  }
 
   // "OK" or "<code>: <message>".
   std::string ToString() const;

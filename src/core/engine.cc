@@ -66,7 +66,25 @@ Result<QueryResult> RapidEngine::Execute(const LogicalPtr& plan,
                                          const ExecOptions& options) {
   Planner planner(config_, params_, options.planner);
   RAPID_ASSIGN_OR_RETURN(PhysicalPlan physical, planner.Plan(plan, catalog_));
-  return ExecutePhysical(physical, options);
+  Result<QueryResult> result = ExecutePhysical(physical, options);
+
+  // DMEM out-of-memory demotion: a fused pipeline keeps every
+  // operator's state resident in the scratchpad at once, so it is the
+  // first thing to give up when DMEM runs short. Replan without fusion
+  // — step-at-a-time execution stages intermediates through DRAM and
+  // needs only one operator's state at a time — and retry once before
+  // surfacing the failure.
+  if (!result.ok() && result.status().IsOutOfMemory() &&
+      options.planner.enable_fusion) {
+    ExecOptions demoted = options;
+    demoted.planner.enable_fusion = false;
+    Planner unfused_planner(config_, params_, demoted.planner);
+    RAPID_ASSIGN_OR_RETURN(PhysicalPlan unfused,
+                           unfused_planner.Plan(plan, catalog_));
+    result = ExecutePhysical(unfused, demoted);
+    if (result.ok()) result.value().stats.demoted_to_unfused = true;
+  }
+  return result;
 }
 
 Result<QueryResult> RapidEngine::ExecutePhysical(const PhysicalPlan& plan,
@@ -75,10 +93,21 @@ Result<QueryResult> RapidEngine::ExecutePhysical(const PhysicalPlan& plan,
     return Status::InvalidArgument("physical plan is empty");
   }
 
+  // Compose the caller's token with a local deadline token when a
+  // timeout is set; steps poll whichever pointer ends up in the env.
+  CancelToken deadline_token;
+  const CancelToken* cancel = options.cancel;
+  if (options.timeout_seconds > 0) {
+    deadline_token.SetTimeout(options.timeout_seconds);
+    deadline_token.set_parent(options.cancel);
+    cancel = &deadline_token;
+  }
+
   ExecEnv env;
   env.dpu = dpu_.get();
   env.catalog = &catalog_;
   env.vectorized = options.vectorized;
+  env.cancel = cancel;
   env.outputs.resize(plan.steps.size());
 
   dpu_->ResetCores();
@@ -91,6 +120,9 @@ Result<QueryResult> RapidEngine::ExecutePhysical(const PhysicalPlan& plan,
   std::vector<double> before_compute(ncores, 0);
   std::vector<double> before_dms(ncores, 0);
   for (const auto& step : plan.steps) {
+    // Barrier boundary between steps: the cheapest place to notice a
+    // cancelled or expired query before launching another DPU round.
+    RAPID_RETURN_NOT_OK(CancelToken::Check(cancel));
     for (size_t c = 0; c < ncores; ++c) {
       before_compute[c] = dpu_->core(static_cast<int>(c)).cycles()
                               .compute_cycles();

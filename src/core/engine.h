@@ -12,6 +12,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/cancel.h"
 #include "core/qcomp/planner.h"
 #include "core/qcomp/steps.h"
 #include "dpu/dpu.h"
@@ -23,6 +24,13 @@ namespace rapid::core {
 struct ExecOptions {
   bool vectorized = true;  // Figure 13 ablation switch
   PlannerOptions planner;
+
+  // Caller-owned cancellation token (may be null). Polled at tile-loop
+  // and barrier boundaries; a tripped token surfaces as kCancelled.
+  const CancelToken* cancel = nullptr;
+  // Wall-clock budget for the query; 0 = none. Expiry surfaces as
+  // kDeadlineExceeded. Composes with `cancel` (whichever trips first).
+  double timeout_seconds = 0;
 };
 
 struct StepTiming {
@@ -42,6 +50,10 @@ struct ExecutionStats {
   double total_dms_cycles = 0;
   std::vector<StepTiming> steps;
   WorkloadCounters workload;
+  // True when a DMEM out-of-memory failure demoted the plan from fused
+  // pipelines back to step-at-a-time execution (the fused chain's
+  // per-core state no longer fit the scratchpad).
+  bool demoted_to_unfused = false;
 };
 
 struct QueryResult {

@@ -6,6 +6,7 @@
 #include <unordered_set>
 
 #include "common/crc32.h"
+#include "common/fault.h"
 #include "common/logging.h"
 #include "primitives/join_kernel.h"
 
@@ -111,11 +112,18 @@ void EmitMatch(const ColumnSet& build, const ColumnSet& probe,
   }
 }
 
+// Recovery attempts per partition pair before a hard build-side
+// capacity fault is surfaced to the caller. Each attempt doubles the
+// fan-out, so the budget bounds both recursion depth and the number of
+// sub-kernels a pathological fault storm can spawn.
+constexpr int kMaxOverflowRecoveries = 4;
+
 // Joins one partition pair on one core. May recurse after large-skew
-// repartitioning.
-void JoinPair(dpu::Dpu& dpu, dpu::DpCore& core, const ColumnSet& build,
-              const ColumnSet& probe, const JoinSpec& spec, int bits_used,
-              PairResult* result) {
+// repartitioning or after build-side capacity-fault recovery.
+Status JoinPair(dpu::Dpu& dpu, dpu::DpCore& core, const ColumnSet& build,
+                const ColumnSet& probe, const JoinSpec& spec, int bits_used,
+                const CancelToken* cancel, int overflow_budget,
+                PairResult* result) {
   const dpu::CostParams& params = dpu.params();
   const size_t build_rows = build.num_rows();
   const size_t probe_rows = probe.num_rows();
@@ -130,7 +138,14 @@ void JoinPair(dpu::Dpu& dpu, dpu::DpCore& core, const ColumnSet& build,
       bits_used + 1 < 32) {
     const size_t target_parts = (build_rows + spec.est_rows_per_partition - 1) /
                                 spec.est_rows_per_partition;
-    const int extra = static_cast<int>(NextPow2(std::max<size_t>(2, target_parts)));
+    int extra = static_cast<int>(NextPow2(std::max<size_t>(2, target_parts)));
+    // The 32-bit hash caps total fan-out: leave at least one bit above
+    // the partitioning bits for the kernel's bucket index, or the
+    // bucket shift walks off the hash width.
+    const int max_extra_bits = 31 - bits_used;
+    if (__builtin_ctz(static_cast<unsigned>(extra)) > max_extra_bits) {
+      extra = 1 << max_extra_bits;
+    }
     auto sub_build = PartitionExec::Repartition(
         core, params, build, spec.build_keys, extra, bits_used,
         spec.tile_rows);
@@ -145,14 +160,62 @@ void JoinPair(dpu::Dpu& dpu, dpu::DpCore& core, const ColumnSet& build,
       const uint64_t saved_probe = result->stats.probe_rows;
       const int extra_bits = __builtin_ctz(static_cast<unsigned>(extra));
       for (int p = 0; p < extra; ++p) {
-        JoinPair(dpu, core, sub_build.value()[static_cast<size_t>(p)],
-                 sub_probe.value()[static_cast<size_t>(p)], spec,
-                 bits_used + extra_bits, result);
+        RAPID_RETURN_NOT_OK(JoinPair(
+            dpu, core, sub_build.value()[static_cast<size_t>(p)],
+            sub_probe.value()[static_cast<size_t>(p)], spec,
+            bits_used + extra_bits, cancel, overflow_budget, result));
       }
       result->stats.build_rows = saved_build;
       result->stats.probe_rows = saved_probe;
-      return;
+      return Status::OK();
     }
+  }
+
+  // ---- Build-side capacity faults: repartition-and-retry ----
+  // Two triggers share one recovery: an injected "join.build"
+  // kCapacityExceeded fault (modeling a hash table whose DRAM overflow
+  // region is itself exhausted) and a hard DMEM budget with
+  // spec.hard_capacity set. Recovery splits the pair at doubled
+  // fan-out — each sub-kernel builds a table roughly half the size —
+  // and retries, up to kMaxOverflowRecoveries times.
+  Status build_fault = Status::OK();
+  if (__builtin_expect(FaultInjector::enabled(), 0)) {
+    build_fault = FaultInjector::Instance().Poll(faults::kJoinBuild);
+    if (!build_fault.ok() && !build_fault.IsCapacityExceeded()) {
+      return build_fault;  // non-capacity faults are not recoverable here
+    }
+  }
+  const bool hard_overflow =
+      spec.hard_capacity && build_rows > spec.dmem_capacity_rows;
+  if (!build_fault.ok() || hard_overflow) {
+    if (overflow_budget > 0 && bits_used + 1 < 32 && build_rows > 1) {
+      auto sub_build = PartitionExec::Repartition(
+          core, params, build, spec.build_keys, 2, bits_used, spec.tile_rows);
+      auto sub_probe = PartitionExec::Repartition(
+          core, params, probe, spec.probe_keys, 2, bits_used, spec.tile_rows);
+      if (sub_build.ok() && sub_probe.ok()) {
+        ++result->stats.overflow_recoveries;
+        const uint64_t saved_build = result->stats.build_rows;
+        const uint64_t saved_probe = result->stats.probe_rows;
+        for (int p = 0; p < 2; ++p) {
+          RAPID_RETURN_NOT_OK(JoinPair(
+              dpu, core, sub_build.value()[static_cast<size_t>(p)],
+              sub_probe.value()[static_cast<size_t>(p)], spec, bits_used + 1,
+              cancel, overflow_budget - 1, result));
+        }
+        result->stats.build_rows = saved_build;
+        result->stats.probe_rows = saved_probe;
+        return Status::OK();
+      }
+    }
+    if (!build_fault.ok()) {
+      return Status::CapacityExceeded(
+          "join build capacity fault not recoverable after " +
+          std::to_string(kMaxOverflowRecoveries) +
+          " repartition attempts: " + build_fault.ToString());
+    }
+    // Hard DMEM overflow that can no longer be split: fall through to
+    // the graceful DRAM-overflow table below.
   }
 
   // ---- Heavy-hitter detection (flow-join style) ----
@@ -187,7 +250,7 @@ void JoinPair(dpu::Dpu& dpu, dpu::DpCore& core, const ColumnSet& build,
   // hash bits selected this partition, so the kernel's bucket index
   // must come from the bits above them or every row aliases into the
   // same few buckets.
-  const int shift = bits_used;
+  const int shift = std::min(bits_used, 31);
   primitives::CompactJoinTable table(build_rows, num_buckets,
                                      std::min(spec.dmem_capacity_rows,
                                               build_rows));
@@ -198,6 +261,7 @@ void JoinPair(dpu::Dpu& dpu, dpu::DpCore& core, const ColumnSet& build,
   {
     const std::vector<size_t>& bkeys = spec.build_keys;
     for (size_t start = 0; start < build_rows; start += spec.tile_rows) {
+      RAPID_RETURN_NOT_OK(CancelToken::Check(cancel));
       const size_t rows = std::min(spec.tile_rows, build_rows - start);
       for (size_t i = 0; i < rows; ++i) {
         const size_t row = start + i;
@@ -241,6 +305,7 @@ void JoinPair(dpu::Dpu& dpu, dpu::DpCore& core, const ColumnSet& build,
     tile_match_counts.resize(spec.tile_rows);
   }
   for (size_t start = 0; start < probe_rows; start += spec.tile_rows) {
+    RAPID_RETURN_NOT_OK(CancelToken::Check(cancel));
     const size_t rows = std::min(spec.tile_rows, probe_rows - start);
     primitives::ProbeStats tile_stats;
     if (batched) {
@@ -341,6 +406,7 @@ void JoinPair(dpu::Dpu& dpu, dpu::DpCore& core, const ColumnSet& build,
   }
   result->stats.chain_steps += probe_stats.chain_steps;
   result->stats.overflow_steps += probe_stats.overflow_steps;
+  return Status::OK();
 }
 
 }  // namespace
@@ -358,7 +424,8 @@ std::vector<ColumnMeta> JoinExec::OutputMetas(const ColumnSet& build,
 
 Result<ColumnSet> JoinExec::Execute(dpu::Dpu& dpu, const PartitionedData& build,
                                     const PartitionedData& probe,
-                                    const JoinSpec& spec, JoinStats* stats) {
+                                    const JoinSpec& spec, JoinStats* stats,
+                                    const CancelToken* cancel) {
   if (build.partitions.size() != probe.partitions.size()) {
     return Status::InvalidArgument("join inputs have mismatched fan-out");
   }
@@ -388,13 +455,18 @@ Result<ColumnSet> JoinExec::Execute(dpu::Dpu& dpu, const PartitionedData& build,
   // Deterministic round-robin: partition pair p joins on core
   // p % num_cores (compiler-driven actor scheduling).
   const auto num_cores = static_cast<size_t>(dpu.num_cores());
+  std::vector<Status> statuses(static_cast<size_t>(dpu.num_cores()));
   dpu.ParallelFor([&](dpu::DpCore& core) {
-    for (size_t pair = static_cast<size_t>(core.id()); pair < num_pairs;
-         pair += num_cores) {
-      JoinPair(dpu, core, build.partitions[pair], probe.partitions[pair],
-               spec, build.bits_used, &results[pair]);
+    const auto cid = static_cast<size_t>(core.id());
+    for (size_t pair = cid; pair < num_pairs; pair += num_cores) {
+      statuses[cid] =
+          JoinPair(dpu, core, build.partitions[pair], probe.partitions[pair],
+                   spec, build.bits_used, cancel, kMaxOverflowRecoveries,
+                   &results[pair]);
+      if (!statuses[cid].ok()) break;
     }
   });
+  for (const Status& st : statuses) RAPID_RETURN_NOT_OK(st);
 
   ColumnSet merged(metas);
   JoinStats total;
@@ -407,6 +479,7 @@ Result<ColumnSet> JoinExec::Execute(dpu::Dpu& dpu, const PartitionedData& build,
     total.overflow_steps += r.stats.overflow_steps;
     total.overflowed_partitions += r.stats.overflowed_partitions;
     total.repartitioned_partitions += r.stats.repartitioned_partitions;
+    total.overflow_recoveries += r.stats.overflow_recoveries;
     total.heavy_hitter_keys += r.stats.heavy_hitter_keys;
     total.heavy_hitter_matches += r.stats.heavy_hitter_matches;
   }

@@ -22,6 +22,7 @@
 #include <limits>
 #include <vector>
 
+#include "common/cancel.h"
 #include "common/status.h"
 #include "core/ops/partition_exec.h"
 #include "core/qef/column_set.h"
@@ -64,6 +65,11 @@ struct JoinSpec {
   // Build rows that fit in DMEM; beyond this the table overflows to
   // DRAM (small skew). Default: effectively unlimited.
   size_t dmem_capacity_rows = std::numeric_limits<size_t>::max();
+  // When true, exceeding dmem_capacity_rows is a *hard* capacity fault
+  // (no DRAM overflow region available): the kernel recovers by
+  // repartitioning the pair at doubled fan-out and retrying, the same
+  // path taken for injected "join.build" kCapacityExceeded faults.
+  bool hard_capacity = false;
   // Partition > factor * estimate => dynamic repartitioning.
   double large_skew_factor = 4.0;
   // Keys with (approximate) count >= threshold are heavy hitters;
@@ -86,6 +92,9 @@ struct JoinStats {
   uint64_t overflow_steps = 0;
   uint64_t overflowed_partitions = 0;
   uint64_t repartitioned_partitions = 0;
+  // Build-side hard-capacity faults absorbed by repartition-and-retry
+  // at doubled fan-out (failure recovery, not skew handling).
+  uint64_t overflow_recoveries = 0;
   uint64_t heavy_hitter_keys = 0;
   uint64_t heavy_hitter_matches = 0;
 };
@@ -94,11 +103,14 @@ class JoinExec {
  public:
   // Joins partition pairs (build.partitions[i] vs probe.partitions[i])
   // across the DPU's cores. Both inputs must have equal fan-out.
+  // `cancel` (optional) is polled at tile boundaries inside every
+  // kernel so a cancelled query unwinds within one tile round.
   static Result<ColumnSet> Execute(dpu::Dpu& dpu,
                                    const PartitionedData& build,
                                    const PartitionedData& probe,
                                    const JoinSpec& spec,
-                                   JoinStats* stats = nullptr);
+                                   JoinStats* stats = nullptr,
+                                   const CancelToken* cancel = nullptr);
 
   // Output schema implied by the spec.
   static std::vector<ColumnMeta> OutputMetas(const ColumnSet& build,

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/crc32.h"
+#include "common/fault.h"
 #include "common/logging.h"
 #include "primitives/partition_map.h"
 
@@ -32,10 +33,11 @@ size_t LogicalRowBytes(const ColumnSet& set) {
 // [shift, shift+log2(fanout)). Runs on one core. The DMS charge covers
 // the full stream through the partition engine (staging, CRC/CID
 // resolution and the scatter back to DRAM in one pass, cf. Figure 8).
-void SplitRange(dpu::DpCore& core, const dpu::CostParams& params,
-                const ColumnSet& bucket, const std::vector<uint32_t>& hashes,
-                size_t begin, size_t end, int fanout, int hw_fanout,
-                int shift, size_t tile_rows, std::vector<ColumnSet>* out) {
+Status SplitRange(dpu::DpCore& core, const dpu::CostParams& params,
+                  const ColumnSet& bucket, const std::vector<uint32_t>& hashes,
+                  size_t begin, size_t end, int fanout, int hw_fanout,
+                  int shift, size_t tile_rows, const CancelToken* cancel,
+                  std::vector<ColumnSet>* out) {
   const size_t num_cols = bucket.num_columns();
   const int sw_fanout = fanout / hw_fanout;
   const size_t row_bytes = LogicalRowBytes(bucket);
@@ -45,6 +47,7 @@ void SplitRange(dpu::DpCore& core, const dpu::CostParams& params,
   primitives::PartitionMap map;
   std::vector<int64_t> gathered(tile_rows);
   for (size_t start = begin; start < end; start += tile_rows) {
+    RAPID_RETURN_NOT_OK(CancelToken::Check(cancel));
     const size_t rows = std::min(tile_rows, end - start);
     // compute_partition_map over this tile's hash values (Listing 2).
     primitives::ComputePartitionMap(hashes.data() + start, rows, fanout,
@@ -83,6 +86,7 @@ void SplitRange(dpu::DpCore& core, const dpu::CostParams& params,
       core.cycles().ChargeCompute(static_cast<double>(rows));
     }
   }
+  return Status::OK();
 }
 
 }  // namespace
@@ -103,7 +107,7 @@ std::vector<uint32_t> PartitionExec::HashColumn(
 Result<PartitionedData> PartitionExec::Execute(
     dpu::Dpu& dpu, const ColumnSet& input,
     const std::vector<size_t>& key_cols, const PartitionScheme& scheme,
-    size_t tile_rows) {
+    size_t tile_rows, const CancelToken* cancel) {
   if (scheme.rounds.empty()) {
     return Status::InvalidArgument("partition scheme needs >= 1 round");
   }
@@ -159,16 +163,25 @@ Result<PartitionedData> PartitionExec::Execute(
     // Deterministic round-robin assignment: unit u runs on core
     // u % num_cores (the compiler-driven, non-preemptive scheduling of
     // the actor model — Section 5.1).
+    std::vector<Status> statuses(num_cores);
     dpu.ParallelFor([&](dpu::DpCore& core) {
-      for (size_t u = static_cast<size_t>(core.id()); u < units.size();
-           u += num_cores) {
+      const auto cid = static_cast<size_t>(core.id());
+      for (size_t u = cid; u < units.size(); u += num_cores) {
         WorkUnit& unit = units[u];
-        SplitRange(core, dpu.params(), buckets[unit.bucket],
-                   bucket_hashes[unit.bucket], unit.begin, unit.end,
-                   round.fanout, round.hw_fanout, shift, tile_rows,
-                   &unit.out);
+        // Each work unit programs one partition-engine descriptor
+        // chain; transient faults are retried inside RunDescriptor.
+        statuses[cid] = dpu.dms().RunDescriptor(
+            &core.cycles(), faults::kDmsPartition);
+        if (statuses[cid].ok()) {
+          statuses[cid] = SplitRange(
+              core, dpu.params(), buckets[unit.bucket],
+              bucket_hashes[unit.bucket], unit.begin, unit.end, round.fanout,
+              round.hw_fanout, shift, tile_rows, cancel, &unit.out);
+        }
+        if (!statuses[cid].ok()) break;
       }
     });
+    for (const Status& st : statuses) RAPID_RETURN_NOT_OK(st);
 
     // Reassemble buckets in (bucket, partition) order, merging the
     // range splits in range order for determinism; carry hash columns
@@ -218,9 +231,12 @@ Result<std::vector<ColumnSet>> PartitionExec::Repartition(
   std::vector<uint32_t> hashes = HashColumn(input, key_cols);
   std::vector<ColumnSet> out;
   // Runs on the detecting core: large-skew repartitioning is
-  // introduced dynamically for a single oversized partition.
-  SplitRange(core, params, input, hashes, 0, input.num_rows(), extra_fanout,
-             /*hw_fanout=*/1, bits_used, tile_rows, &out);
+  // introduced dynamically for a single oversized partition. No cancel
+  // token — the caller owns cancellation at its own tile boundaries.
+  RAPID_RETURN_NOT_OK(SplitRange(core, params, input, hashes, 0,
+                                 input.num_rows(), extra_fanout,
+                                 /*hw_fanout=*/1, bits_used, tile_rows,
+                                 /*cancel=*/nullptr, &out));
   return out;
 }
 

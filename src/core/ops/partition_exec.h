@@ -17,6 +17,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/cancel.h"
 #include "common/status.h"
 #include "core/qef/column_set.h"
 #include "dpu/dpu.h"
@@ -54,11 +55,16 @@ class PartitionExec {
   // Hash-partitions `input` by CRC32 over `key_cols` according to
   // `scheme`, in parallel over the DPU's cores. `tile_rows` is the
   // software-partitioning tile size (Figure 10's parameter).
+  //
+  // Each work unit programs one partition-engine descriptor chain;
+  // transient "dms.partition" faults are absorbed by the DMS retry
+  // policy, and `cancel` (optional) is polled at tile boundaries.
   static Result<PartitionedData> Execute(dpu::Dpu& dpu,
                                          const ColumnSet& input,
                                          const std::vector<size_t>& key_cols,
                                          const PartitionScheme& scheme,
-                                         size_t tile_rows);
+                                         size_t tile_rows,
+                                         const CancelToken* cancel = nullptr);
 
   // Re-partitions a single oversized partition `extra_fanout` more
   // ways (the large-skew handler, Section 6.4), starting at hash bit

@@ -149,7 +149,8 @@ Status ScanStep::Execute(ExecEnv& env) const {
     filter.set_downstream(&project);
     project.set_downstream(&sink);
 
-    ExecCtx ctx{&core, &env.dpu->dms(), &env.dpu->params(), env.vectorized};
+    ExecCtx ctx{&core, &env.dpu->dms(), &env.dpu->params(), env.vectorized,
+                env.cancel};
     Status st = filter.Open(ctx);
     if (st.ok()) st = project.Open(ctx);
     if (st.ok()) st = sink.Open(ctx);
@@ -245,7 +246,8 @@ Status PipeStep::Execute(ExecEnv& env) const {
     filter.set_downstream(&project);
     project.set_downstream(&sink);
 
-    ExecCtx ctx{&core, &env.dpu->dms(), &env.dpu->params(), env.vectorized};
+    ExecCtx ctx{&core, &env.dpu->dms(), &env.dpu->params(), env.vectorized,
+                env.cancel};
     Status st = filter.Open(ctx);
     if (st.ok()) st = project.Open(ctx);
     if (st.ok()) st = sink.Open(ctx);
@@ -293,7 +295,8 @@ Status PartitionStep::Execute(ExecEnv& env) const {
       in.set.num_rows() * scheme_.rounds.size();
   RAPID_ASSIGN_OR_RETURN(
       PartitionedData parts,
-      PartitionExec::Execute(*env.dpu, in.set, key_cols, scheme_, tile_rows_));
+      PartitionExec::Execute(*env.dpu, in.set, key_cols, scheme_, tile_rows_,
+                             env.cancel));
   StepOutput& out = env.outputs[static_cast<size_t>(id_)];
   out.partitioned = true;
   out.parts = std::move(parts);
@@ -360,7 +363,7 @@ Status JoinStep::Execute(ExecEnv& env) const {
   RAPID_ASSIGN_OR_RETURN(
       ColumnSet merged,
       JoinExec::Execute(*env.dpu, build_in.parts, probe_in.parts, spec,
-                        &last_stats));
+                        &last_stats, env.cancel));
   env.counters.join_build_rows += last_stats.build_rows;
   env.counters.join_probe_rows += last_stats.probe_rows;
   StepOutput& out = env.outputs[static_cast<size_t>(id_)];
@@ -629,7 +632,8 @@ Status PipelineStep::Execute(ExecEnv& env) const {
     }
     ops.back()->set_downstream(&sink);
 
-    ExecCtx ctx{&core, &env.dpu->dms(), &env.dpu->params(), env.vectorized};
+    ExecCtx ctx{&core, &env.dpu->dms(), &env.dpu->params(), env.vectorized,
+                env.cancel};
     Status st = Status::OK();
     for (auto& op : ops) {
       if (st.ok()) st = op->Open(ctx);
@@ -765,7 +769,8 @@ Status GroupByStep::ExecuteLowNdv(ExecEnv& env, const ColumnSet& input,
     const size_t begin = cid * share;
     const size_t end = std::min(n, begin + share);
     core.dmem().Reset();
-    ExecCtx ctx{&core, &env.dpu->dms(), &env.dpu->params(), env.vectorized};
+    ExecCtx ctx{&core, &env.dpu->dms(), &env.dpu->params(), env.vectorized,
+                env.cancel};
     Status st = ops[cid]->Open(ctx);
     if (st.ok() && begin < end) {
       st = RelationAccessor::PushColumnSet(ctx, input, col_indices, begin, end,
@@ -836,7 +841,8 @@ Status GroupByStep::ExecuteHighNdv(ExecEnv& env, const PartitionedData& input,
     auto aggregate = [&](const ColumnSet& part, ColumnSet* agg_out) -> Status {
       core.dmem().Reset();
       GroupByOp op(key_exprs, aggs_, binding);
-      ExecCtx ctx{&core, &env.dpu->dms(), &env.dpu->params(), env.vectorized};
+      ExecCtx ctx{&core, &env.dpu->dms(), &env.dpu->params(), env.vectorized,
+                  env.cancel};
       RAPID_RETURN_NOT_OK(op.Open(ctx));
       RAPID_RETURN_NOT_OK(RelationAccessor::PushColumnSet(
           ctx, part, col_indices, 0, part.num_rows(), tile_rows, &op));

@@ -16,6 +16,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/cancel.h"
 #include "core/expr.h"
 #include "core/ops/groupby_op.h"
 #include "core/ops/join_exec.h"
@@ -54,6 +55,9 @@ struct ExecEnv {
   dpu::Dpu* dpu = nullptr;
   const std::unordered_map<std::string, storage::Table>* catalog = nullptr;
   bool vectorized = true;
+  // Query-level cancellation token (may be null); steps thread it into
+  // every per-core ExecCtx and check it at barrier boundaries.
+  const CancelToken* cancel = nullptr;
   std::vector<StepOutput> outputs;  // indexed by step id
   WorkloadCounters counters;
 };

@@ -5,6 +5,8 @@
 #ifndef RAPID_CORE_QEF_EXEC_CTX_H_
 #define RAPID_CORE_QEF_EXEC_CTX_H_
 
+#include "common/cancel.h"
+#include "common/status.h"
 #include "dpu/cost_model.h"
 #include "dpu/dms.h"
 #include "dpu/dpcore.h"
@@ -19,6 +21,13 @@ struct ExecCtx {
   // Vectorized execution toggle (Figure 13 ablation). When false,
   // operators charge the row-at-a-time interpretation overhead.
   bool vectorized = true;
+
+  // Query-level cancellation token (may be null). Operators poll it at
+  // tile boundaries so a cancelled query unwinds within one tile round
+  // rather than running to completion.
+  const CancelToken* cancel = nullptr;
+
+  Status CheckCancel() const { return CancelToken::Check(cancel); }
 
   dpu::Dmem& dmem() { return core->dmem(); }
   dpu::CycleCounter& cycles() { return core->cycles(); }

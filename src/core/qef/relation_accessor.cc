@@ -31,6 +31,7 @@ Status RelationAccessor::PushChunks(
   for (const storage::Chunk* chunk : chunks) {
     const size_t chunk_rows = chunk->num_rows();
     for (size_t start = 0; start < chunk_rows; start += tile_rows) {
+      RAPID_RETURN_NOT_OK(ctx.CheckCancel());
       const size_t rows = std::min(tile_rows, chunk_rows - start);
 
       // One DMS descriptor chain transfers all column slices of the
@@ -50,7 +51,8 @@ Status RelationAccessor::PushChunks(
         tile.columns[c].type = vec.type();
         tile.columns[c].dsb_scale = vec.dsb_scale();
       }
-      ctx.dms->TransferTile(&ctx.cycles(), slices, /*read_write=*/false);
+      RAPID_RETURN_NOT_OK(
+          ctx.dms->TransferTile(&ctx.cycles(), slices, /*read_write=*/false));
 
       // Normalize decimal vectors with differing per-vector common
       // scales to the column-level scale before operators see them.
@@ -92,6 +94,7 @@ Status RelationAccessor::PushColumnSet(ExecCtx& ctx, const ColumnSet& set,
 
   size_t parity = 0;
   for (size_t start = row_begin; start < row_end; start += tile_rows) {
+    RAPID_RETURN_NOT_OK(ctx.CheckCancel());
     const size_t rows = std::min(tile_rows, row_end - start);
     std::vector<dpu::ColumnSlice> slices;
     Tile tile;
@@ -113,7 +116,8 @@ Status RelationAccessor::PushColumnSet(ExecCtx& ctx, const ColumnSet& set,
                                  : storage::DataType::kInt64;
       tile.columns[c].dsb_scale = meta.dsb_scale;
     }
-    ctx.dms->TransferTile(&ctx.cycles(), slices, /*read_write=*/false);
+    RAPID_RETURN_NOT_OK(
+        ctx.dms->TransferTile(&ctx.cycles(), slices, /*read_write=*/false));
     RAPID_RETURN_NOT_OK(op->Consume(ctx, tile));
     parity ^= 1;
   }

@@ -11,6 +11,7 @@
 #ifndef RAPID_DPU_ATE_H_
 #define RAPID_DPU_ATE_H_
 
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -18,7 +19,10 @@
 #include <optional>
 #include <vector>
 
+#include "common/cancel.h"
+#include "common/fault.h"
 #include "common/logging.h"
+#include "common/status.h"
 
 namespace rapid::dpu {
 
@@ -30,22 +34,51 @@ struct AteMessage {
 
 class Ate {
  public:
-  explicit Ate(int num_cores)
-      : mailboxes_(num_cores), hw_mutexes_(kNumHwMutexes) {}
+  explicit Ate(int num_cores, int max_delivery_attempts = 4)
+      : mailboxes_(num_cores),
+        hw_mutexes_(kNumHwMutexes),
+        max_delivery_attempts_(max_delivery_attempts) {}
 
   Ate(const Ate&) = delete;
   Ate& operator=(const Ate&) = delete;
 
   // Sends a message to `to`'s mailbox. Messages from the same sender
   // to the same destination are delivered in send order.
-  void Send(int from, int to, uint64_t tag, std::vector<uint8_t> payload = {}) {
+  //
+  // The crossbar guarantees ordering, not delivery: the fault site
+  // "ate.send" models a dropped hop, which the engine absorbs by
+  // redelivering up to max_delivery_attempts times. A message lost for
+  // good surfaces as kRetryExhausted and is NOT enqueued — senders
+  // that ignore the status keep the pre-fault behavior of the
+  // simulator (delivery or silent loss, never a partial enqueue).
+  Status Send(int from, int to, uint64_t tag,
+              std::vector<uint8_t> payload = {}) {
     RAPID_DCHECK(to >= 0 && to < static_cast<int>(mailboxes_.size()));
+    if (__builtin_expect(FaultInjector::enabled(), 0)) {
+      Status last = Status::OK();
+      bool delivered = false;
+      for (int attempt = 0; attempt < max_delivery_attempts_; ++attempt) {
+        last = FaultInjector::Instance().Poll(faults::kAteSend);
+        if (last.ok()) {
+          delivered = true;
+          break;
+        }
+      }
+      if (!delivered) {
+        return Status::RetryExhausted(
+            "ATE message " + std::to_string(from) + "->" +
+            std::to_string(to) + " lost after " +
+            std::to_string(max_delivery_attempts_) +
+            " attempts: " + last.ToString());
+      }
+    }
     Mailbox& box = mailboxes_[to];
     {
       std::lock_guard<std::mutex> lock(box.mu);
       box.queue.push_back(AteMessage{from, tag, std::move(payload)});
     }
     box.cv.notify_one();
+    return Status::OK();
   }
 
   // Blocking receive on `core`'s mailbox.
@@ -83,6 +116,7 @@ class Ate {
 
   std::vector<Mailbox> mailboxes_;
   std::vector<std::mutex> hw_mutexes_;
+  int max_delivery_attempts_;
 };
 
 // Reusable barrier across a fixed set of participants, implemented the
@@ -92,16 +126,37 @@ class AteBarrier {
   explicit AteBarrier(int num_participants)
       : num_participants_(num_participants) {}
 
-  void Wait() {
+  // Blocks until all participants arrive. With a CancelToken, a
+  // cancelled (or past-deadline) participant abandons the barrier
+  // instead of waiting forever for peers that already unwound: it
+  // still counts as arrived (so surviving peers are released) but
+  // returns the cancellation status. Without a token this degenerates
+  // to the classic blocking wait.
+  Status Wait(const CancelToken* cancel = nullptr) {
     std::unique_lock<std::mutex> lock(mu_);
     const uint64_t gen = generation_;
     if (++arrived_ == num_participants_) {
       arrived_ = 0;
       ++generation_;
       cv_.notify_all();
-    } else {
-      cv_.wait(lock, [&] { return generation_ != gen; });
+      return CancelToken::Check(cancel);
     }
+    if (cancel == nullptr) {
+      cv_.wait(lock, [&] { return generation_ != gen; });
+      return Status::OK();
+    }
+    while (generation_ == gen) {
+      Status st = cancel->Check();
+      if (!st.ok()) {
+        // Our arrival already counted when we entered, so peers that
+        // arrive later still complete the barrier — the fleet is never
+        // stranded behind a dead query.
+        return st;
+      }
+      cv_.wait_for(lock, std::chrono::milliseconds(1),
+                   [&] { return generation_ != gen; });
+    }
+    return Status::OK();
   }
 
  private:

@@ -90,6 +90,16 @@ struct CostParams {
   double topk_cycles_per_row = 6.0;
   double row_at_a_time_overhead_cycles = 14.0;  // non-vectorized penalty
 
+  // ---- Failure recovery ----
+  // Descriptor reprogram + settle time before retrying a failed DMS
+  // operation; doubles per attempt (bounded exponential backoff).
+  double dms_retry_backoff_cycles = 220.0;
+  // Attempts per DMS descriptor (1 initial + retries) before the
+  // engine gives up with kRetryExhausted.
+  int dms_max_attempts = 4;
+  // ATE redelivery attempts before a message is declared lost.
+  int ate_max_attempts = 4;
+
   static const CostParams& Default();
 };
 

@@ -13,6 +13,7 @@
 #include <string>
 
 #include "common/buffer.h"
+#include "common/fault.h"
 #include "common/status.h"
 
 namespace rapid::dpu {
@@ -30,6 +31,10 @@ class Dmem {
   // space via task formation or handle spilling (e.g. the join's
   // DMEM-overflow strategy, Section 6.4).
   Result<uint8_t*> Allocate(size_t bytes) {
+    // Injectable budget exhaustion: lets tests exercise the OOM
+    // recovery ladder (pipeline demotion -> host fallback) on queries
+    // that would otherwise fit comfortably.
+    RAPID_FAULT_POINT(faults::kDmemAlloc);
     const size_t aligned = (bytes + 7) & ~size_t{7};
     if (used_ + aligned > capacity_) {
       return Status::OutOfMemory("DMEM exhausted: need " +

@@ -3,6 +3,7 @@
 #include <cstring>
 
 #include "common/crc32.h"
+#include "common/fault.h"
 #include "common/logging.h"
 
 namespace rapid::dpu {
@@ -32,9 +33,32 @@ int64_t KeyColumn::ValueAt(size_t row) const {
   }
 }
 
-void Dms::TransferTile(CycleCounter* cycles,
-                       const std::vector<ColumnSlice>& slices,
-                       bool read_write) const {
+Status Dms::RunDescriptor(CycleCounter* cycles, const char* site) const {
+  if (!FaultInjector::enabled()) return Status::OK();
+  Status last = Status::OK();
+  double backoff = params_.dms_retry_backoff_cycles;
+  for (int attempt = 0; attempt < params_.dms_max_attempts; ++attempt) {
+    last = FaultInjector::Instance().Poll(site);
+    if (last.ok()) return Status::OK();
+    // Cancellation-class faults are not transient; retrying a dead
+    // query only burns cycles.
+    if (last.IsCancellation()) return last;
+    if (attempt + 1 < params_.dms_max_attempts && cycles != nullptr) {
+      // Reprogram + settle before the next attempt.
+      cycles->ChargeDms(backoff);
+      backoff *= 2;
+    }
+  }
+  return Status::RetryExhausted("DMS descriptor failed " +
+                                std::to_string(params_.dms_max_attempts) +
+                                " attempts at '" + site +
+                                "': " + last.ToString());
+}
+
+Status Dms::TransferTile(CycleCounter* cycles,
+                         const std::vector<ColumnSlice>& slices,
+                         bool read_write) const {
+  RAPID_RETURN_NOT_OK(RunDescriptor(cycles, faults::kDmsTransfer));
   size_t total_bytes = 0;
   for (const ColumnSlice& s : slices) {
     std::memcpy(s.dst, s.src, s.bytes);
@@ -53,6 +77,7 @@ void Dms::TransferTile(CycleCounter* cycles,
     cycles->ChargeDms(DmsTileTransferCycles(params_, columns > 0 ? columns : 1,
                                             per_col, 1, read_write));
   }
+  return Status::OK();
 }
 
 void Dms::Gather(CycleCounter* cycles, uint8_t* dst, const uint8_t* src,
@@ -124,6 +149,7 @@ Status Dms::ComputeTargets(CycleCounter* cycles, const HwPartitionSpec& spec,
     return Status::InvalidArgument(
         "range partitioning needs fanout-1 ascending bounds");
   }
+  RAPID_RETURN_NOT_OK(RunDescriptor(cycles, faults::kDmsPartition));
 
   targets->resize(n);
   const uint32_t mask = static_cast<uint32_t>(spec.fanout) - 1;

@@ -70,9 +70,14 @@ class Dms {
   // Executes one descriptor chain: copies every column slice and
   // charges the modeled transfer time. `read_write` marks an r+w
   // double-buffered loop (input and output slices in one chain).
-  void TransferTile(CycleCounter* cycles,
-                    const std::vector<ColumnSlice>& slices,
-                    bool read_write) const;
+  //
+  // Transient descriptor failures (fault site "dms.transfer") are
+  // retried up to params.dms_max_attempts times with exponential
+  // backoff charged to `cycles`; a fault that persists past the budget
+  // surfaces as kRetryExhausted and the slices are left untouched.
+  Status TransferTile(CycleCounter* cycles,
+                      const std::vector<ColumnSlice>& slices,
+                      bool read_write) const;
 
   // ---- Gather / scatter ----
 
@@ -92,10 +97,19 @@ class Dms {
 
   // Resolves the target dpCore id for each of `n` rows (the CID-memory
   // stage of the engine). Charges the partition-engine streaming cost
-  // for `row_bytes` bytes per row.
+  // for `row_bytes` bytes per row. Partition descriptor faults
+  // ("dms.partition") follow the same bounded retry policy as
+  // TransferTile.
   Status ComputeTargets(CycleCounter* cycles, const HwPartitionSpec& spec,
                         size_t n, size_t row_bytes,
                         std::vector<uint16_t>* targets) const;
+
+  // Shared retry policy for DMS descriptor programming: polls the
+  // fault site up to params.dms_max_attempts times, charging
+  // exponentially growing backoff cycles between attempts. Returns OK
+  // once an attempt succeeds, kRetryExhausted when the fault persists,
+  // or the fault verbatim when it is not transient (cancellation).
+  Status RunDescriptor(CycleCounter* cycles, const char* site) const;
 
   // Distributes one column into per-target buffers according to a
   // previously computed target map. Buffers grow as needed (the real

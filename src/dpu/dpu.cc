@@ -10,7 +10,7 @@ Dpu::Dpu(const DpuConfig& config, const CostParams& params)
     : config_(config),
       params_(params),
       dms_(config, params),
-      ate_(config.num_cores),
+      ate_(config.num_cores, params.ate_max_attempts),
       power_() {
   cores_.reserve(config_.num_cores);
   for (int i = 0; i < config_.num_cores; ++i) {

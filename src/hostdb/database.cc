@@ -143,6 +143,10 @@ Result<QueryReport> HostDatabase::ExecuteQuery(
                            DrainToColumnSet(placeholders[f].get()));
     report.offloaded = report.offloaded && !placeholders[f]->fell_back();
     report.fell_back = report.fell_back || placeholders[f]->fell_back();
+    if (placeholders[f]->fell_back()) {
+      if (!report.fallback_reason.empty()) report.fallback_reason += "; ";
+      report.fallback_reason += placeholders[f]->fallback_reason().ToString();
+    }
     report.rapid_wall_seconds += placeholders[f]->rapid_wall_seconds();
     report.rapid_modeled_seconds +=
         placeholders[f]->rapid_stats().modeled_seconds;

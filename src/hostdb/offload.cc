@@ -166,6 +166,7 @@ RapidOperator::RapidOperator(core::LogicalPtr fragment,
       options_(options) {}
 
 Status RapidOperator::Start() {
+  fallback_reason_ = Status::OK();
   // Admissibility: every table the fragment touches must have all
   // changes visible at the query SCN already propagated.
   std::vector<std::string> tables;
@@ -174,6 +175,9 @@ Status RapidOperator::Start() {
   for (const std::string& t : tables) {
     if (!journal_->Admissible(t, query_scn_)) {
       admissible = false;
+      fallback_reason_ = Status::AdmissionDenied(
+          "table '" + t + "' has unpropagated changes at SCN " +
+          std::to_string(query_scn_));
       break;
     }
   }
@@ -200,7 +204,15 @@ Status RapidOperator::Start() {
       fell_back_ = false;
       return Status::OK();
     }
-    // Execution failure also falls back (Section 3.2).
+    // Cancellation-class statuses are terminal for the *query*, not
+    // evidence of DPU trouble: re-running the fragment on the host
+    // would silently resurrect a query the user killed. Propagate.
+    if (result.status().IsCancellation()) return result.status();
+    // Any other mid-fragment DPU failure (descriptor retry exhaustion,
+    // capacity faults, OOM that survived demotion, ...) falls back to
+    // host execution (Section 3.2), with the reason recorded for the
+    // offload decision stats.
+    fallback_reason_ = result.status();
   }
 
   // Fallback: System-X-only execution of the fragment.

@@ -67,7 +67,10 @@ class OffloadPlanner {
 struct QueryReport {
   core::ColumnSet rows;
   bool offloaded = false;
-  bool fell_back = false;        // admissibility failed -> local plan
+  bool fell_back = false;  // admission or DPU failure -> local plan
+  // Human-readable reason(s) the query (or fragments of it) left the
+  // RAPID path; empty when nothing fell back.
+  std::string fallback_reason;
   OffloadDecision::Kind decision = OffloadDecision::Kind::kNone;
   double rapid_wall_seconds = 0;     // time spent executing in RAPID
   double rapid_modeled_seconds = 0;  // modeled DPU time of the fragment
@@ -90,6 +93,10 @@ class RapidOperator : public Iterator {
   void Close() override;
 
   bool fell_back() const { return fell_back_; }
+  // Why the fragment left the RAPID path: kAdmissionDenied, or the DPU
+  // execution status that triggered host re-execution. OK when the
+  // fragment ran on RAPID.
+  const Status& fallback_reason() const { return fallback_reason_; }
   double rapid_wall_seconds() const { return rapid_wall_seconds_; }
   const core::ExecutionStats& rapid_stats() const { return rapid_stats_; }
 
@@ -104,6 +111,7 @@ class RapidOperator : public Iterator {
   core::ColumnSet buffered_;
   size_t cursor_ = 0;
   bool fell_back_ = false;
+  Status fallback_reason_ = Status::OK();
   double rapid_wall_seconds_ = 0;
   core::ExecutionStats rapid_stats_;
 };

@@ -41,6 +41,41 @@ TEST(StatusTest, AllConstructorsProduceMatchingCodes) {
             StatusCode::kAdmissionDenied);
   EXPECT_EQ(Status::CapacityExceeded("x").code(),
             StatusCode::kCapacityExceeded);
+  EXPECT_EQ(Status::Cancelled("x").code(), StatusCode::kCancelled);
+  EXPECT_EQ(Status::DeadlineExceeded("x").code(),
+            StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(Status::RetryExhausted("x").code(),
+            StatusCode::kRetryExhausted);
+}
+
+TEST(StatusTest, FailureRecoveryCodesRoundTrip) {
+  // Code -> constructor -> ToString -> predicate, for the codes the
+  // failure-recovery paths key off.
+  const Status cancelled = Status::Cancelled("user hit ctrl-c");
+  EXPECT_EQ(cancelled.ToString(), "Cancelled: user hit ctrl-c");
+  EXPECT_TRUE(cancelled.IsCancelled());
+  EXPECT_TRUE(cancelled.IsCancellation());
+  EXPECT_FALSE(cancelled.IsDeadlineExceeded());
+
+  const Status deadline = Status::DeadlineExceeded("5s budget elapsed");
+  EXPECT_EQ(deadline.ToString(), "DeadlineExceeded: 5s budget elapsed");
+  EXPECT_TRUE(deadline.IsDeadlineExceeded());
+  EXPECT_TRUE(deadline.IsCancellation());
+  EXPECT_FALSE(deadline.IsCancelled());
+
+  const Status exhausted = Status::RetryExhausted("4 attempts");
+  EXPECT_EQ(exhausted.ToString(), "RetryExhausted: 4 attempts");
+  EXPECT_TRUE(exhausted.IsRetryExhausted());
+  // Retry exhaustion is a DPU failure, not a dead query: the host may
+  // fall back, so it must NOT classify as cancellation.
+  EXPECT_FALSE(exhausted.IsCancellation());
+
+  // Predicates discriminate: no other error code reads as cancellation.
+  EXPECT_FALSE(Status::OutOfMemory("x").IsCancellation());
+  EXPECT_FALSE(Status::Internal("x").IsCancellation());
+  EXPECT_TRUE(Status::OutOfMemory("x").IsOutOfMemory());
+  EXPECT_TRUE(Status::AdmissionDenied("x").IsAdmissionDenied());
+  EXPECT_TRUE(Status::CapacityExceeded("x").IsCapacityExceeded());
 }
 
 TEST(ResultTest, HoldsValue) {

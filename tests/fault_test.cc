@@ -1,0 +1,495 @@
+// Fault-injected execution tests: deterministic fault injector
+// behavior, DPU-layer recovery (DMS retry, ATE redelivery, join
+// build-overflow repartitioning, DMEM-OOM pipeline demotion), query
+// cancellation/deadlines, and the host-fallback contract — every
+// injected fault must end in recovery or a clean host fallback whose
+// rows are bit-identical to a fault-free run. Never a crash, hang, or
+// wrong answer.
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/cancel.h"
+#include "common/fault.h"
+#include "common/rng.h"
+#include "core/engine.h"
+#include "core/ops/join_exec.h"
+#include "core/ops/partition_exec.h"
+#include "dpu/ate.h"
+#include "dpu/dpu.h"
+#include "hostdb/database.h"
+#include "hostdb/offload.h"
+#include "tests/test_util.h"
+
+namespace rapid {
+namespace {
+
+using core::ColumnSet;
+using core::ExecOptions;
+using core::JoinExec;
+using core::JoinSpec;
+using core::JoinStats;
+using core::LogicalNode;
+using core::LogicalPtr;
+using core::PartitionedData;
+using core::PartitionExec;
+using core::PartitionRound;
+using core::PartitionScheme;
+using core::Predicate;
+using core::QueryResult;
+using hostdb::HostDatabase;
+using hostdb::QueryReport;
+using primitives::CmpOp;
+using rapid::testing::ExpectSameRows;
+using rapid::testing::MakeColumnSet;
+using rapid::testing::SortedRows;
+
+// ---- FaultInjector unit behavior -------------------------------------------
+
+TEST(FaultInjectorTest, DisabledByDefaultAndZeroStateAfterReset) {
+  FaultInjector::Instance().Reset();
+  EXPECT_FALSE(FaultInjector::enabled());
+  EXPECT_TRUE(FaultInjector::Instance().Poll("nobody.armed").ok());
+  EXPECT_TRUE(FaultInjector::Instance().PollIfEnabled("nobody.armed").ok());
+}
+
+TEST(FaultInjectorTest, DeterministicUnderSeed) {
+  auto run_pattern = [](uint64_t seed) {
+    ScopedFaultInjection fi(seed);
+    FaultInjector::SiteSpec spec;
+    spec.probability = 0.5;
+    fi.Arm("test.site", spec);
+    std::vector<bool> pattern;
+    for (int i = 0; i < 64; ++i) {
+      pattern.push_back(!FaultInjector::Instance().Poll("test.site").ok());
+    }
+    return pattern;
+  };
+  const std::vector<bool> a = run_pattern(42);
+  const std::vector<bool> b = run_pattern(42);
+  EXPECT_EQ(a, b);
+  // A 0.5-probability site must neither always fire nor never fire.
+  EXPECT_NE(std::count(a.begin(), a.end(), true), 0);
+  EXPECT_NE(std::count(a.begin(), a.end(), true), 64);
+}
+
+TEST(FaultInjectorTest, SkipFirstAndMaxFailuresTriggers) {
+  ScopedFaultInjection fi(7);
+  FaultInjector::SiteSpec spec;
+  spec.code = StatusCode::kInternal;
+  spec.skip_first = 2;   // hits 1-2 pass
+  spec.max_failures = 3; // hits 3-5 fail, 6+ pass again
+  fi.Arm("test.ordinal", spec);
+  std::vector<bool> failed;
+  for (int i = 0; i < 8; ++i) {
+    failed.push_back(!FaultInjector::Instance().Poll("test.ordinal").ok());
+  }
+  EXPECT_EQ(failed, (std::vector<bool>{false, false, true, true, true, false,
+                                       false, false}));
+  EXPECT_EQ(FaultInjector::Instance().hits("test.ordinal"), 8u);
+  EXPECT_EQ(FaultInjector::Instance().failures("test.ordinal"), 3u);
+}
+
+TEST(FaultInjectorTest, InjectedStatusCarriesConfiguredCode) {
+  ScopedFaultInjection fi(1);
+  FaultInjector::SiteSpec spec;
+  spec.code = StatusCode::kOutOfMemory;
+  fi.Arm("test.code", spec);
+  const Status st = FaultInjector::Instance().Poll("test.code");
+  EXPECT_TRUE(st.IsOutOfMemory());
+}
+
+// ---- ATE delivery faults ---------------------------------------------------
+
+TEST(AteFaultTest, TransientLossIsRedelivered) {
+  ScopedFaultInjection fi(11);
+  FaultInjector::SiteSpec spec;
+  spec.max_failures = 2;  // two dropped hops, budget is 4 attempts
+  fi.Arm(faults::kAteSend, spec);
+
+  dpu::Ate ate(2);
+  ASSERT_OK(ate.Send(0, 1, /*tag=*/7, {1, 2, 3}));
+  auto msg = ate.TryReceive(1);
+  ASSERT_TRUE(msg.has_value());
+  EXPECT_EQ(msg->tag, 7u);
+  EXPECT_EQ(FaultInjector::Instance().failures(faults::kAteSend), 2u);
+}
+
+TEST(AteFaultTest, PersistentLossExhaustsAttemptsWithoutEnqueue) {
+  ScopedFaultInjection fi(12);
+  FaultInjector::SiteSpec spec;  // probability 1, unlimited
+  fi.Arm(faults::kAteSend, spec);
+
+  dpu::Ate ate(2);
+  const Status st = ate.Send(0, 1, /*tag=*/9);
+  EXPECT_TRUE(st.IsRetryExhausted()) << st.ToString();
+  EXPECT_FALSE(ate.TryReceive(1).has_value());  // nothing half-delivered
+}
+
+TEST(AteFaultTest, BarrierWaitUnblocksOnCancellation) {
+  dpu::AteBarrier barrier(2);
+  CancelToken token;
+  token.Cancel();
+  // A cancelled participant must abandon the barrier promptly instead
+  // of waiting forever for a peer that will never come.
+  const Status st = barrier.Wait(&token);
+  EXPECT_TRUE(st.IsCancelled()) << st.ToString();
+  // Its arrival still counted: the surviving participant completes the
+  // barrier instead of being stranded behind the dead query.
+  EXPECT_TRUE(barrier.Wait().ok());
+}
+
+// ---- DMS retry policy ------------------------------------------------------
+
+class FaultEngineTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto [specs, data] = TableData(4000);
+    ASSERT_OK(host_.CreateTable("t", specs, data));
+    ASSERT_OK(host_.LoadToRapid("t", &engine_));
+    auto [dspecs, ddata] = DimData(64);
+    ASSERT_OK(host_.CreateTable("d", dspecs, ddata));
+    ASSERT_OK(host_.LoadToRapid("d", &engine_));
+  }
+
+  static std::pair<std::vector<storage::ColumnSpec>,
+                   std::vector<storage::ColumnData>>
+  TableData(int rows) {
+    std::vector<storage::ColumnSpec> specs = {
+        {"id", storage::ColumnKind::kInt64},
+        {"v", storage::ColumnKind::kInt32}};
+    std::vector<storage::ColumnData> data(2);
+    Rng rng(77);
+    for (int i = 0; i < rows; ++i) {
+      data[0].ints.push_back(i);
+      data[1].ints.push_back(rng.NextInRange(0, 63));
+    }
+    return {specs, data};
+  }
+
+  static std::pair<std::vector<storage::ColumnSpec>,
+                   std::vector<storage::ColumnData>>
+  DimData(int rows) {
+    std::vector<storage::ColumnSpec> specs = {
+        {"k", storage::ColumnKind::kInt64},
+        {"w", storage::ColumnKind::kInt32}};
+    std::vector<storage::ColumnData> data(2);
+    for (int i = 0; i < rows; ++i) {
+      data[0].ints.push_back(i);
+      data[1].ints.push_back(i * 3);
+    }
+    return {specs, data};
+  }
+
+  // Scan + filter + group-by: exercises accessor tile loops, DMEM
+  // allocation and (fused) pipelines.
+  LogicalPtr AggPlan() {
+    return LogicalNode::GroupBy(
+        LogicalNode::Scan("t", {"v"},
+                          {Predicate::CmpConst("v", CmpOp::kLt, 48)}),
+        {}, {{"s", core::AggFunc::kSum, core::Expr::Col("v"), {}}});
+  }
+
+  // Partitioned hash join: exercises partition descriptors and the
+  // join build/probe kernels.
+  LogicalPtr JoinPlan() {
+    return LogicalNode::Join(LogicalNode::Scan("t", {"id", "v"}),
+                             LogicalNode::Scan("d", {"k", "w"}), {"v"}, {"k"},
+                             {"id", "w"});
+  }
+
+  HostDatabase host_;
+  core::RapidEngine engine_;
+};
+
+TEST_F(FaultEngineTest, TransientDmsFaultIsRetriedAndQuerySucceeds) {
+  // Clean reference run first.
+  ASSERT_OK_AND_ASSIGN(QueryResult clean, engine_.Execute(AggPlan()));
+
+  ScopedFaultInjection fi(21);
+  FaultInjector::SiteSpec spec;
+  spec.max_failures = 2;  // heals within the 4-attempt descriptor budget
+  fi.Arm(faults::kDmsTransfer, spec);
+
+  ASSERT_OK_AND_ASSIGN(QueryResult faulted, engine_.Execute(AggPlan()));
+  EXPECT_EQ(FaultInjector::Instance().failures(faults::kDmsTransfer), 2u);
+  EXPECT_GT(FaultInjector::Instance().hits(faults::kDmsTransfer), 2u);
+  ExpectSameRows(faulted.rows, clean.rows);
+}
+
+TEST_F(FaultEngineTest, PersistentDmsFaultSurfacesAsRetryExhausted) {
+  ScopedFaultInjection fi(22);
+  fi.Arm(faults::kDmsTransfer, FaultInjector::SiteSpec{});  // always fails
+  auto result = engine_.Execute(AggPlan());
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsRetryExhausted())
+      << result.status().ToString();
+}
+
+// ---- DMEM OOM -> pipeline demotion ----------------------------------------
+
+TEST_F(FaultEngineTest, DmemOomDemotesFusedPipelineAndSucceeds) {
+  ASSERT_OK_AND_ASSIGN(QueryResult clean, engine_.Execute(AggPlan()));
+
+  ScopedFaultInjection fi(23);
+  FaultInjector::SiteSpec spec;
+  spec.code = StatusCode::kOutOfMemory;
+  spec.max_failures = 1;  // fused attempt dies, unfused retry is clean
+  fi.Arm(faults::kDmemAlloc, spec);
+
+  ExecOptions options;
+  ASSERT_TRUE(options.planner.enable_fusion);
+  ASSERT_OK_AND_ASSIGN(QueryResult demoted, engine_.Execute(AggPlan(),
+                                                            options));
+  EXPECT_TRUE(demoted.stats.demoted_to_unfused);
+  ExpectSameRows(demoted.rows, clean.rows);
+}
+
+// ---- Join build overflow recovery -----------------------------------------
+
+ColumnSet RandomKv(size_t n, uint64_t seed, int64_t key_range) {
+  Rng rng(seed);
+  std::vector<int64_t> keys(n);
+  std::vector<int64_t> vals(n);
+  for (size_t i = 0; i < n; ++i) {
+    keys[i] = rng.NextInRange(0, key_range - 1);
+    vals[i] = static_cast<int64_t>(i);
+  }
+  return MakeColumnSet({"k", "v"}, {keys, vals});
+}
+
+struct JoinInputs {
+  PartitionedData build;
+  PartitionedData probe;
+};
+
+JoinInputs MakeJoinInputs(dpu::Dpu& dpu) {
+  JoinInputs in;
+  ColumnSet build = RandomKv(600, 5, 90);
+  ColumnSet probe = RandomKv(1500, 6, 90);
+  PartitionScheme scheme;
+  scheme.rounds.push_back(PartitionRound{4, 4});
+  in.build = PartitionExec::Execute(dpu, build, {0}, scheme, 128).value();
+  in.probe = PartitionExec::Execute(dpu, probe, {0}, scheme, 128).value();
+  return in;
+}
+
+JoinSpec KvJoinSpec() {
+  JoinSpec spec;
+  spec.build_keys = {0};
+  spec.probe_keys = {0};
+  spec.outputs = {{true, 1}, {false, 0}, {false, 1}};
+  return spec;
+}
+
+TEST(JoinFaultTest, InjectedBuildCapacityFaultRecoversByRepartition) {
+  dpu::Dpu dpu;
+  JoinInputs in = MakeJoinInputs(dpu);
+  ASSERT_OK_AND_ASSIGN(ColumnSet clean,
+                       JoinExec::Execute(dpu, in.build, in.probe,
+                                         KvJoinSpec()));
+
+  ScopedFaultInjection fi(31);
+  FaultInjector::SiteSpec spec;
+  spec.code = StatusCode::kCapacityExceeded;
+  spec.max_failures = 1;  // one kernel overflows once, then recovers
+  fi.Arm(faults::kJoinBuild, spec);
+
+  JoinStats stats;
+  ASSERT_OK_AND_ASSIGN(ColumnSet recovered,
+                       JoinExec::Execute(dpu, in.build, in.probe, KvJoinSpec(),
+                                         &stats));
+  EXPECT_GE(stats.overflow_recoveries, 1u);
+  EXPECT_EQ(SortedRows(recovered), SortedRows(clean));
+}
+
+TEST(JoinFaultTest, HardDmemCapacityRepartitionsWithoutInjection) {
+  dpu::Dpu dpu;
+  JoinInputs in = MakeJoinInputs(dpu);
+  ASSERT_OK_AND_ASSIGN(ColumnSet clean,
+                       JoinExec::Execute(dpu, in.build, in.probe,
+                                         KvJoinSpec()));
+
+  JoinSpec spec = KvJoinSpec();
+  spec.hard_capacity = true;
+  spec.dmem_capacity_rows = 32;  // every ~150-row build side must split
+  JoinStats stats;
+  ASSERT_OK_AND_ASSIGN(ColumnSet recovered,
+                       JoinExec::Execute(dpu, in.build, in.probe, spec,
+                                         &stats));
+  EXPECT_GE(stats.overflow_recoveries, 1u);
+  EXPECT_EQ(SortedRows(recovered), SortedRows(clean));
+}
+
+TEST(JoinFaultTest, UnrecoverableCapacityFaultSurfacesCleanly) {
+  dpu::Dpu dpu;
+  JoinInputs in = MakeJoinInputs(dpu);
+  ScopedFaultInjection fi(32);
+  FaultInjector::SiteSpec spec;
+  spec.code = StatusCode::kCapacityExceeded;  // every attempt overflows
+  fi.Arm(faults::kJoinBuild, spec);
+  auto result = JoinExec::Execute(dpu, in.build, in.probe, KvJoinSpec());
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsCapacityExceeded())
+      << result.status().ToString();
+}
+
+// ---- Cancellation and deadlines -------------------------------------------
+
+TEST_F(FaultEngineTest, CancelledTokenStopsQueryBeforeWork) {
+  CancelToken token;
+  token.Cancel();
+  ExecOptions options;
+  options.cancel = &token;
+  auto result = engine_.Execute(AggPlan(), options);
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsCancelled());
+}
+
+TEST_F(FaultEngineTest, ExpiredDeadlineSurfacesAsDeadlineExceeded) {
+  ExecOptions options;
+  options.timeout_seconds = 1e-9;  // expires before the first barrier
+  auto result = engine_.Execute(AggPlan(), options);
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsDeadlineExceeded())
+      << result.status().ToString();
+}
+
+TEST_F(FaultEngineTest, DeadlineComposesWithCallerToken) {
+  CancelToken token;
+  token.Cancel();
+  ExecOptions options;
+  options.cancel = &token;
+  options.timeout_seconds = 3600;  // generous: the token trips first
+  auto result = engine_.Execute(AggPlan(), options);
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsCancelled());
+}
+
+TEST(JoinFaultTest, CancelUnwindsJoinAtTileBoundary) {
+  // Tile loops poll the token: a cancelled query exits the kernel
+  // within one tile round instead of finishing build/probe.
+  dpu::Dpu dpu;
+  JoinInputs in = MakeJoinInputs(dpu);
+  CancelToken token;
+  token.Cancel();
+  auto result = JoinExec::Execute(dpu, in.build, in.probe, KvJoinSpec(),
+                                  nullptr, &token);
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsCancelled());
+}
+
+TEST_F(FaultEngineTest, MidQueryCancelFromAnotherThreadNeverCrashes) {
+  // Non-deterministic interleaving by design: the cancel lands at some
+  // arbitrary point of the query. Whatever the timing, the engine must
+  // either finish cleanly or return kCancelled — never crash or hang.
+  for (int round = 0; round < 8; ++round) {
+    CancelToken token;
+    ExecOptions options;
+    options.cancel = &token;
+    std::thread killer([&token, round] {
+      std::this_thread::sleep_for(std::chrono::microseconds(50 * round));
+      token.Cancel();
+    });
+    auto result = engine_.Execute(JoinPlan(), options);
+    killer.join();
+    if (!result.ok()) {
+      EXPECT_TRUE(result.status().IsCancelled())
+          << result.status().ToString();
+    }
+  }
+}
+
+TEST_F(FaultEngineTest, CancellationPropagatesThroughHostWithoutFallback) {
+  // A dead query must NOT be resurrected on the Volcano path: the host
+  // propagates cancellation instead of falling back.
+  CancelToken token;
+  token.Cancel();
+  ExecOptions options;
+  options.cancel = &token;
+  auto report = host_.ExecuteQuery(AggPlan(), &engine_, options);
+  ASSERT_FALSE(report.ok());
+  EXPECT_TRUE(report.status().IsCancelled()) << report.status().ToString();
+}
+
+// ---- Host fallback hardening ----------------------------------------------
+
+TEST_F(FaultEngineTest, AdmissionDeniedRecordsFallbackReason) {
+  ASSERT_OK(host_.Update("t", {storage::RowChange{1, {1, 9}}}));
+  ASSERT_OK_AND_ASSIGN(QueryReport report,
+                       host_.ExecuteQuery(AggPlan(), &engine_));
+  EXPECT_TRUE(report.fell_back);
+  EXPECT_NE(report.fallback_reason.find("AdmissionDenied"), std::string::npos)
+      << report.fallback_reason;
+}
+
+TEST_F(FaultEngineTest, CapacityExceededFallsBackWithReason) {
+  ASSERT_OK_AND_ASSIGN(core::ColumnSet local, host_.ExecuteLocal(JoinPlan()));
+
+  ScopedFaultInjection fi(41);
+  FaultInjector::SiteSpec spec;
+  spec.code = StatusCode::kCapacityExceeded;  // unrecoverable: every build
+  fi.Arm(faults::kJoinBuild, spec);
+
+  ExecOptions options;
+  options.planner.enable_fusion = false;  // force the partitioned join
+  ASSERT_OK_AND_ASSIGN(QueryReport report,
+                       host_.ExecuteQuery(JoinPlan(), &engine_, options));
+  EXPECT_TRUE(report.fell_back);
+  EXPECT_NE(report.fallback_reason.find("CapacityExceeded"),
+            std::string::npos)
+      << report.fallback_reason;
+  ExpectSameRows(report.rows, local);
+}
+
+// The acceptance matrix: >= 4 fault sites x deterministic seeds. Every
+// injected fault must end in silent recovery or host fallback with
+// rows bit-identical to the fault-free run.
+TEST_F(FaultEngineTest, FaultMatrixRecoversOrFallsBackBitIdentical) {
+  struct SiteCase {
+    const char* site;
+    StatusCode code;
+  };
+  const SiteCase cases[] = {
+      {faults::kDmsTransfer, StatusCode::kInternal},
+      {faults::kDmsPartition, StatusCode::kInternal},
+      {faults::kDmemAlloc, StatusCode::kOutOfMemory},
+      {faults::kJoinBuild, StatusCode::kCapacityExceeded},
+  };
+  const uint64_t seeds[] = {101, 202, 303};
+
+  ExecOptions options;
+  options.planner.enable_fusion = false;  // partitioned join: all sites hot
+  ASSERT_OK_AND_ASSIGN(QueryReport clean,
+                       host_.ExecuteQuery(JoinPlan(), &engine_, options));
+  ASSERT_FALSE(clean.fell_back);
+  const auto clean_rows = SortedRows(clean.rows);
+
+  for (const SiteCase& c : cases) {
+    for (uint64_t seed : seeds) {
+      ScopedFaultInjection fi(seed);
+      FaultInjector::SiteSpec spec;
+      spec.code = c.code;
+      spec.probability = 0.3;  // sometimes heals in-retry, sometimes not
+      fi.Arm(c.site, spec);
+
+      auto result = host_.ExecuteQuery(JoinPlan(), &engine_, options);
+      ASSERT_TRUE(result.ok()) << c.site << " seed " << seed << ": "
+                               << result.status().ToString();
+      const QueryReport& report = result.value();
+      EXPECT_GT(FaultInjector::Instance().hits(c.site), 0u)
+          << c.site << " was never exercised";
+      EXPECT_EQ(SortedRows(report.rows), clean_rows)
+          << c.site << " seed " << seed << " (fell_back=" << report.fell_back
+          << " reason=" << report.fallback_reason << ")";
+    }
+  }
+}
+
+}  // namespace
+}  // namespace rapid
