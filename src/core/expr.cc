@@ -105,8 +105,8 @@ Result<int> EvalExpr(ExecCtx& ctx, const Tile& tile,
         result_scale = primitives::DsbMulTile(lhs.data(), lscale, rhs.data(),
                                               rscale, n, out->data());
         ctx.ChargeCompute((ctx.params->arith_cycles_per_row +
-                           ctx.params->mult_extra_cycles_per_row) *
-                          static_cast<double>(n));
+                           ctx.params->mult_extra_cycles_per_row) /
+                          ctx.params->simd.arith * static_cast<double>(n));
       } else {
         // Add/sub require a common scale; rescale the smaller side.
         result_scale = lscale > rscale ? lscale : rscale;
@@ -123,8 +123,8 @@ Result<int> EvalExpr(ExecCtx& ctx, const Tile& tile,
           primitives::ArithColCol<ArithOp::kSub, int64_t>(
               lhs.data(), rhs.data(), n, out->data());
         }
-        ctx.ChargeCompute(ctx.params->arith_cycles_per_row *
-                          static_cast<double>(n));
+        ctx.ChargeCompute(ctx.params->arith_cycles_per_row /
+                          ctx.params->simd.arith * static_cast<double>(n));
       }
       ctx.ChargeVectorizationPenalty(n);
       return result_scale;
@@ -311,7 +311,8 @@ Status EvalPredicate(ExecCtx& ctx, const Tile& tile,
   RAPID_ASSIGN_OR_RETURN(size_t ci, Bind(binding, pred.column));
   const TileColumn& col = tile.columns[ci];
 
-  double cycles = ctx.params->filter_cycles_per_row * static_cast<double>(n);
+  double cycles = ctx.params->filter_cycles_per_row / ctx.params->simd.filter *
+                  static_cast<double>(n);
   switch (pred.kind) {
     case Predicate::Kind::kCmpConst:
       FilterConstDispatch(col, n, pred.op, pred.value, out);
@@ -404,7 +405,8 @@ Status RefinePredicate(ExecCtx& ctx, const Tile& tile,
   BitVector full;
   RAPID_RETURN_NOT_OK(EvalPredicate(ctx, tile, binding, pred, &full));
   // Undo the full-tile charge and re-charge only the gathered rows.
-  ctx.ChargeCompute(ctx.params->filter_cycles_per_row *
+  ctx.ChargeCompute(ctx.params->filter_cycles_per_row /
+                    ctx.params->simd.filter *
                     (static_cast<double>(qualifying) -
                      static_cast<double>(tile.rows)));
   *out = full;

@@ -155,9 +155,12 @@ Status GroupByOp::Consume(ExecCtx& ctx, const Tile& tile) {
       }
     }
   }
+  // Aggregate updates take the SIMD-dispatched agg kernels' rate; the
+  // bucket walk (groupby + chain steps) is pointer chasing and scalar.
   ctx.ChargeCompute(ctx.params->groupby_cycles_per_row *
                         static_cast<double>(n) +
-                    ctx.params->agg_cycles_per_row * static_cast<double>(n) *
+                    ctx.params->agg_cycles_per_row / ctx.params->simd.agg *
+                        static_cast<double>(n) *
                         static_cast<double>(aggs_.size()) +
                     2.0 * static_cast<double>(chain_steps));
   ctx.ChargeVectorizationPenalty(n);

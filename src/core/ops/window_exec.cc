@@ -139,7 +139,7 @@ Result<ColumnSet> WindowExec::Execute(dpu::Dpu& dpu, const ColumnSet& input,
         }
       }
       core.cycles().ChargeCompute(
-          dpu.params().agg_cycles_per_row *
+          dpu.params().agg_cycles_per_row / dpu.params().simd.agg *
           static_cast<double>((end - begin) * specs.size()));
     }
   });

@@ -9,11 +9,15 @@ double CostEstimator::ScanSeconds(size_t rows, size_t row_bytes,
                                   size_t num_predicates,
                                   double selectivity) const {
   const double r = static_cast<double>(rows);
-  // First predicate scans everything; later ones scan survivors.
-  double compute = params_.filter_cycles_per_row * r;
+  // First predicate scans everything; later ones scan survivors. The
+  // filter primitive is SIMD dispatched, so the per-row rate divides
+  // by the family's throughput multiplier.
+  const double filter_rate =
+      params_.filter_cycles_per_row / params_.simd.filter;
+  double compute = filter_rate * r;
   double surviving = r * selectivity;
   for (size_t p = 1; p < num_predicates; ++p) {
-    compute += params_.filter_cycles_per_row * surviving;
+    compute += filter_rate * surviving;
   }
   const double transfer =
       r * static_cast<double>(row_bytes) / params_.dram_bytes_per_cycle;
@@ -35,8 +39,11 @@ double CostEstimator::JoinSeconds(size_t build_rows, size_t probe_rows,
 double CostEstimator::GroupBySeconds(size_t rows, size_t groups,
                                      size_t num_aggs, bool low_ndv) const {
   const double r = static_cast<double>(rows);
+  // Aggregate updates are SIMD dispatched; the hash-table bucket walk
+  // is data-dependent pointer chasing and stays scalar.
   double cycles = (params_.groupby_cycles_per_row +
-                   params_.agg_cycles_per_row * static_cast<double>(num_aggs)) *
+                   params_.agg_cycles_per_row / params_.simd.agg *
+                       static_cast<double>(num_aggs)) *
                   r;
   if (low_ndv) {
     // Merge of 32 per-core tables of `groups` rows each, on one core.

@@ -45,10 +45,12 @@ struct Desc {
 
 class Fuser {
  public:
-  Fuser(PhysicalPlan plan, const dpu::DpuConfig& config, size_t max_build_rows)
+  Fuser(PhysicalPlan plan, const dpu::DpuConfig& config, size_t max_build_rows,
+        const dpu::CostParams& params)
       : plan_(std::move(plan)),
         config_(config),
         max_build_rows_(max_build_rows),
+        params_(params),
         old_to_new_(plan_.steps.size(), -1),
         consumers_(plan_.steps.size(), 0) {}
 
@@ -62,6 +64,7 @@ class Fuser {
   PhysicalPlan plan_;
   const dpu::DpuConfig& config_;
   const size_t max_build_rows_;
+  const dpu::CostParams& params_;
 
   PhysicalPlan out_;
   std::vector<int> old_to_new_;
@@ -77,21 +80,31 @@ bool Fuser::ChainFitsDmem(const Desc& desc,
   std::vector<OpProfile> profiles;
   const size_t src_cols =
       desc.table.empty() ? 4 : std::max<size_t>(1, desc.base_columns.size());
-  profiles.push_back({"accessor", 64, 2 * 8 * src_cols, 1.0, 8 * src_cols});
+  profiles.push_back(
+      {"accessor", 64, 2 * 8 * src_cols, 1.0, 8 * src_cols, 0.0});
 
+  // Per-row compute rates reflect the dispatched SIMD kernels so the
+  // gate's formation profiles match what execution will charge.
+  const double filter_rate =
+      params_.filter_cycles_per_row / params_.simd.filter;
+  const double arith_rate = params_.arith_cycles_per_row / params_.simd.arith;
+  const double probe_rate = params_.join_probe_cycles_per_row +
+                            params_.hash_cycles_per_row / params_.simd.hash;
   auto add_stage = [&](const PipelineStageSpec& stage) {
     if (stage.kind == PipelineStageSpec::Kind::kFilterProject) {
       const size_t pass = ExprColumns(stage.projections).size();
-      profiles.push_back({"filter", 64, 8 * (pass + 1), 1.0, 8});
+      profiles.push_back({"filter", 64, 8 * (pass + 1), 1.0, 8, filter_rate});
       profiles.push_back(
           {"project", 64, 8 * std::max<size_t>(1, stage.projections.size()),
-           1.0, 8 * std::max<size_t>(1, stage.projections.size())});
+           1.0, 8 * std::max<size_t>(1, stage.projections.size()),
+           arith_rate});
     } else {
       // Broadcast table: ~6 bytes/build row covers bucket heads plus
       // chain links at the capacities the gate admits.
       const size_t table_bytes = 6 * std::max<size_t>(64, stage.join_spec.est_build_rows);
       const size_t out_width = 8 * std::max<size_t>(1, stage.output_columns.size());
-      profiles.push_back({"probe", table_bytes, out_width + 8, 1.0, out_width});
+      profiles.push_back(
+          {"probe", table_bytes, out_width + 8, 1.0, out_width, probe_rate});
     }
   };
   for (const auto& stage : desc.stages) add_stage(stage);
@@ -325,8 +338,9 @@ Result<PhysicalPlan> Fuser::Run() {
 
 Result<PhysicalPlan> FusePipelines(PhysicalPlan plan,
                                    const dpu::DpuConfig& config,
-                                   size_t max_build_rows) {
-  Fuser fuser(std::move(plan), config, max_build_rows);
+                                   size_t max_build_rows,
+                                   const dpu::CostParams& params) {
+  Fuser fuser(std::move(plan), config, max_build_rows, params);
   return fuser.Run();
 }
 

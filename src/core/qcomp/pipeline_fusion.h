@@ -24,15 +24,19 @@
 
 #include "core/qcomp/steps.h"
 #include "dpu/config.h"
+#include "dpu/cost_model.h"
 
 namespace rapid::core {
 
 // Returns the fused plan (steps renumbered 0..n-1 in execution order).
 // `max_build_rows` gates broadcast-probe fusion; 0 disables probe
-// fusion but still fuses scan/filter/project chains.
+// fusion but still fuses scan/filter/project chains. `params` supplies
+// the per-row rates (including SIMD throughput multipliers) used in
+// the gate's task-formation profiles.
 Result<PhysicalPlan> FusePipelines(PhysicalPlan plan,
                                    const dpu::DpuConfig& config,
-                                   size_t max_build_rows);
+                                   size_t max_build_rows,
+                                   const dpu::CostParams& params);
 
 }  // namespace rapid::core
 

@@ -123,12 +123,17 @@ Result<Planner::Lowered> Planner::LowerScan(
     in_width += storage::WidthOf(table.schema().field(idx).type);
   }
   std::vector<OpProfile> profiles;
-  profiles.push_back(OpProfile{"accessor", 64, 2 * in_width, 1.0, in_width});
-  profiles.push_back(OpProfile{"filter", 64,
-                               8 * base_cols.size() + 8 /*selection*/,
-                               combined, 8 * base_cols.size()});
+  profiles.push_back(
+      OpProfile{"accessor", 64, 2 * in_width, 1.0, in_width, 0.0});
+  profiles.push_back(OpProfile{
+      "filter", 64, 8 * base_cols.size() + 8 /*selection*/, combined,
+      8 * base_cols.size(),
+      params_.filter_cycles_per_row / params_.simd.filter *
+          static_cast<double>(std::max<size_t>(1, preds.size()))});
   profiles.push_back(OpProfile{"project", 64, 8 * projections.size(), 1.0,
-                               8 * projections.size()});
+                               8 * projections.size(),
+                               params_.arith_cycles_per_row /
+                                   params_.simd.arith});
   RAPID_ASSIGN_OR_RETURN(size_t tile_rows,
                          MaxTileRows(profiles, 0, profiles.size() - 1,
                                      config_.dmem_bytes));
@@ -433,7 +438,7 @@ Result<PhysicalPlan> Planner::Plan(const LogicalPtr& root,
       options_.join_dmem_capacity_rows == 0) {
     RAPID_ASSIGN_OR_RETURN(
         plan, FusePipelines(std::move(plan), config_,
-                            options_.fusion_max_build_rows));
+                            options_.fusion_max_build_rows, params_));
   }
   return plan;
 }

@@ -43,17 +43,23 @@ Result<double> FormationCycles(const std::vector<OpProfile>& ops,
   double rows = static_cast<double>(input_rows);
   double row_bytes = static_cast<double>(input_row_bytes);
   for (const TaskGroup& task : tasks) {
-    // Read the task input from DRAM, write the task output back.
+    // Read the task input from DRAM, write the task output back; the
+    // dpCore compute stream runs concurrently (double buffering), so
+    // the task costs the max of the two streams plus per-tile setup.
     double out_rows = rows;
+    double compute = 0;
     for (size_t i = task.first_op; i <= task.last_op; ++i) {
+      compute += ops[i].cycles_per_row * out_rows;
       out_rows *= ops[i].output_ratio;
     }
     const double out_bytes =
         out_rows * static_cast<double>(ops[task.last_op].output_row_bytes);
     const double in_bytes = rows * row_bytes;
+    const double transfer =
+        (in_bytes + out_bytes) / params.dram_bytes_per_cycle;
     const double tiles =
         std::max(1.0, rows / static_cast<double>(task.tile_rows));
-    cycles += (in_bytes + out_bytes) / params.dram_bytes_per_cycle +
+    cycles += std::max(transfer, compute) +
               tiles * (params.dms_tile_setup_cycles +
                        params.dms_column_switch_cycles);
     rows = out_rows;

@@ -1,9 +1,41 @@
 #include "dpu/cost_model.h"
 
+#include "common/simd.h"
+
 namespace rapid::dpu {
 
 const CostParams& CostParams::Default() {
   static const CostParams params;
+  return params;
+}
+
+CostParams CostParams::HostCalibrated() {
+  CostParams params = Default();
+  // Family multipliers measured with bench_primitives (int32 columns,
+  // 4096-row tiles) on the host; see DESIGN.md section 10. They are
+  // deliberately conservative round numbers: the modeled plan choices
+  // should be robust to run-to-run noise in the measurements.
+  switch (SimdLevelActive()) {
+    case SimdLevel::kAvx2:
+      // Measured: filter_bv_i32 16.2x, filter_rid_i32 15.4x,
+      // agg_sum_i32 10.0x, agg_sum_i64 2.7x, arith_mul_i32 2.0x,
+      // hash_crc32_i64 7.7x, partition_map 1.1x.
+      params.simd.filter = 12.0;
+      params.simd.agg = 4.0;
+      params.simd.arith = 2.0;
+      params.simd.hash = 4.0;
+      params.simd.partition_map = 1.2;
+      break;
+    case SimdLevel::kSse42:
+      // SSE4.2 vectorizes 32/64-bit filters (4 lanes) and runs the
+      // hardware CRC32 hash loop (the bulk of the 7.7x hash win);
+      // agg/arith/partition-map inherit scalar kernels.
+      params.simd.filter = 3.0;
+      params.simd.hash = 4.0;
+      break;
+    case SimdLevel::kScalar:
+      break;
+  }
   return params;
 }
 

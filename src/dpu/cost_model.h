@@ -90,6 +90,25 @@ struct CostParams {
   double topk_cycles_per_row = 6.0;
   double row_at_a_time_overhead_cycles = 14.0;  // non-vectorized penalty
 
+  // ---- SIMD throughput multipliers ----
+  // Rows-per-cycle speedup of each dispatched kernel family relative
+  // to its scalar twin (bench_primitives measures these). The paper's
+  // dpCores get this effect from the BVLD/FILT/CRC32 vector
+  // instructions; on the host simulator the SIMD kernels play that
+  // role, so per-row cycle charges divide by the family multiplier.
+  // Default() keeps every multiplier at 1.0 — modeled costs stay
+  // deterministic and identical to the pre-SIMD model. HostCalibrated()
+  // fills them from the active dispatch level (common/simd.h) so QComp
+  // task formation and fusion gating see vectorized costs.
+  struct SimdThroughput {
+    double filter = 1.0;
+    double agg = 1.0;
+    double arith = 1.0;
+    double hash = 1.0;
+    double partition_map = 1.0;
+  };
+  SimdThroughput simd;
+
   // ---- Failure recovery ----
   // Descriptor reprogram + settle time before retrying a failed DMS
   // operation; doubles per attempt (bounded exponential backoff).
@@ -101,6 +120,11 @@ struct CostParams {
   int ate_max_attempts = 4;
 
   static const CostParams& Default();
+
+  // Default() with SIMD multipliers filled in for the SIMD level
+  // active right now (RAPID_SIMD / ForceSimdLevel). Computed fresh on
+  // every call so tests that flip levels observe the change.
+  static CostParams HostCalibrated();
 };
 
 // Per-core cycle accumulator. Compute and DMS cycles are tracked
@@ -194,10 +218,13 @@ inline double HwPartitionCycles(const CostParams& p,
          per_row * static_cast<double>(rows);
 }
 
-// Software partitioning of one tile (Listings 2 and 3).
+// Software partitioning of one tile (Listings 2 and 3). The
+// partition-map loop (hash + bucket mapping + histogram) is SIMD
+// dispatched; the gather/scatter loops are data-dependent and stay
+// scalar, so only the map term divides by the multiplier.
 inline double SwPartitionTileCycles(const CostParams& p, size_t rows,
                                     int columns, int fanout) {
-  return p.partition_map_cycles_per_row * rows +
+  return p.partition_map_cycles_per_row / p.simd.partition_map * rows +
          p.swpart_gather_cycles_per_row * rows * columns +
          p.swpart_partition_loop_cycles * fanout;
 }

@@ -1,5 +1,8 @@
 // Aggregation primitives: tight loops computing SUM/MIN/MAX/COUNT over
 // a tile, optionally restricted to rows selected by a bit vector.
+// Bodies dispatch to the SIMD kernel tables (simd.h); every tier is
+// bit-identical (integer sums commute under wraparound, min/max are
+// order-independent).
 
 #ifndef RAPID_PRIMITIVES_AGG_H_
 #define RAPID_PRIMITIVES_AGG_H_
@@ -8,6 +11,7 @@
 #include <cstdint>
 
 #include "common/bitvector.h"
+#include "primitives/simd.h"
 
 namespace rapid::primitives {
 
@@ -29,35 +33,45 @@ struct AggState {
 
 template <typename T>
 void AggTile(const T* values, size_t n, AggState* state) {
-  for (size_t i = 0; i < n; ++i) {
-    const int64_t v = static_cast<int64_t>(values[i]);
-    state->sum += v;
-    if (v < state->min) state->min = v;
-    if (v > state->max) state->max = v;
+  if constexpr (simd::kHasKernelTables<T>) {
+    simd::agg_kernels<T>().tile(values, n, state);
+  } else {
+    for (size_t i = 0; i < n; ++i) {
+      const int64_t v = static_cast<int64_t>(values[i]);
+      state->sum += v;
+      if (v < state->min) state->min = v;
+      if (v > state->max) state->max = v;
+    }
+    state->count += n;
   }
-  state->count += n;
 }
 
 template <typename T>
 void AggTileSelected(const T* values, const BitVector& selected,
                      AggState* state) {
-  for (size_t wi = 0; wi < selected.num_words(); ++wi) {
-    uint64_t w = selected.words()[wi];
-    while (w != 0) {
-      const size_t row = wi * 64 + static_cast<size_t>(__builtin_ctzll(w));
-      const int64_t v = static_cast<int64_t>(values[row]);
-      state->sum += v;
-      if (v < state->min) state->min = v;
-      if (v > state->max) state->max = v;
-      ++state->count;
-      w &= (w - 1);
+  if constexpr (simd::kHasKernelTables<T>) {
+    simd::agg_kernels<T>().tile_selected(values, selected.words(),
+                                         selected.num_words(), state);
+  } else {
+    for (size_t wi = 0; wi < selected.num_words(); ++wi) {
+      uint64_t w = selected.words()[wi];
+      while (w != 0) {
+        const size_t row = wi * 64 + static_cast<size_t>(__builtin_ctzll(w));
+        const int64_t v = static_cast<int64_t>(values[row]);
+        state->sum += v;
+        if (v < state->min) state->min = v;
+        if (v > state->max) state->max = v;
+        ++state->count;
+        w &= (w - 1);
+      }
     }
   }
 }
 
 // Grouped aggregation update: state[group[i]] += values[i] etc.
 // Group ids must be < num_groups; state arrays are caller-allocated
-// (typically in DMEM).
+// (typically in DMEM). Stays scalar: the per-row state gather/scatter
+// is data-dependent (no AVX2 scatter exists).
 template <typename T>
 void AggTileGrouped(const T* values, const uint32_t* groups, size_t n,
                     AggState* states) {

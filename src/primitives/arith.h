@@ -2,7 +2,9 @@
 // (Section 5.1, "Primitives"). DSB-aware: multiplication adds scales,
 // addition/subtraction requires equal scales (the planner inserts
 // rescales), division is avoided in favour of multiplying by
-// reciprocal constants pre-scaled by the compiler.
+// reciprocal constants pre-scaled by the compiler. Bodies dispatch to
+// the SIMD kernel tables (simd.h); kernels tolerate exact in-place
+// aliasing (DsbRescaleTile rescales in place through them).
 
 #ifndef RAPID_PRIMITIVES_ARITH_H_
 #define RAPID_PRIMITIVES_ARITH_H_
@@ -10,29 +12,30 @@
 #include <cstddef>
 #include <cstdint>
 
+#include "primitives/simd.h"
 #include "storage/dsb.h"
 
 namespace rapid::primitives {
 
-enum class ArithOp { kAdd, kSub, kMul };
-
-template <ArithOp op, typename T>
-inline T Apply(T a, T b) {
-  if constexpr (op == ArithOp::kAdd) return a + b;
-  if constexpr (op == ArithOp::kSub) return a - b;
-  if constexpr (op == ArithOp::kMul) return a * b;
-}
-
 // out[i] = left[i] op right[i].
 template <ArithOp op, typename T>
 void ArithColCol(const T* left, const T* right, size_t n, T* out) {
-  for (size_t i = 0; i < n; ++i) out[i] = Apply<op, T>(left[i], right[i]);
+  if constexpr (simd::kHasKernelTables<T>) {
+    simd::arith_kernels<T>().colcol[static_cast<int>(op)](left, right, n, out);
+  } else {
+    for (size_t i = 0; i < n; ++i) out[i] = Apply<op, T>(left[i], right[i]);
+  }
 }
 
 // out[i] = values[i] op constant.
 template <ArithOp op, typename T>
 void ArithColConst(const T* values, size_t n, T constant, T* out) {
-  for (size_t i = 0; i < n; ++i) out[i] = Apply<op, T>(values[i], constant);
+  if constexpr (simd::kHasKernelTables<T>) {
+    simd::arith_kernels<T>().colconst[static_cast<int>(op)](values, n,
+                                                            constant, out);
+  } else {
+    for (size_t i = 0; i < n; ++i) out[i] = Apply<op, T>(values[i], constant);
+  }
 }
 
 // Rescales a tile of DSB mantissas in place from `from_scale` to
@@ -42,7 +45,7 @@ inline void DsbRescaleTile(int64_t* values, size_t n, int from_scale,
                            int to_scale) {
   if (from_scale == to_scale) return;
   const int64_t factor = storage::Pow10(to_scale - from_scale);
-  for (size_t i = 0; i < n; ++i) values[i] *= factor;
+  ArithColConst<ArithOp::kMul, int64_t>(values, n, factor, values);
 }
 
 // DSB multiply: mantissas multiply, scales add. The result scale is
@@ -50,7 +53,7 @@ inline void DsbRescaleTile(int64_t* values, size_t n, int from_scale,
 // responsibility (QComp bounds operand scales).
 inline int DsbMulTile(const int64_t* left, int left_scale, const int64_t* right,
                       int right_scale, size_t n, int64_t* out) {
-  for (size_t i = 0; i < n; ++i) out[i] = left[i] * right[i];
+  ArithColCol<ArithOp::kMul, int64_t>(left, right, n, out);
   return left_scale + right_scale;
 }
 
@@ -59,7 +62,7 @@ inline int DsbMulTile(const int64_t* left, int left_scale, const int64_t* right,
 inline int DsbMulConstTile(const int64_t* values, int scale,
                            int64_t const_mantissa, int const_scale, size_t n,
                            int64_t* out) {
-  for (size_t i = 0; i < n; ++i) out[i] = values[i] * const_mantissa;
+  ArithColConst<ArithOp::kMul, int64_t>(values, n, const_mantissa, out);
   return scale + const_scale;
 }
 

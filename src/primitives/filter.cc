@@ -2,16 +2,32 @@
 
 namespace rapid::primitives {
 
+// Bitmap probes stay scalar (a gather per row), but the output is
+// built as whole words like every other bit-vector kernel.
 void FilterDictSetBv(const uint32_t* codes, size_t n,
                      const BitVector& qualifying_codes, BitVector* out) {
   out->Resize(n);
   uint64_t* words = out->mutable_words();
-  for (size_t i = 0; i < n; ++i) {
-    const uint64_t bit =
-        (codes[i] < qualifying_codes.size() && qualifying_codes.Test(codes[i]))
-            ? 1u
-            : 0u;
-    words[i >> 6] |= bit << (i & 63);
+  size_t i = 0, w = 0;
+  for (; i + 64 <= n; i += 64, ++w) {
+    uint64_t bits = 0;
+    for (size_t b = 0; b < 64; ++b) {
+      const uint32_t code = codes[i + b];
+      bits |= static_cast<uint64_t>(
+                  code < qualifying_codes.size() && qualifying_codes.Test(code))
+              << b;
+    }
+    words[w] = bits;
+  }
+  if (i < n) {
+    uint64_t bits = 0;
+    for (size_t b = 0; i + b < n; ++b) {
+      const uint32_t code = codes[i + b];
+      bits |= static_cast<uint64_t>(
+                  code < qualifying_codes.size() && qualifying_codes.Test(code))
+              << b;
+    }
+    words[w] = bits;
   }
 }
 

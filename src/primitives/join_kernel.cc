@@ -1,5 +1,7 @@
 #include "primitives/join_kernel.h"
 
+#include "primitives/simd.h"
+
 namespace rapid::primitives {
 
 CompactJoinTable::CompactJoinTable(size_t num_rows, size_t num_buckets,
@@ -53,7 +55,7 @@ void CompactJoinTable::Insert(uint32_t hash, size_t row_offset) {
 void ComputeBucketIndices(const uint32_t* hashes, size_t n, size_t num_buckets,
                           uint32_t* indices) {
   const uint32_t mask = static_cast<uint32_t>(num_buckets) - 1;
-  for (size_t i = 0; i < n; ++i) indices[i] = hashes[i] & mask;
+  simd::partition_kernels().bucket_indices(hashes, n, mask, indices);
 }
 
 }  // namespace rapid::primitives

@@ -27,6 +27,7 @@
 #ifndef RAPID_PRIMITIVES_JOIN_KERNEL_H_
 #define RAPID_PRIMITIVES_JOIN_KERNEL_H_
 
+#include <algorithm>
 #include <cstddef>
 #include <cstdint>
 #include <vector>
@@ -36,6 +37,12 @@
 #include "common/logging.h"
 
 namespace rapid::primitives {
+
+// Vectorized bucket-index primitive: indices[i] = hashes[i] & mask
+// (num_buckets must be a power of two). Dispatches to the SIMD
+// partition kernels.
+void ComputeBucketIndices(const uint32_t* hashes, size_t n, size_t num_buckets,
+                          uint32_t* indices);
 
 struct ProbeStats {
   uint64_t probes = 0;        // keys probed
@@ -94,21 +101,32 @@ class CompactJoinTable {
   void ProbeBatch(const uint32_t* hashes, size_t n, KeyEq&& key_eq,
                   Emit&& emit, uint32_t* match_counts, ProbeStats* stats) {
     stats->probes += n;
-    for (size_t i = 0; i < n; ++i) {
-      uint32_t count = 0;
-      const size_t bucket = hashes[i] & bucket_mask_;
-      auto row_eq = [&](size_t brow) { return key_eq(i, brow); };
-      auto row_emit = [&](size_t brow) {
-        ++count;
-        emit(i, brow);
-      };
-      WalkChain(dmem_buckets_.Get(bucket), dmem_sentinel_, /*overflow=*/false,
-                row_eq, row_emit, stats);
-      if (overflow_rows_ > 0) {
-        WalkChain(dram_buckets_[bucket], kDramSentinel, /*overflow=*/true,
+    // Bucket indices are precomputed per chunk with the vectorized
+    // kernel, hoisting the hash->bucket mapping out of the chain-walk
+    // inner loop; rows are still visited in order, so emission order
+    // equals the per-row Probe loop.
+    constexpr size_t kChunkRows = 256;
+    uint32_t buckets[kChunkRows];
+    for (size_t base = 0; base < n; base += kChunkRows) {
+      const size_t rows = std::min(kChunkRows, n - base);
+      ComputeBucketIndices(hashes + base, rows, num_buckets_, buckets);
+      for (size_t r = 0; r < rows; ++r) {
+        const size_t i = base + r;
+        uint32_t count = 0;
+        const size_t bucket = buckets[r];
+        auto row_eq = [&](size_t brow) { return key_eq(i, brow); };
+        auto row_emit = [&](size_t brow) {
+          ++count;
+          emit(i, brow);
+        };
+        WalkChain(dmem_buckets_.Get(bucket), dmem_sentinel_, /*overflow=*/false,
                   row_eq, row_emit, stats);
+        if (overflow_rows_ > 0) {
+          WalkChain(dram_buckets_[bucket], kDramSentinel, /*overflow=*/true,
+                    row_eq, row_emit, stats);
+        }
+        match_counts[i] = count;
       }
-      match_counts[i] = count;
     }
   }
 
@@ -165,10 +183,6 @@ class CompactJoinTable {
   std::vector<uint64_t> dram_link_;
   size_t overflow_rows_ = 0;
 };
-
-// Vectorized bucket-index primitive: indices[i] = hashes[i] & mask.
-void ComputeBucketIndices(const uint32_t* hashes, size_t n, size_t num_buckets,
-                          uint32_t* indices);
 
 }  // namespace rapid::primitives
 

@@ -38,6 +38,12 @@ class PrimitiveCatalog {
   // Looks up a primitive by generated name.
   Result<PrimitiveInfo> Find(const std::string& name) const;
 
+  // The instruction-set tier ("scalar", "sse42", "avx2") the named
+  // primitive's kernel resolved to under the active SIMD level.
+  // Evaluated on demand so tests can flip levels via ForceSimdLevel /
+  // RAPID_SIMD and observe the substitution the cost model assumes.
+  Result<std::string> ResolvedIsa(const std::string& name) const;
+
   // Name a filter primitive following the paper's convention, e.g.
   // FilterName("eq", 4, false) == "rpdmpr_bvflt_ub4_OPT_TYPE_EQ_cval".
   static std::string FilterName(const std::string& op, int width,

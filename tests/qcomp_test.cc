@@ -215,6 +215,49 @@ TEST(TaskFormationTest, EmptyChainRejected) {
       FormTasks({}, 32 * 1024, 100, 8, dpu::CostParams::Default()).ok());
 }
 
+TEST(TaskFormationTest, ComputeStreamOverlapsTransfer) {
+  // With cycles_per_row = 0 (the default) the formation cost is pure
+  // transfer; a compute-bound profile raises it, and with double
+  // buffering the task costs max(transfer, compute), so doubling an
+  // already-dominant compute rate doubles the bound.
+  const dpu::CostParams& p = dpu::CostParams::Default();
+  std::vector<OpProfile> transfer_only = {{"scan", 64, 8, 1.0, 4, 0.0}};
+  std::vector<OpProfile> compute_heavy = {{"scan", 64, 8, 1.0, 4, 100.0}};
+  std::vector<OpProfile> compute_heavier = {{"scan", 64, 8, 1.0, 4, 200.0}};
+  const double t0 =
+      FormationCycles(transfer_only, {{0, 0, 1024}}, 100'000, 4, p).value();
+  const double t1 =
+      FormationCycles(compute_heavy, {{0, 0, 1024}}, 100'000, 4, p).value();
+  const double t2 =
+      FormationCycles(compute_heavier, {{0, 0, 1024}}, 100'000, 4, p).value();
+  EXPECT_LT(t0, t1);
+  // Per-tile setup is common to both; the max(transfer, compute) term
+  // exactly doubles.
+  EXPECT_NEAR(t2 - t1, 100.0 * 100'000, 1e-6);
+  // A faster SIMD kernel (divided rate) pulls the formation cost back
+  // toward the transfer bound.
+  std::vector<OpProfile> vectorized = {{"scan", 64, 8, 1.0, 4, 100.0 / 8}};
+  const double tv =
+      FormationCycles(vectorized, {{0, 0, 1024}}, 100'000, 4, p).value();
+  EXPECT_LT(tv, t1);
+}
+
+TEST(CostEstimatorTest, SimdMultipliersReduceComputeBoundCosts) {
+  dpu::DpuConfig config;
+  dpu::CostParams scalar = dpu::CostParams::Default();
+  dpu::CostParams simd = scalar;
+  simd.simd.filter = 8.0;
+  simd.simd.agg = 4.0;
+  CostEstimator e_scalar(config, scalar);
+  CostEstimator e_simd(config, simd);
+  // Many conjuncts make the scan compute-bound, so the filter
+  // multiplier must show up in the estimate.
+  EXPECT_LT(e_simd.ScanSeconds(1'000'000, 4, 8, 0.9),
+            e_scalar.ScanSeconds(1'000'000, 4, 8, 0.9));
+  EXPECT_LT(e_simd.GroupBySeconds(1'000'000, 100, 4, false),
+            e_scalar.GroupBySeconds(1'000'000, 100, 4, false));
+}
+
 // ---- Cost estimator --------------------------------------------------------
 
 TEST(CostEstimatorTest, MonotoneInInputSize) {
