@@ -128,6 +128,7 @@ Result<QueryResult> RapidEngine::ExecutePhysical(const PhysicalPlan& plan,
                               .compute_cycles();
       before_dms[c] = dpu_->core(static_cast<int>(c)).cycles().dms_cycles();
     }
+    const dpu::ImbalanceStats imb_before = dpu_->imbalance();
     RAPID_RETURN_NOT_OK(step->Execute(env));
     // Modeled step time: cores compute concurrently (slowest bounds
     // the phase) while all DMS transfers share the single DRAM
@@ -143,8 +144,20 @@ Result<QueryResult> RapidEngine::ExecutePhysical(const PhysicalPlan& plan,
     }
     const double step_seconds =
         std::max(max_compute, sum_dms) / params_.clock_hz;
-    result.stats.steps.push_back(
-        StepTiming{step->Describe(), step_seconds, max_compute, sum_dms});
+    // Per-step morsel-phase load balance: delta of the accumulated
+    // imbalance counters across this step's phases.
+    const dpu::ImbalanceStats& imb_after = dpu_->imbalance();
+    dpu::ImbalanceStats step_imb;
+    step_imb.max_core_cycles =
+        imb_after.max_core_cycles - imb_before.max_core_cycles;
+    step_imb.mean_core_cycles =
+        imb_after.mean_core_cycles - imb_before.mean_core_cycles;
+    step_imb.steal_count = imb_after.steal_count - imb_before.steal_count;
+    step_imb.phases = imb_after.phases - imb_before.phases;
+    result.stats.steps.push_back(StepTiming{step->Describe(), step_seconds,
+                                            max_compute, sum_dms,
+                                            step_imb.Ratio(),
+                                            step_imb.steal_count});
     result.stats.modeled_seconds += step_seconds;
     result.stats.total_dms_cycles += sum_dms;
   }
@@ -153,6 +166,7 @@ Result<QueryResult> RapidEngine::ExecutePhysical(const PhysicalPlan& plan,
   result.stats.wall_seconds =
       std::chrono::duration<double>(wall_end - wall_start).count();
   result.stats.workload = env.counters;
+  result.stats.imbalance = dpu_->imbalance();
   result.stats.total_compute_cycles = dpu_->TotalComputeCycles();
   result.rows = std::move(env.outputs[static_cast<size_t>(plan.root)].set);
   return result;

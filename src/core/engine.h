@@ -38,6 +38,11 @@ struct StepTiming {
   double modeled_seconds = 0;  // max-core cycle delta / 800 MHz
   double compute_cycles = 0;   // slowest core's compute cycles this step
   double dms_cycles = 0;       // summed DMS cycles this step (shared DRAM)
+  // Load balance of this step's morsel phases: slowest core's compute
+  // delta over the per-core mean (1.0 = perfectly balanced), and the
+  // number of morsels executed on a core other than their LPT owner.
+  double imbalance_ratio = 1.0;
+  uint64_t steal_count = 0;
 };
 
 struct ExecutionStats {
@@ -49,6 +54,9 @@ struct ExecutionStats {
   // one load per input tile and one store per output tile).
   double total_dms_cycles = 0;
   std::vector<StepTiming> steps;
+  // Morsel-phase load balance accumulated over the whole query:
+  // per-phase max/mean core cycles and steal counts (dpu::WorkQueue).
+  dpu::ImbalanceStats imbalance;
   WorkloadCounters workload;
   // True when a DMEM out-of-memory failure demoted the plan from fused
   // pipelines back to step-at-a-time execution (the fused chain's

@@ -452,21 +452,23 @@ Result<ColumnSet> JoinExec::Execute(dpu::Dpu& dpu, const PartitionedData& build,
   std::vector<PairResult> results(num_pairs);
   for (auto& r : results) r.output = ColumnSet(metas);
 
-  // Deterministic round-robin: partition pair p joins on core
-  // p % num_cores (compiler-driven actor scheduling).
-  const auto num_cores = static_cast<size_t>(dpu.num_cores());
-  std::vector<Status> statuses(static_cast<size_t>(dpu.num_cores()));
-  dpu.ParallelFor([&](dpu::DpCore& core) {
-    const auto cid = static_cast<size_t>(core.id());
-    for (size_t pair = cid; pair < num_pairs; pair += num_cores) {
-      statuses[cid] =
-          JoinPair(dpu, core, build.partitions[pair], probe.partitions[pair],
-                   spec, build.bits_used, cancel, kMaxOverflowRecoveries,
-                   &results[pair]);
-      if (!statuses[cid].ok()) break;
-    }
-  });
-  for (const Status& st : statuses) RAPID_RETURN_NOT_OK(st);
+  // Morsel-driven: each partition pair is one morsel, weighted by its
+  // build+probe rows so LPT seeding launches skewed pairs first and
+  // idle cores steal the rest. Results land in slot `pair`, making the
+  // merged output independent of which core ran which pair.
+  std::vector<double> pair_weights(num_pairs);
+  for (size_t pair = 0; pair < num_pairs; ++pair) {
+    pair_weights[pair] =
+        static_cast<double>(build.partitions[pair].num_rows() +
+                            probe.partitions[pair].num_rows());
+  }
+  dpu::WorkQueue queue(std::move(pair_weights), dpu.num_cores());
+  RAPID_RETURN_NOT_OK(dpu.ParallelForMorsels(
+      queue, cancel, [&](dpu::DpCore& core, size_t pair) -> Status {
+        return JoinPair(dpu, core, build.partitions[pair],
+                        probe.partitions[pair], spec, build.bits_used, cancel,
+                        kMaxOverflowRecoveries, &results[pair]);
+      }));
 
   ColumnSet merged(metas);
   JoinStats total;

@@ -146,8 +146,11 @@ Result<PartitionedData> PartitionExec::Execute(
     std::vector<WorkUnit> units;
     size_t total_rows = 0;
     for (const ColumnSet& b : buckets) total_rows += b.num_rows();
-    const size_t target_rows =
-        std::max<size_t>(1, (total_rows + num_cores - 1) / num_cores);
+    // ~4 units per core so the morsel queue can rebalance; the
+    // reassembly below concatenates range outputs in range order, so
+    // the result bytes are independent of the unit boundaries.
+    const size_t target_rows = std::max<size_t>(
+        64, (total_rows + 4 * num_cores - 1) / (4 * num_cores));
     for (size_t b = 0; b < in_buckets; ++b) {
       const size_t rows = buckets[b].num_rows();
       if (rows == 0) {
@@ -160,28 +163,26 @@ Result<PartitionedData> PartitionExec::Execute(
       }
     }
 
-    // Deterministic round-robin assignment: unit u runs on core
-    // u % num_cores (the compiler-driven, non-preemptive scheduling of
-    // the actor model — Section 5.1).
-    std::vector<Status> statuses(num_cores);
-    dpu.ParallelFor([&](dpu::DpCore& core) {
-      const auto cid = static_cast<size_t>(core.id());
-      for (size_t u = cid; u < units.size(); u += num_cores) {
-        WorkUnit& unit = units[u];
-        // Each work unit programs one partition-engine descriptor
-        // chain; transient faults are retried inside RunDescriptor.
-        statuses[cid] = dpu.dms().RunDescriptor(
-            &core.cycles(), faults::kDmsPartition);
-        if (statuses[cid].ok()) {
-          statuses[cid] = SplitRange(
-              core, dpu.params(), buckets[unit.bucket],
-              bucket_hashes[unit.bucket], unit.begin, unit.end, round.fanout,
-              round.hw_fanout, shift, tile_rows, cancel, &unit.out);
-        }
-        if (!statuses[cid].ok()) break;
-      }
-    });
-    for (const Status& st : statuses) RAPID_RETURN_NOT_OK(st);
+    // Morsel-driven assignment: each work unit is one morsel, weighted
+    // by its row count; idle cores pull or steal the remainder instead
+    // of waiting on a straggler.
+    std::vector<double> unit_weights(units.size());
+    for (size_t u = 0; u < units.size(); ++u) {
+      unit_weights[u] = static_cast<double>(units[u].end - units[u].begin);
+    }
+    dpu::WorkQueue queue(std::move(unit_weights), dpu.num_cores());
+    RAPID_RETURN_NOT_OK(dpu.ParallelForMorsels(
+        queue, cancel, [&](dpu::DpCore& core, size_t u) -> Status {
+          WorkUnit& unit = units[u];
+          // Each work unit programs one partition-engine descriptor
+          // chain; transient faults are retried inside RunDescriptor.
+          RAPID_RETURN_NOT_OK(
+              dpu.dms().RunDescriptor(&core.cycles(), faults::kDmsPartition));
+          return SplitRange(core, dpu.params(), buckets[unit.bucket],
+                            bucket_hashes[unit.bucket], unit.begin, unit.end,
+                            round.fanout, round.hw_fanout, shift, tile_rows,
+                            cancel, &unit.out);
+        }));
 
     // Reassemble buckets in (bucket, partition) order, merging the
     // range splits in range order for determinism; carry hash columns

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstring>
+#include <utility>
 
 #include "common/logging.h"
 
@@ -64,8 +65,10 @@ void RadixSortRows(dpu::DpCore& core, const dpu::CostParams& params,
                               static_cast<double>(perm->size()) * passes);
 }
 
-// Comparator fallback used for sampling bounds (host-side planning,
-// not charged to the DPU).
+// Strict total order: sort keys, then the row id as a tiebreak. The
+// tiebreak makes top-k selection canonical — the k winners (and their
+// order) are unique, so the result is independent of how the input is
+// carved into morsels or how candidates merge.
 bool RowLess(const ColumnSet& set, const std::vector<SortKey>& keys, size_t a,
              size_t b) {
   for (const SortKey& k : keys) {
@@ -73,7 +76,7 @@ bool RowLess(const ColumnSet& set, const std::vector<SortKey>& keys, size_t a,
     const int64_t vb = set.Value(b, k.column);
     if (va != vb) return k.ascending ? va < vb : va > vb;
   }
-  return false;
+  return a < b;
 }
 
 }  // namespace
@@ -99,18 +102,25 @@ std::vector<uint32_t> SortExec::SortedPermutation(
   std::sort(sample.begin(), sample.end());
   if (!primary.ascending) std::reverse(sample.begin(), sample.end());
 
-  std::vector<int64_t> bounds;  // num_cores-1 split points
-  for (int c = 1; c < num_cores; ++c) {
-    bounds.push_back(sample[sample.size() * static_cast<size_t>(c) /
-                            static_cast<size_t>(num_cores)]);
+  // Oversubscribe the range partition ~4x so the morsel queue can
+  // rebalance value-skewed buckets. The result is identical for any
+  // bucket count: rows with equal primary keys always land in the same
+  // bucket, the radix sort within a bucket is stable, and buckets
+  // concatenate in bound order — together a total order independent of
+  // where the bounds fall.
+  const size_t num_buckets = std::max<size_t>(
+      1, std::min(static_cast<size_t>(num_cores) * 4, (n + 63) / 64));
+  std::vector<int64_t> bounds;  // num_buckets-1 split points
+  for (size_t b = 1; b < num_buckets; ++b) {
+    bounds.push_back(sample[sample.size() * b / num_buckets]);
   }
 
-  // Assign rows to core buckets.
-  std::vector<std::vector<uint32_t>> buckets(static_cast<size_t>(num_cores));
+  // Assign rows to range buckets.
+  std::vector<std::vector<uint32_t>> buckets(num_buckets);
   for (size_t i = 0; i < n; ++i) {
     const int64_t v = pcol[i];
     size_t b = 0;
-    // Linear scan over <=31 bounds, matching the DMS comparator tree.
+    // Linear scan over the bounds, matching the DMS comparator tree.
     while (b < bounds.size() &&
            (primary.ascending ? v >= bounds[b] : v <= bounds[b])) {
       ++b;
@@ -118,13 +128,20 @@ std::vector<uint32_t> SortExec::SortedPermutation(
     buckets[b].push_back(static_cast<uint32_t>(i));
   }
 
-  // Per-core radix sort of each bucket.
-  dpu.ParallelFor([&](dpu::DpCore& core) {
-    auto& bucket = buckets[static_cast<size_t>(core.id())];
-    if (!bucket.empty()) {
-      RadixSortRows(core, dpu.params(), input, keys, &bucket);
-    }
-  });
+  // Radix sort of each bucket, one bucket per morsel weighted by size.
+  std::vector<double> bucket_weights(num_buckets);
+  for (size_t b = 0; b < num_buckets; ++b) {
+    bucket_weights[b] = static_cast<double>(buckets[b].size());
+  }
+  dpu::WorkQueue queue(std::move(bucket_weights), num_cores);
+  const Status st = dpu.ParallelForMorsels(
+      queue, /*cancel=*/nullptr, [&](dpu::DpCore& core, size_t b) -> Status {
+        if (!buckets[b].empty()) {
+          RadixSortRows(core, dpu.params(), input, keys, &buckets[b]);
+        }
+        return Status::OK();
+      });
+  RAPID_CHECK(st.ok());
 
   // Concatenate in bound order.
   perm.clear();
@@ -166,60 +183,76 @@ Result<ColumnSet> TopKExec::Execute(dpu::Dpu& dpu, const ColumnSet& input,
   }
   const size_t n = input.num_rows();
   const int num_cores = dpu.num_cores();
-  const size_t share = (n + static_cast<size_t>(num_cores) - 1) /
-                       static_cast<size_t>(num_cores);
 
-  // Vectorized per-core selection: a bounded candidate set plus a
+  // ~4 morsels per core; candidate sets are indexed by morsel id so
+  // the merge order — and with RowLess's row-id tiebreak, the result —
+  // is independent of which core ran which morsel.
+  const size_t slots = static_cast<size_t>(num_cores) * 4;
+  const size_t target = std::max<size_t>(64, (n + slots - 1) / slots);
+  std::vector<std::pair<size_t, size_t>> ranges;
+  for (size_t begin = 0; begin < n; begin += target) {
+    ranges.emplace_back(begin, std::min(n, begin + target));
+  }
+  if (ranges.empty()) ranges.emplace_back(0, 0);
+
+  // Vectorized per-morsel selection: a bounded candidate set plus a
   // running threshold (the current k-th row). Each tile is first
   // pruned against the threshold with one branch-free comparison per
   // row; only survivors pay the insertion cost. This is the
   // "vectorized Top-K" of Section 5.4.
-  std::vector<std::vector<uint32_t>> local(static_cast<size_t>(num_cores));
-  dpu.ParallelFor([&](dpu::DpCore& core) {
-    const size_t begin = static_cast<size_t>(core.id()) * share;
-    const size_t end = std::min(n, begin + share);
-    if (begin >= end) return;
-    auto& rows = local[static_cast<size_t>(core.id())];
-    auto less = [&](uint32_t a, uint32_t b) {
-      return RowLess(input, keys, a, b);
-    };
+  std::vector<std::vector<uint32_t>> local(ranges.size());
+  std::vector<double> range_weights(ranges.size());
+  for (size_t m = 0; m < ranges.size(); ++m) {
+    range_weights[m] = static_cast<double>(ranges[m].second - ranges[m].first);
+  }
+  dpu::WorkQueue queue(std::move(range_weights), num_cores);
+  RAPID_RETURN_NOT_OK(dpu.ParallelForMorsels(
+      queue, /*cancel=*/nullptr, [&](dpu::DpCore& core, size_t m) -> Status {
+        const size_t begin = ranges[m].first;
+        const size_t end = ranges[m].second;
+        if (begin >= end) return Status::OK();
+        auto& rows = local[m];
+        auto less = [&](uint32_t a, uint32_t b) {
+          return RowLess(input, keys, a, b);
+        };
 
-    constexpr size_t kTileRows = 1024;
-    uint64_t inserted = 0;
-    bool have_threshold = false;
-    uint32_t threshold_row = 0;
-    for (size_t start = begin; start < end; start += kTileRows) {
-      const size_t tile_end = std::min(end, start + kTileRows);
-      for (size_t i = start; i < tile_end; ++i) {
-        const auto row = static_cast<uint32_t>(i);
-        // Prune against the running k-th value (1 cycle/row below).
-        if (have_threshold && !less(row, threshold_row)) continue;
-        rows.push_back(row);
-        ++inserted;
-      }
-      // Re-establish the bound once the candidate set overflows 2k.
-      if (rows.size() >= 2 * k) {
-        std::nth_element(rows.begin(),
-                         rows.begin() + static_cast<ptrdiff_t>(k - 1),
-                         rows.end(), less);
-        rows.resize(k);
-        threshold_row = rows[k - 1];
-        have_threshold = true;
-      }
-    }
-    const size_t keep = std::min(k, rows.size());
-    std::partial_sort(rows.begin(),
-                      rows.begin() + static_cast<ptrdiff_t>(keep),
-                      rows.end(), less);
-    rows.resize(keep);
-    // Charge: one pruning comparison per row plus the heap work for
-    // the rows that survived the threshold.
-    core.cycles().ChargeCompute(
-        static_cast<double>(end - begin) +
-        dpu.params().topk_cycles_per_row * static_cast<double>(inserted));
-  });
+        constexpr size_t kTileRows = 1024;
+        uint64_t inserted = 0;
+        bool have_threshold = false;
+        uint32_t threshold_row = 0;
+        for (size_t start = begin; start < end; start += kTileRows) {
+          const size_t tile_end = std::min(end, start + kTileRows);
+          for (size_t i = start; i < tile_end; ++i) {
+            const auto row = static_cast<uint32_t>(i);
+            // Prune against the running k-th value (1 cycle/row below).
+            if (have_threshold && !less(row, threshold_row)) continue;
+            rows.push_back(row);
+            ++inserted;
+          }
+          // Re-establish the bound once the candidate set overflows 2k.
+          if (rows.size() >= 2 * k) {
+            std::nth_element(rows.begin(),
+                             rows.begin() + static_cast<ptrdiff_t>(k - 1),
+                             rows.end(), less);
+            rows.resize(k);
+            threshold_row = rows[k - 1];
+            have_threshold = true;
+          }
+        }
+        const size_t keep = std::min(k, rows.size());
+        std::partial_sort(rows.begin(),
+                          rows.begin() + static_cast<ptrdiff_t>(keep),
+                          rows.end(), less);
+        rows.resize(keep);
+        // Charge: one pruning comparison per row plus the heap work for
+        // the rows that survived the threshold.
+        core.cycles().ChargeCompute(
+            static_cast<double>(end - begin) +
+            dpu.params().topk_cycles_per_row * static_cast<double>(inserted));
+        return Status::OK();
+      }));
 
-  // Merge per-core candidates; final selection on one core.
+  // Merge per-morsel candidates; final selection on one core.
   std::vector<uint32_t> merged;
   for (const auto& rows : local) {
     merged.insert(merged.end(), rows.begin(), rows.end());

@@ -1,6 +1,7 @@
 #include "core/ops/window_exec.h"
 
 #include <algorithm>
+#include <utility>
 
 namespace rapid::core {
 
@@ -83,66 +84,73 @@ Result<ColumnSet> WindowExec::Execute(dpu::Dpu& dpu, const ColumnSet& input,
     out.column(sorted.num_columns() + f).resize(n);
   }
 
-  // Each run is independent; cores grab runs round-robin.
-  dpu.ParallelFor([&](dpu::DpCore& core) {
-    for (size_t run = static_cast<size_t>(core.id()); run + 1 < starts.size();
-         run += static_cast<size_t>(dpu.num_cores())) {
-      const size_t begin = starts[run];
-      const size_t end = starts[run + 1];
-      for (size_t f = 0; f < specs.size(); ++f) {
-        const WindowSpec& spec = specs[f];
-        std::vector<int64_t>& dst = out.column(sorted.num_columns() + f);
-        switch (spec.func) {
-          case WindowFunc::kRowNumber: {
-            for (size_t i = begin; i < end; ++i) {
-              dst[i] = static_cast<int64_t>(i - begin + 1);
-            }
-            break;
-          }
-          case WindowFunc::kRank: {
-            int64_t rank = 1;
-            for (size_t i = begin; i < end; ++i) {
-              if (i > begin && !SameOrderKeys(sorted, spec.order_by, i - 1, i)) {
-                rank = static_cast<int64_t>(i - begin + 1);
+  // Each run is independent and writes its rows by absolute index, so
+  // any core may take any run: runs are morsels weighted by length —
+  // one giant partition no longer serializes behind a striped core.
+  const size_t num_runs = starts.size() - 1;
+  std::vector<double> run_weights(num_runs);
+  for (size_t run = 0; run < num_runs; ++run) {
+    run_weights[run] = static_cast<double>(starts[run + 1] - starts[run]);
+  }
+  dpu::WorkQueue queue(std::move(run_weights), dpu.num_cores());
+  RAPID_RETURN_NOT_OK(dpu.ParallelForMorsels(
+      queue, /*cancel=*/nullptr, [&](dpu::DpCore& core, size_t run) -> Status {
+        const size_t begin = starts[run];
+        const size_t end = starts[run + 1];
+        for (size_t f = 0; f < specs.size(); ++f) {
+          const WindowSpec& spec = specs[f];
+          std::vector<int64_t>& dst = out.column(sorted.num_columns() + f);
+          switch (spec.func) {
+            case WindowFunc::kRowNumber: {
+              for (size_t i = begin; i < end; ++i) {
+                dst[i] = static_cast<int64_t>(i - begin + 1);
               }
-              dst[i] = rank;
+              break;
             }
-            break;
-          }
-          case WindowFunc::kDenseRank: {
-            int64_t rank = 1;
-            for (size_t i = begin; i < end; ++i) {
-              if (i > begin &&
-                  !SameOrderKeys(sorted, spec.order_by, i - 1, i)) {
-                ++rank;
+            case WindowFunc::kRank: {
+              int64_t rank = 1;
+              for (size_t i = begin; i < end; ++i) {
+                if (i > begin && !SameOrderKeys(sorted, spec.order_by, i - 1, i)) {
+                  rank = static_cast<int64_t>(i - begin + 1);
+                }
+                dst[i] = rank;
               }
-              dst[i] = rank;
+              break;
             }
-            break;
-          }
-          case WindowFunc::kRunningSum: {
-            int64_t sum = 0;
-            for (size_t i = begin; i < end; ++i) {
-              sum += sorted.Value(i, spec.value_column);
-              dst[i] = sum;
+            case WindowFunc::kDenseRank: {
+              int64_t rank = 1;
+              for (size_t i = begin; i < end; ++i) {
+                if (i > begin &&
+                    !SameOrderKeys(sorted, spec.order_by, i - 1, i)) {
+                  ++rank;
+                }
+                dst[i] = rank;
+              }
+              break;
             }
-            break;
-          }
-          case WindowFunc::kPartitionSum: {
-            int64_t sum = 0;
-            for (size_t i = begin; i < end; ++i) {
-              sum += sorted.Value(i, spec.value_column);
+            case WindowFunc::kRunningSum: {
+              int64_t sum = 0;
+              for (size_t i = begin; i < end; ++i) {
+                sum += sorted.Value(i, spec.value_column);
+                dst[i] = sum;
+              }
+              break;
             }
-            for (size_t i = begin; i < end; ++i) dst[i] = sum;
-            break;
+            case WindowFunc::kPartitionSum: {
+              int64_t sum = 0;
+              for (size_t i = begin; i < end; ++i) {
+                sum += sorted.Value(i, spec.value_column);
+              }
+              for (size_t i = begin; i < end; ++i) dst[i] = sum;
+              break;
+            }
           }
         }
-      }
-      core.cycles().ChargeCompute(
-          dpu.params().agg_cycles_per_row / dpu.params().simd.agg *
-          static_cast<double>((end - begin) * specs.size()));
-    }
-  });
+        core.cycles().ChargeCompute(
+            dpu.params().agg_cycles_per_row / dpu.params().simd.agg *
+            static_cast<double>((end - begin) * specs.size()));
+        return Status::OK();
+      }));
 
   return out;
 }

@@ -15,6 +15,7 @@
 
 #include "dpu/config.h"
 #include "dpu/cost_model.h"
+#include "dpu/work_queue.h"
 
 namespace rapid::core {
 
@@ -22,6 +23,16 @@ class CostEstimator {
  public:
   CostEstimator(const dpu::DpuConfig& config, const dpu::CostParams& params)
       : config_(config), params_(params) {}
+
+  // Skew knob for the balanced-makespan estimate: the largest single
+  // morsel's share of a phase's total cycles. 0 (default) models
+  // perfectly balanced morsels (cycles / num_cores, the old
+  // round-robin assumption); larger fractions grow every estimate by
+  // the remainder a straggler morsel adds even under work stealing.
+  void set_largest_morsel_fraction(double fraction) {
+    largest_morsel_fraction_ = fraction < 0 ? 0 : fraction;
+  }
+  double largest_morsel_fraction() const { return largest_morsel_fraction_; }
 
   // Scan + filter over `rows` rows of `row_bytes` each with
   // `num_predicates` conjuncts at `selectivity` combined selectivity:
@@ -45,13 +56,19 @@ class CostEstimator {
   const dpu::DpuConfig& config() const { return config_; }
 
  private:
+  // Balanced-makespan division (Graham bound) instead of assuming the
+  // static round-robin split is perfect: total/cores plus the
+  // remainder contributed by the largest morsel.
   double PerCore(double cycles) const {
-    return cycles / static_cast<double>(config_.num_cores) /
+    return dpu::BalancedMakespanCycles(cycles,
+                                       cycles * largest_morsel_fraction_,
+                                       config_.num_cores) /
            params_.clock_hz;
   }
 
   dpu::DpuConfig config_;
   dpu::CostParams params_;
+  double largest_morsel_fraction_ = 0.0;
 };
 
 }  // namespace rapid::core

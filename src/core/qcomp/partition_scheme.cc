@@ -4,6 +4,8 @@
 #include <cmath>
 #include <vector>
 
+#include "dpu/work_queue.h"
+
 namespace rapid::core {
 
 namespace {
@@ -87,8 +89,11 @@ double SchemeCycles(const PartitionScheme& scheme,
     // Writing partitions back to DRAM.
     transfer += static_cast<double>(in.total_rows * in.row_bytes) /
                 params.partition_bytes_per_cycle;
-    // Work is spread over 32 cores.
-    total += std::max(compute, transfer) / 32.0;
+    // Balanced-makespan spread over the cores: sum/cores plus the
+    // remainder the largest morsel adds under work stealing.
+    const double round_cycles = std::max(compute, transfer);
+    total += dpu::BalancedMakespanCycles(
+        round_cycles, round_cycles * in.largest_morsel_fraction, in.num_cores);
   }
   return total;
 }

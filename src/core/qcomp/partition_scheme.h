@@ -33,6 +33,11 @@ struct PartitionPlanInput {
   int max_round_fanout = 1024;  // HW 32 x SW 32 in one pass
   int max_sw_fanout = 64;       // Figure 10: feasible without perf drop
   size_t tile_rows = 256;
+  int num_cores = 32;         // cores sharing each round's work
+  // Largest single morsel's share of a round's cycles (e.g. the
+  // biggest input chunk / total rows). 0 models perfectly balanced
+  // morsels; skewed inputs raise the balanced-makespan round cost.
+  double largest_morsel_fraction = 0.0;
 };
 
 struct SchemeChoice {

@@ -187,13 +187,18 @@ Status Fuser::HandleJoin(int id, JoinStep* join) {
                     plan_.steps[static_cast<size_t>(probe_part)].get())
                     ->input();
     const JoinSpec& spec = join->spec_template();
-    // Broadcast-cost gate: every core re-reads the build side
-    // (num_cores x est_build rows of DMS traffic), which must stay
-    // below the movement fusion eliminates — both partition passes
-    // (~2 x build + 2 x probe) plus the probe-side scan
-    // materialization (~1 x probe... folded as 2 x probe + 3 x build).
-    const size_t broadcast_rows =
-        static_cast<size_t>(config_.num_cores) * spec.est_build_rows;
+    // Broadcast-cost gate: each participating core re-reads the build
+    // side, which must stay below the movement fusion eliminates —
+    // both partition passes (~2 x build + 2 x probe) plus the
+    // probe-side scan materialization (~1 x probe... folded as
+    // 2 x probe + 3 x build). The morsel scheduler builds the chain
+    // lazily per core, so a small probe side (few morsels at the
+    // ~64-row minimum granularity) engages — and pays the broadcast
+    // on — fewer than num_cores cores.
+    const size_t participating = std::min<size_t>(
+        static_cast<size_t>(config_.num_cores),
+        std::max<size_t>(1, spec.est_probe_rows / 64));
+    const size_t broadcast_rows = participating * spec.est_build_rows;
     const size_t saved_rows = 3 * spec.est_build_rows + 2 * spec.est_probe_rows;
     fuse = pending_.count(probe_src) > 0 &&
            consumers_[static_cast<size_t>(probe_src)] == 1 &&

@@ -21,6 +21,29 @@ int NextId(const PhysicalPlan& plan) {
   return static_cast<int>(plan.steps.size());
 }
 
+// Largest chunk's share of a base table's rows (0 when the table is
+// unknown or derived): seeds the balanced-makespan cost of partition
+// rounds, where the biggest chunk is the biggest morsel.
+double LargestChunkFraction(const Catalog& catalog,
+                            const std::string& base_table) {
+  if (base_table.empty()) return 0.0;
+  const auto it = catalog.find(base_table);
+  if (it == catalog.end()) return 0.0;
+  const storage::Table& t = it->second;
+  size_t largest = 0;
+  size_t total = 0;
+  for (size_t p = 0; p < t.num_partitions(); ++p) {
+    const storage::Partition& part = t.partition(p);
+    for (size_t c = 0; c < part.num_chunks(); ++c) {
+      const size_t rows = part.chunk(c).num_rows();
+      largest = std::max(largest, rows);
+      total += rows;
+    }
+  }
+  return total == 0 ? 0.0
+                    : static_cast<double>(largest) / static_cast<double>(total);
+}
+
 }  // namespace
 
 double EstimateSelectivity(const storage::ColumnStats& stats,
@@ -237,7 +260,11 @@ Result<Planner::Lowered> Planner::Lower(const LogicalNode& node,
       pin.row_bytes = 8 * std::max<size_t>(1, node.output_columns.size());
       pin.num_columns = std::max<size_t>(1, node.output_columns.size());
       pin.dmem_budget_bytes = config_.dmem_bytes / 2;
-      pin.min_partitions = config_.num_cores;
+      // Fan-out must be a real split (>= 2) even on a one-core DPU.
+      pin.min_partitions = std::max(2, config_.num_cores);
+      pin.num_cores = config_.num_cores;
+      pin.largest_morsel_fraction =
+          LargestChunkFraction(catalog, build.base_table);
       int fanout;
       PartitionScheme scheme;
       if (options_.force_join_fanout > 0) {
@@ -336,7 +363,10 @@ Result<Planner::Lowered> Planner::Lower(const LogicalNode& node,
         pin.row_bytes = 8 * (node.group_keys.size() + node.aggregates.size());
         pin.num_columns = node.group_keys.size() + node.aggregates.size();
         pin.dmem_budget_bytes = config_.dmem_bytes / 2;
-        pin.min_partitions = config_.num_cores;
+        pin.min_partitions = std::max(2, config_.num_cores);
+        pin.num_cores = config_.num_cores;
+        pin.largest_morsel_fraction =
+            LargestChunkFraction(catalog, in.base_table);
         RAPID_ASSIGN_OR_RETURN(SchemeChoice choice,
                                OptimizePartitionScheme(pin, params_));
         const int part_id = NextId(*plan);

@@ -61,6 +61,38 @@ size_t FitTileRows(size_t requested, size_t bytes_per_row,
   return tile;
 }
 
+// Contiguous row-range morsels: ~4 per core so the work queue can
+// balance uneven per-row costs, floored at the minimum tile so tiles
+// never degenerate. Results are independent of the split because every
+// order-preserving operator's outputs concatenate in range order.
+struct RowRange {
+  size_t begin = 0;
+  size_t end = 0;
+};
+
+std::vector<RowRange> RowMorsels(size_t n, int num_cores) {
+  std::vector<RowRange> ranges;
+  if (n == 0) {
+    ranges.push_back(RowRange{0, 0});
+    return ranges;
+  }
+  const size_t slots = static_cast<size_t>(num_cores) * 4;
+  const size_t target = std::max<size_t>(64, (n + slots - 1) / slots);
+  for (size_t begin = 0; begin < n; begin += target) {
+    ranges.push_back(RowRange{begin, std::min(n, begin + target)});
+  }
+  return ranges;
+}
+
+std::vector<double> RangeWeights(const std::vector<RowRange>& ranges) {
+  std::vector<double> weights;
+  weights.reserve(ranges.size());
+  for (const RowRange& r : ranges) {
+    weights.push_back(static_cast<double>(r.end - r.begin));
+  }
+  return weights;
+}
+
 }  // namespace
 
 std::string PhysicalPlan::Describe() const {
@@ -127,54 +159,58 @@ Status ScanStep::Execute(ExecEnv& env) const {
       }
     }
   }
-  std::vector<ColumnSet> per_core(static_cast<size_t>(num_cores),
-                                  ColumnSet(metas));
-  std::vector<Status> statuses(static_cast<size_t>(num_cores));
   const std::vector<std::string> pass_through = ProjectionInputs(projections_);
 
-  env.dpu->ParallelFor([&](dpu::DpCore& core) {
-    const auto cid = static_cast<size_t>(core.id());
-    std::vector<const storage::Chunk*> mine;
-    for (size_t i = cid; i < all_chunks.size();
-         i += static_cast<size_t>(num_cores)) {
-      mine.push_back(all_chunks[i]);
-    }
-    core.dmem().Reset();
+  // Morsel-driven scan: one morsel per chunk, seeded largest-first by
+  // row count so one core never drags a tail of fat chunks. Outputs
+  // are indexed by chunk id, so the merged result is independent of
+  // which core ran which chunk.
+  std::vector<ColumnSet> per_morsel(all_chunks.size(), ColumnSet(metas));
+  std::vector<double> weights;
+  weights.reserve(all_chunks.size());
+  for (const storage::Chunk* chunk : all_chunks) {
+    weights.push_back(static_cast<double>(chunk->num_rows()));
+  }
+  dpu::WorkQueue queue(std::move(weights), num_cores);
+  RAPID_RETURN_NOT_OK(env.dpu->ParallelForMorsels(
+      queue, env.cancel, [&](dpu::DpCore& core, size_t m) -> Status {
+        core.dmem().Reset();
 
-    // Build this core's pipeline: filter -> project -> sink.
-    FilterOp filter(predicates_, pass_through, base_binding, tile_rows_,
-                    use_rid_list_);
-    ProjectOp project(projections_, filter.OutputBinding(), tile_rows_);
-    MaterializeSink sink(&per_core[cid]);
-    filter.set_downstream(&project);
-    project.set_downstream(&sink);
+        // Build this morsel's pipeline: filter -> project -> sink.
+        FilterOp filter(predicates_, pass_through, base_binding, tile_rows_,
+                        use_rid_list_);
+        ProjectOp project(projections_, filter.OutputBinding(), tile_rows_);
+        MaterializeSink sink(&per_morsel[m]);
+        filter.set_downstream(&project);
+        project.set_downstream(&sink);
 
-    ExecCtx ctx{&core, &env.dpu->dms(), &env.dpu->params(), env.vectorized,
-                env.cancel};
-    Status st = filter.Open(ctx);
-    if (st.ok()) st = project.Open(ctx);
-    if (st.ok()) st = sink.Open(ctx);
-    if (st.ok()) {
-      st = RelationAccessor::PushChunks(ctx, mine, col_indices, target_scales,
-                                        tile_rows_, &filter);
-    }
-    statuses[cid] = st;
-    core.dmem().Reset();
-  });
-  for (const Status& st : statuses) RAPID_RETURN_NOT_OK(st);
+        ExecCtx ctx{&core, &env.dpu->dms(), &env.dpu->params(),
+                    env.vectorized, env.cancel};
+        Status st = filter.Open(ctx);
+        if (st.ok()) st = project.Open(ctx);
+        if (st.ok()) st = sink.Open(ctx);
+        if (st.ok()) {
+          const std::vector<const storage::Chunk*> mine{all_chunks[m]};
+          st = RelationAccessor::PushChunks(ctx, mine, col_indices,
+                                            target_scales, tile_rows_,
+                                            &filter);
+        }
+        core.dmem().Reset();
+        return st;
+      }));
 
   StepOutput& out = env.outputs[static_cast<size_t>(id_)];
   out.partitioned = false;
   out.set = ColumnSet(metas);
-  for (size_t c = 0; c < per_core.size(); ++c) {
+  for (size_t m = 0; m < per_morsel.size(); ++m) {
     // Propagate observed types/scales to the merged output.
     for (size_t col = 0; col < metas.size(); ++col) {
-      if (per_core[c].num_rows() > 0) {
-        out.set.meta(col) = per_core[c].meta(col);
+      if (per_morsel[m].num_rows() > 0) {
+        out.set.meta(col) = per_morsel[m].meta(col);
       }
     }
   }
-  for (ColumnSet& cs : per_core) out.set.Append(cs);
+  for (ColumnSet& cs : per_morsel) out.set.Append(cs);
   return Status::OK();
 }
 
@@ -218,13 +254,8 @@ Status PipeStep::Execute(ExecEnv& env) const {
       }
     }
   }
-  std::vector<ColumnSet> per_core(static_cast<size_t>(num_cores),
-                                  ColumnSet(metas));
-  std::vector<Status> statuses(static_cast<size_t>(num_cores));
   const std::vector<std::string> pass_through = ProjectionInputs(projections_);
   const size_t n = input.num_rows();
-  const size_t share =
-      (n + static_cast<size_t>(num_cores) - 1) / static_cast<size_t>(num_cores);
   // Accessor double buffers, filter materializes pass-through columns
   // plus the selection, project its outputs — all widened to 8 bytes.
   const size_t bytes_per_row =
@@ -233,42 +264,46 @@ Status PipeStep::Execute(ExecEnv& env) const {
   const size_t tile_rows = FitTileRows(
       tile_rows_, bytes_per_row, env.dpu->config().dmem_bytes);
 
-  env.dpu->ParallelFor([&](dpu::DpCore& core) {
-    const auto cid = static_cast<size_t>(core.id());
-    const size_t begin = cid * share;
-    const size_t end = std::min(n, begin + share);
-    core.dmem().Reset();
+  // Row-range morsels; per-range outputs concatenate in range order,
+  // which reproduces the input order no matter how the split landed.
+  const std::vector<RowRange> ranges = RowMorsels(n, num_cores);
+  std::vector<ColumnSet> per_morsel(ranges.size(), ColumnSet(metas));
+  dpu::WorkQueue queue(RangeWeights(ranges), num_cores);
+  RAPID_RETURN_NOT_OK(env.dpu->ParallelForMorsels(
+      queue, env.cancel, [&](dpu::DpCore& core, size_t m) -> Status {
+        const RowRange& range = ranges[m];
+        core.dmem().Reset();
 
-    FilterOp filter(predicates_, pass_through, binding, tile_rows,
-                    /*use_rid_list=*/false);
-    ProjectOp project(projections_, filter.OutputBinding(), tile_rows);
-    MaterializeSink sink(&per_core[cid]);
-    filter.set_downstream(&project);
-    project.set_downstream(&sink);
+        FilterOp filter(predicates_, pass_through, binding, tile_rows,
+                        /*use_rid_list=*/false);
+        ProjectOp project(projections_, filter.OutputBinding(), tile_rows);
+        MaterializeSink sink(&per_morsel[m]);
+        filter.set_downstream(&project);
+        project.set_downstream(&sink);
 
-    ExecCtx ctx{&core, &env.dpu->dms(), &env.dpu->params(), env.vectorized,
-                env.cancel};
-    Status st = filter.Open(ctx);
-    if (st.ok()) st = project.Open(ctx);
-    if (st.ok()) st = sink.Open(ctx);
-    if (st.ok() && begin < end) {
-      st = RelationAccessor::PushColumnSet(ctx, input, col_indices, begin, end,
-                                           tile_rows, &filter);
-    }
-    statuses[cid] = st;
-    core.dmem().Reset();
-  });
-  for (const Status& st : statuses) RAPID_RETURN_NOT_OK(st);
+        ExecCtx ctx{&core, &env.dpu->dms(), &env.dpu->params(),
+                    env.vectorized, env.cancel};
+        Status st = filter.Open(ctx);
+        if (st.ok()) st = project.Open(ctx);
+        if (st.ok()) st = sink.Open(ctx);
+        if (st.ok() && range.begin < range.end) {
+          st = RelationAccessor::PushColumnSet(ctx, input, col_indices,
+                                               range.begin, range.end,
+                                               tile_rows, &filter);
+        }
+        core.dmem().Reset();
+        return st;
+      }));
 
   StepOutput& out = env.outputs[static_cast<size_t>(id_)];
   out.partitioned = false;
   out.set = ColumnSet(metas);
-  for (const ColumnSet& cs : per_core) {
+  for (const ColumnSet& cs : per_morsel) {
     for (size_t col = 0; col < metas.size(); ++col) {
       if (cs.num_rows() > 0) out.set.meta(col) = cs.meta(col);
     }
   }
-  for (ColumnSet& cs : per_core) out.set.Append(cs);
+  for (ColumnSet& cs : per_morsel) out.set.Append(cs);
   return Status::OK();
 }
 
@@ -593,75 +628,106 @@ Status PipelineStep::Execute(ExecEnv& env) const {
   const size_t tile_rows = FitTileRows(tile_rows_, chain_row_bytes, budget);
 
   const int num_cores = env.dpu->num_cores();
-  std::vector<ColumnSet> per_core(static_cast<size_t>(num_cores),
-                                  ColumnSet(metas));
-  std::vector<Status> statuses(static_cast<size_t>(num_cores));
-  std::vector<JoinStats> core_join_stats(static_cast<size_t>(num_cores));
-
   const size_t n_input = table_source ? 0 : input_set->num_rows();
-  const size_t share =
-      table_source ? 0
-                   : (n_input + static_cast<size_t>(num_cores) - 1) /
-                         static_cast<size_t>(num_cores);
 
-  env.dpu->ParallelFor([&](dpu::DpCore& core) {
-    const auto cid = static_cast<size_t>(core.id());
-    core.dmem().Reset();
+  // Morsels: one per chunk for table sources (weighted by row count),
+  // contiguous row ranges otherwise. Outputs are indexed by morsel id,
+  // so the merge order — and therefore the result — is independent of
+  // the core assignment and the core count.
+  std::vector<RowRange> ranges;
+  std::vector<double> weights;
+  if (table_source) {
+    weights.reserve(all_chunks.size());
+    for (const storage::Chunk* chunk : all_chunks) {
+      weights.push_back(static_cast<double>(chunk->num_rows()));
+    }
+  } else {
+    ranges = RowMorsels(n_input, num_cores);
+    weights = RangeWeights(ranges);
+  }
+  const size_t num_morsels = table_source ? all_chunks.size() : ranges.size();
+  std::vector<ColumnSet> per_morsel(num_morsels, ColumnSet(metas));
 
-    // Build this core's fused operator chain.
+  // A core's fused chain (with its resident broadcast hash tables) is
+  // built lazily on the first morsel the core pulls and reused for the
+  // rest: the build cost is paid once per participating core, exactly
+  // as with the static per-core split. Per-morsel accessor buffers
+  // stack on top of the chain state and are truncated between morsels.
+  struct CoreChain {
     std::vector<std::unique_ptr<PipelineOp>> ops;
-    for (size_t s = 0; s < resolved.size(); ++s) {
-      const ResolvedStage& rs = resolved[s];
-      if (rs.spec->kind == PipelineStageSpec::Kind::kFilterProject) {
-        auto filter = std::make_unique<FilterOp>(
-            rs.spec->predicates, rs.pass_through, rs.in_binding, tile_rows,
-            s == 0 && use_rid_list_);
-        auto project = std::make_unique<ProjectOp>(
-            rs.spec->projections, filter->OutputBinding(), tile_rows);
-        ops.push_back(std::move(filter));
-        ops.push_back(std::move(project));
-      } else {
-        ProbeOpSpec pspec = rs.probe;
-        pspec.tile_rows = tile_rows;
-        ops.push_back(std::make_unique<HashJoinProbeOp>(std::move(pspec)));
-      }
-    }
-    MaterializeSink sink(&per_core[cid]);
-    for (size_t i = 0; i + 1 < ops.size(); ++i) {
-      ops[i]->set_downstream(ops[i + 1].get());
-    }
-    ops.back()->set_downstream(&sink);
+    bool opened = false;
+    Status open_status;
+    size_t dmem_mark = 0;
+  };
+  std::vector<CoreChain> chains(static_cast<size_t>(num_cores));
 
-    ExecCtx ctx{&core, &env.dpu->dms(), &env.dpu->params(), env.vectorized,
-                env.cancel};
-    Status st = Status::OK();
-    for (auto& op : ops) {
-      if (st.ok()) st = op->Open(ctx);
-    }
-    if (st.ok()) st = sink.Open(ctx);
-    if (st.ok()) {
-      if (table_source) {
-        std::vector<const storage::Chunk*> mine;
-        for (size_t i = cid; i < all_chunks.size();
-             i += static_cast<size_t>(num_cores)) {
-          mine.push_back(all_chunks[i]);
+  dpu::WorkQueue queue(std::move(weights), num_cores);
+  RAPID_RETURN_NOT_OK(env.dpu->ParallelForMorsels(
+      queue, env.cancel, [&](dpu::DpCore& core, size_t m) -> Status {
+        CoreChain& chain = chains[static_cast<size_t>(core.id())];
+        ExecCtx ctx{&core, &env.dpu->dms(), &env.dpu->params(),
+                    env.vectorized, env.cancel};
+        if (!chain.opened) {
+          chain.opened = true;
+          core.dmem().Reset();
+          for (size_t s = 0; s < resolved.size(); ++s) {
+            const ResolvedStage& rs = resolved[s];
+            if (rs.spec->kind == PipelineStageSpec::Kind::kFilterProject) {
+              auto filter = std::make_unique<FilterOp>(
+                  rs.spec->predicates, rs.pass_through, rs.in_binding,
+                  tile_rows, s == 0 && use_rid_list_);
+              auto project = std::make_unique<ProjectOp>(
+                  rs.spec->projections, filter->OutputBinding(), tile_rows);
+              chain.ops.push_back(std::move(filter));
+              chain.ops.push_back(std::move(project));
+            } else {
+              ProbeOpSpec pspec = rs.probe;
+              pspec.tile_rows = tile_rows;
+              chain.ops.push_back(
+                  std::make_unique<HashJoinProbeOp>(std::move(pspec)));
+            }
+          }
+          for (size_t i = 0; i + 1 < chain.ops.size(); ++i) {
+            chain.ops[i]->set_downstream(chain.ops[i + 1].get());
+          }
+          Status st = Status::OK();
+          for (auto& op : chain.ops) {
+            if (st.ok()) st = op->Open(ctx);
+          }
+          chain.open_status = st;
+          chain.dmem_mark = core.dmem().used();
         }
-        st = RelationAccessor::PushChunks(ctx, mine, col_indices,
-                                          target_scales, tile_rows,
-                                          ops.front().get());
-      } else {
-        const size_t begin = std::min(n_input, cid * share);
-        const size_t end = std::min(n_input, begin + share);
-        st = RelationAccessor::PushColumnSet(ctx, *input_set, col_indices,
-                                             begin, end, tile_rows,
-                                             ops.front().get());
-      }
-    }
-    statuses[cid] = st;
-    for (const auto& op : ops) {
-      if (const auto* probe = dynamic_cast<const HashJoinProbeOp*>(op.get())) {
+        RAPID_RETURN_NOT_OK(chain.open_status);
+        core.dmem().TruncateTo(chain.dmem_mark);
+
+        MaterializeSink sink(&per_morsel[m]);
+        chain.ops.back()->set_downstream(&sink);
+        Status st = sink.Open(ctx);
+        if (st.ok()) {
+          if (table_source) {
+            const std::vector<const storage::Chunk*> mine{all_chunks[m]};
+            st = RelationAccessor::PushChunks(ctx, mine, col_indices,
+                                              target_scales, tile_rows,
+                                              chain.ops.front().get());
+          } else if (ranges[m].begin < ranges[m].end) {
+            st = RelationAccessor::PushColumnSet(ctx, *input_set, col_indices,
+                                                 ranges[m].begin,
+                                                 ranges[m].end, tile_rows,
+                                                 chain.ops.front().get());
+          }
+        }
+        return st;
+      }));
+  for (int c = 0; c < num_cores; ++c) env.dpu->core(c).dmem().Reset();
+
+  // Join statistics accumulate per chain; sums are assignment-independent.
+  std::vector<JoinStats> core_join_stats(static_cast<size_t>(num_cores));
+  for (size_t c = 0; c < chains.size(); ++c) {
+    for (const auto& op : chains[c].ops) {
+      if (const auto* probe =
+              dynamic_cast<const HashJoinProbeOp*>(op.get())) {
         const JoinStats& js = probe->stats();
-        JoinStats& agg = core_join_stats[cid];
+        JoinStats& agg = core_join_stats[c];
         agg.build_rows += js.build_rows;
         agg.probe_rows += js.probe_rows;
         agg.matches += js.matches;
@@ -670,9 +736,7 @@ Status PipelineStep::Execute(ExecEnv& env) const {
         agg.overflowed_partitions += js.overflowed_partitions;
       }
     }
-    core.dmem().Reset();
-  });
-  for (const Status& st : statuses) RAPID_RETURN_NOT_OK(st);
+  }
 
   last_join_stats = JoinStats{};
   for (const JoinStats& js : core_join_stats) {
@@ -688,12 +752,12 @@ Status PipelineStep::Execute(ExecEnv& env) const {
   StepOutput& out = env.outputs[static_cast<size_t>(id_)];
   out.partitioned = false;
   out.set = ColumnSet(metas);
-  for (const ColumnSet& cs : per_core) {
+  for (const ColumnSet& cs : per_morsel) {
     for (size_t col = 0; col < metas.size(); ++col) {
       if (cs.num_rows() > 0) out.set.meta(col) = cs.meta(col);
     }
   }
-  for (ColumnSet& cs : per_core) out.set.Append(cs);
+  for (ColumnSet& cs : per_morsel) out.set.Append(cs);
   return Status::OK();
 }
 
@@ -749,46 +813,47 @@ Status GroupByStep::ExecuteLowNdv(ExecEnv& env, const ColumnSet& input,
   for (const auto& [name, expr] : keys_) key_exprs.push_back(expr);
 
   const int num_cores = env.dpu->num_cores();
-  std::vector<std::unique_ptr<GroupByOp>> ops(
-      static_cast<size_t>(num_cores));
+  const size_t n = input.num_rows();
+  const std::vector<RowRange> ranges = RowMorsels(n, num_cores);
+  // One partial aggregate per morsel. Folding them in morsel order
+  // reproduces global first-appearance group order: a group's slot is
+  // fixed by the earliest range containing it, independent of range
+  // boundaries or which core aggregated which range.
+  std::vector<std::unique_ptr<GroupByOp>> ops(ranges.size());
   for (auto& op : ops) {
     op = std::make_unique<GroupByOp>(key_exprs, aggs_, binding);
   }
-  std::vector<Status> statuses(static_cast<size_t>(num_cores));
-  const size_t n = input.num_rows();
-  const size_t share =
-      (n + static_cast<size_t>(num_cores) - 1) / static_cast<size_t>(num_cores);
   const size_t bytes_per_row =
       8 * (2 * col_indices.size() + keys_.size() + aggs_.size());
   const size_t tile_rows = FitTileRows(
       tile_rows_, bytes_per_row, env.dpu->config().dmem_bytes);
 
-  // On-the-fly aggregation over each core's share of the input.
-  env.dpu->ParallelFor([&](dpu::DpCore& core) {
-    const auto cid = static_cast<size_t>(core.id());
-    const size_t begin = cid * share;
-    const size_t end = std::min(n, begin + share);
-    core.dmem().Reset();
-    ExecCtx ctx{&core, &env.dpu->dms(), &env.dpu->params(), env.vectorized,
-                env.cancel};
-    Status st = ops[cid]->Open(ctx);
-    if (st.ok() && begin < end) {
-      st = RelationAccessor::PushColumnSet(ctx, input, col_indices, begin, end,
-                                           tile_rows, ops[cid].get());
-    }
-    statuses[cid] = st;
-    core.dmem().Reset();
-  });
-  for (const Status& st : statuses) RAPID_RETURN_NOT_OK(st);
+  // On-the-fly aggregation over each morsel of the input.
+  dpu::WorkQueue queue(RangeWeights(ranges), num_cores);
+  RAPID_RETURN_NOT_OK(env.dpu->ParallelForMorsels(
+      queue, env.cancel, [&](dpu::DpCore& core, size_t m) -> Status {
+        const RowRange& range = ranges[m];
+        core.dmem().Reset();
+        ExecCtx ctx{&core, &env.dpu->dms(), &env.dpu->params(),
+                    env.vectorized, env.cancel};
+        Status st = ops[m]->Open(ctx);
+        if (st.ok() && range.begin < range.end) {
+          st = RelationAccessor::PushColumnSet(ctx, input, col_indices,
+                                               range.begin, range.end,
+                                               tile_rows, ops[m].get());
+        }
+        core.dmem().Reset();
+        return st;
+      }));
 
-  // Merge operator: fold per-core tables (aggregated data, low
-  // overhead), charged to core 0.
+  // Merge operator: fold per-morsel tables (aggregated data, low
+  // overhead) in morsel order, charged to core 0.
   const std::vector<AggFunc> funcs = ops[0]->funcs();
-  for (int c = 1; c < num_cores; ++c) {
-    ops[0]->table().MergeFrom(ops[static_cast<size_t>(c)]->table(), funcs);
+  for (size_t m = 1; m < ops.size(); ++m) {
+    ops[0]->table().MergeFrom(ops[m]->table(), funcs);
     env.dpu->core(0).cycles().ChargeCompute(
         env.dpu->params().groupby_cycles_per_row *
-        static_cast<double>(ops[static_cast<size_t>(c)]->table().num_groups()));
+        static_cast<double>(ops[m]->table().num_groups()));
   }
   return ops[0]->EmitInto(out);
 }
@@ -812,7 +877,6 @@ Status GroupByStep::ExecuteHighNdv(ExecEnv& env, const PartitionedData& input,
   // group keys), so per-partition tables concatenate with no merge.
   const size_t num_parts = input.partitions.size();
   std::vector<ColumnSet> partials(num_parts, ColumnSet(out->metas()));
-  std::vector<Status> statuses(num_parts);
   const size_t bytes_per_row =
       8 * (2 * col_indices.size() + keys_.size() + aggs_.size());
   const size_t tile_rows = FitTileRows(
@@ -835,56 +899,59 @@ Status GroupByStep::ExecuteHighNdv(ExecEnv& env, const PartitionedData& input,
   }
 
   std::atomic<uint64_t> repartitions{0};
-  const auto num_cores_hi = static_cast<size_t>(env.dpu->num_cores());
-  env.dpu->ParallelFor([&](dpu::DpCore& core) {
-    // Aggregates one ColumnSet into `out` on this core.
-    auto aggregate = [&](const ColumnSet& part, ColumnSet* agg_out) -> Status {
-      core.dmem().Reset();
-      GroupByOp op(key_exprs, aggs_, binding);
-      ExecCtx ctx{&core, &env.dpu->dms(), &env.dpu->params(), env.vectorized,
-                  env.cancel};
-      RAPID_RETURN_NOT_OK(op.Open(ctx));
-      RAPID_RETURN_NOT_OK(RelationAccessor::PushColumnSet(
-          ctx, part, col_indices, 0, part.num_rows(), tile_rows, &op));
-      RAPID_RETURN_NOT_OK(op.EmitInto(agg_out));
-      core.dmem().Reset();
-      return Status::OK();
-    };
+  // One morsel per partition, weighted by row count: LPT seeding
+  // starts the heavy (skewed) partitions first and stealing absorbs
+  // whatever imbalance remains.
+  std::vector<double> part_weights;
+  part_weights.reserve(num_parts);
+  for (const ColumnSet& part : input.partitions) {
+    part_weights.push_back(static_cast<double>(part.num_rows()));
+  }
+  dpu::WorkQueue queue(std::move(part_weights), env.dpu->num_cores());
+  RAPID_RETURN_NOT_OK(env.dpu->ParallelForMorsels(
+      queue, env.cancel, [&](dpu::DpCore& core, size_t p) -> Status {
+        // Aggregates one ColumnSet into `agg_out` on this core.
+        auto aggregate = [&](const ColumnSet& part,
+                             ColumnSet* agg_out) -> Status {
+          core.dmem().Reset();
+          GroupByOp op(key_exprs, aggs_, binding);
+          ExecCtx ctx{&core, &env.dpu->dms(), &env.dpu->params(),
+                      env.vectorized, env.cancel};
+          RAPID_RETURN_NOT_OK(op.Open(ctx));
+          RAPID_RETURN_NOT_OK(RelationAccessor::PushColumnSet(
+              ctx, part, col_indices, 0, part.num_rows(), tile_rows, &op));
+          RAPID_RETURN_NOT_OK(op.EmitInto(agg_out));
+          core.dmem().Reset();
+          return Status::OK();
+        };
 
-    for (size_t p = static_cast<size_t>(core.id()); p < num_parts;
-         p += num_cores_hi) {
-      const ColumnSet& part = input.partitions[p];
-      // Runtime re-partition (Section 5.4): if this partition exceeds
-      // the estimate, its hash table would spill DMEM — split it
-      // further before aggregating. Sub-partitions hold disjoint keys,
-      // so their outputs concatenate.
-      if (max_partition_rows_ > 0 && keys_plain &&
-          part.num_rows() > max_partition_rows_ &&
-          input.bits_used + 1 < 32) {
-        size_t extra = 2;
-        while (extra * max_partition_rows_ < part.num_rows() &&
-               extra < 256) {
-          extra *= 2;
-        }
-        auto sub = PartitionExec::Repartition(
-            core, env.dpu->params(), part, key_cols,
-            static_cast<int>(extra), input.bits_used, tile_rows);
-        if (sub.ok()) {
-          repartitions.fetch_add(1);
-          Status st;
-          for (const ColumnSet& sub_part : sub.value()) {
-            st = aggregate(sub_part, &partials[p]);
-            if (!st.ok()) break;
+        const ColumnSet& part = input.partitions[p];
+        // Runtime re-partition (Section 5.4): if this partition exceeds
+        // the estimate, its hash table would spill DMEM — split it
+        // further before aggregating. Sub-partitions hold disjoint keys,
+        // so their outputs concatenate.
+        if (max_partition_rows_ > 0 && keys_plain &&
+            part.num_rows() > max_partition_rows_ &&
+            input.bits_used + 1 < 32) {
+          size_t extra = 2;
+          while (extra * max_partition_rows_ < part.num_rows() &&
+                 extra < 256) {
+            extra *= 2;
           }
-          statuses[p] = st;
-          continue;
+          auto sub = PartitionExec::Repartition(
+              core, env.dpu->params(), part, key_cols,
+              static_cast<int>(extra), input.bits_used, tile_rows);
+          if (sub.ok()) {
+            repartitions.fetch_add(1);
+            for (const ColumnSet& sub_part : sub.value()) {
+              RAPID_RETURN_NOT_OK(aggregate(sub_part, &partials[p]));
+            }
+            return Status::OK();
+          }
         }
-      }
-      statuses[p] = aggregate(part, &partials[p]);
-    }
-  });
+        return aggregate(part, &partials[p]);
+      }));
   env.counters.groupby_repartitions += repartitions.load();
-  for (const Status& st : statuses) RAPID_RETURN_NOT_OK(st);
   for (ColumnSet& cs : partials) {
     for (size_t col = 0; col < out->num_columns(); ++col) {
       if (cs.num_rows() > 0) out->meta(col) = cs.meta(col);

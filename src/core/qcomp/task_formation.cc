@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "dpu/work_queue.h"
+
 namespace rapid::core {
 
 namespace {
@@ -36,7 +38,8 @@ Result<size_t> MaxTileRows(const std::vector<OpProfile>& ops, size_t first,
 Result<double> FormationCycles(const std::vector<OpProfile>& ops,
                                const std::vector<TaskGroup>& tasks,
                                size_t input_rows, size_t input_row_bytes,
-                               const dpu::CostParams& params) {
+                               const dpu::CostParams& params, int num_cores,
+                               double largest_morsel_fraction) {
   // Rows and row width flowing into each task follow from cumulative
   // output ratios of preceding operators.
   double cycles = 0;
@@ -59,9 +62,14 @@ Result<double> FormationCycles(const std::vector<OpProfile>& ops,
         (in_bytes + out_bytes) / params.dram_bytes_per_cycle;
     const double tiles =
         std::max(1.0, rows / static_cast<double>(task.tile_rows));
-    cycles += std::max(transfer, compute) +
-              tiles * (params.dms_tile_setup_cycles +
-                       params.dms_column_switch_cycles);
+    const double task_total =
+        std::max(transfer, compute) +
+        tiles * (params.dms_tile_setup_cycles +
+                 params.dms_column_switch_cycles);
+    // Balanced makespan instead of a perfect round-robin split: the
+    // largest morsel's remainder survives even under work stealing.
+    cycles += dpu::BalancedMakespanCycles(
+        task_total, task_total * largest_morsel_fraction, num_cores);
     rows = out_rows;
     row_bytes = static_cast<double>(ops[task.last_op].output_row_bytes);
   }
@@ -71,7 +79,8 @@ Result<double> FormationCycles(const std::vector<OpProfile>& ops,
 Result<TaskFormation> FormTasks(const std::vector<OpProfile>& ops,
                                 size_t dmem_bytes, size_t input_rows,
                                 size_t input_row_bytes,
-                                const dpu::CostParams& params) {
+                                const dpu::CostParams& params, int num_cores,
+                                double largest_morsel_fraction) {
   if (ops.empty()) {
     return Status::InvalidArgument("task formation needs >= 1 operator");
   }
@@ -100,8 +109,8 @@ Result<TaskFormation> FormTasks(const std::vector<OpProfile>& ops,
       first = i + 1;
     }
     if (!feasible) continue;
-    auto cycles =
-        FormationCycles(ops, tasks, input_rows, input_row_bytes, params);
+    auto cycles = FormationCycles(ops, tasks, input_rows, input_row_bytes,
+                                  params, num_cores, largest_morsel_fraction);
     if (!cycles.ok()) continue;
     if (!found || cycles.value() < best.cycles) {
       best.tasks = std::move(tasks);

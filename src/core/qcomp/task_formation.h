@@ -52,16 +52,24 @@ struct TaskFormation {
 // Enumerates groupings of the operator chain and returns the cheapest
 // formation. `input_rows`/`input_row_bytes` describe the task chain's
 // base input; `dmem_bytes` is the per-core scratchpad budget.
+// `num_cores`/`largest_morsel_fraction` select the balanced-makespan
+// division of each task's work (sum/cores + largest-morsel remainder);
+// the defaults reproduce the single-core (undivided) cost, so existing
+// callers are unchanged.
 Result<TaskFormation> FormTasks(const std::vector<OpProfile>& ops,
                                 size_t dmem_bytes, size_t input_rows,
                                 size_t input_row_bytes,
-                                const dpu::CostParams& params);
+                                const dpu::CostParams& params,
+                                int num_cores = 1,
+                                double largest_morsel_fraction = 0.0);
 
 // Cost of one specific grouping (exposed for the Figure 4 benchmark).
 Result<double> FormationCycles(const std::vector<OpProfile>& ops,
                                const std::vector<TaskGroup>& tasks,
                                size_t input_rows, size_t input_row_bytes,
-                               const dpu::CostParams& params);
+                               const dpu::CostParams& params,
+                               int num_cores = 1,
+                               double largest_morsel_fraction = 0.0);
 
 // Largest tile size (power of two, >= 64) such that the ops in
 // [first, last] fit the DMEM budget together, or an error if even the

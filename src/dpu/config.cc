@@ -1,0 +1,41 @@
+#include "dpu/config.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+
+namespace rapid::dpu {
+
+namespace {
+
+int ResolveCoreCount(int paper_default) {
+  int cores = paper_default;
+  if (const char* env = std::getenv("RAPID_CORES"); env != nullptr && *env) {
+    char* end = nullptr;
+    const long parsed = std::strtol(env, &end, 10);
+    if (end != env && *end == '\0' && parsed >= 1) {
+      cores = static_cast<int>(std::min(parsed, 1024L));
+    } else {
+      std::fprintf(stderr,
+                   "rapid: invalid RAPID_CORES value '%s' "
+                   "(want an integer >= 1); using %d\n",
+                   env, paper_default);
+    }
+  }
+  if (cores != paper_default) {
+    std::fprintf(stderr, "rapid: dpCore count overridden to %d (RAPID_CORES)\n",
+                 cores);
+  }
+  return cores;
+}
+
+}  // namespace
+
+DpuConfig DpuConfig::Default() {
+  DpuConfig config;
+  static const int cores = ResolveCoreCount(config.num_cores);
+  config.num_cores = cores;
+  return config;
+}
+
+}  // namespace rapid::dpu

@@ -17,13 +17,13 @@ CostParams CostParams::HostCalibrated() {
   // should be robust to run-to-run noise in the measurements.
   switch (SimdLevelActive()) {
     case SimdLevel::kAvx2:
-      // Measured: filter_bv_i32 16.2x, filter_rid_i32 15.4x,
-      // agg_sum_i32 10.0x, agg_sum_i64 2.7x, arith_mul_i32 2.0x,
-      // hash_crc32_i64 7.7x, partition_map 1.1x.
-      params.simd.filter = 12.0;
-      params.simd.agg = 4.0;
+      // Measured (BENCH_primitives.json): filter_bv_i32 16.9x,
+      // filter_rid_i32 16.0x, agg_sum_i32 8.6x, agg_sum_i64 2.6x,
+      // arith_mul_i32 2.1x, hash_crc32_i64 7.7x, partition_map 1.2x.
+      params.simd.filter = 15.0;
+      params.simd.agg = 2.5;  // i64 bound: plans mix both widths
       params.simd.arith = 2.0;
-      params.simd.hash = 4.0;
+      params.simd.hash = 7.5;
       params.simd.partition_map = 1.2;
       break;
     case SimdLevel::kSse42:
@@ -31,7 +31,7 @@ CostParams CostParams::HostCalibrated() {
       // hardware CRC32 hash loop (the bulk of the 7.7x hash win);
       // agg/arith/partition-map inherit scalar kernels.
       params.simd.filter = 3.0;
-      params.simd.hash = 4.0;
+      params.simd.hash = 7.5;
       break;
     case SimdLevel::kScalar:
       break;

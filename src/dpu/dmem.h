@@ -59,6 +59,15 @@ class Dmem {
   // between tasks.
   void Reset() { used_ = 0; }
 
+  // Partial release back to a recorded `used()` watermark: frees every
+  // allocation made after the mark while keeping earlier ones alive.
+  // Morsel loops use this to keep a core's resident operator state
+  // (e.g. a broadcast hash table) while recycling the per-morsel
+  // accessor tile buffers stacked on top of it.
+  void TruncateTo(size_t mark) {
+    if (mark < used_) used_ = mark;
+  }
+
   size_t capacity() const { return capacity_; }
   size_t used() const { return used_; }
   size_t free_bytes() const { return capacity_ - used_; }

@@ -1,6 +1,7 @@
 #include "dpu/dpu.h"
 
 #include <algorithm>
+#include <atomic>
 
 #include "common/logging.h"
 
@@ -58,7 +59,9 @@ void Dpu::WorkerLoop(int core_id) {
 }
 
 void Dpu::ParallelForN(int n, const std::function<void(DpCore&)>& fn) {
-  RAPID_CHECK(n >= 1 && n <= config_.num_cores);
+  // Clamp instead of trusting the caller: a task-formation bug asking
+  // for 0 or num_cores+1 cores must not index past the pool.
+  n = std::max(1, std::min(n, config_.num_cores));
   if (inline_exec_) {
     for (int c = 0; c < n; ++c) fn(*cores_[c]);
     return;
@@ -74,6 +77,61 @@ void Dpu::ParallelForN(int n, const std::function<void(DpCore&)>& fn) {
 
 void Dpu::ParallelFor(const std::function<void(DpCore&)>& fn) {
   ParallelForN(config_.num_cores, fn);
+}
+
+Status Dpu::ParallelForMorsels(
+    WorkQueue& queue, const CancelToken* cancel,
+    const std::function<Status(DpCore&, size_t)>& fn) {
+  const auto ncores = static_cast<size_t>(config_.num_cores);
+  std::vector<double> before(ncores);
+  for (size_t c = 0; c < ncores; ++c) {
+    before[c] = cores_[c]->cycles().compute_cycles();
+  }
+
+  std::vector<Status> statuses(ncores);
+  std::atomic<bool> abort{false};
+  ParallelFor([&](DpCore& core) {
+    const auto cid = static_cast<size_t>(core.id());
+    size_t morsel = 0;
+    while (!abort.load(std::memory_order_relaxed) &&
+           queue.Next(core.id(), &morsel)) {
+      // Poll between morsels: a cancelled query unwinds within one
+      // morsel, not one phase.
+      Status st = CancelToken::Check(cancel);
+      const double morsel_start = core.cycles().compute_cycles();
+      if (st.ok()) st = fn(core, morsel);
+      // Report the morsel's real modeled cost so the queue's virtual
+      // clocks (and hence steal decisions) track actual stragglers,
+      // not just the weight estimates.
+      queue.Charge(core.id(), morsel,
+                   core.cycles().compute_cycles() - morsel_start);
+      if (!st.ok()) {
+        statuses[cid] = std::move(st);
+        abort.store(true, std::memory_order_relaxed);
+        return;
+      }
+    }
+  });
+
+  // Phase imbalance: the slowest core's compute delta bounds the
+  // phase, the mean is the perfectly balanced cost.
+  ImbalanceStats phase;
+  double sum = 0;
+  for (size_t c = 0; c < ncores; ++c) {
+    const double delta = cores_[c]->cycles().compute_cycles() - before[c];
+    phase.max_core_cycles = std::max(phase.max_core_cycles, delta);
+    sum += delta;
+  }
+  phase.mean_core_cycles = sum / static_cast<double>(ncores);
+  phase.steal_count = queue.steal_count();
+  phase.phases = 1;
+  last_phase_imbalance_ = phase;
+  imbalance_.Accumulate(phase);
+
+  for (Status& st : statuses) {
+    if (!st.ok()) return std::move(st);
+  }
+  return Status::OK();
 }
 
 double Dpu::MaxEffectiveCycles(bool double_buffered) const {
@@ -110,6 +168,8 @@ void Dpu::ResetCores() {
     core->cycles().Reset();
     core->dmem().Reset();
   }
+  imbalance_ = ImbalanceStats{};
+  last_phase_imbalance_ = ImbalanceStats{};
 }
 
 }  // namespace rapid::dpu

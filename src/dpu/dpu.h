@@ -16,12 +16,15 @@
 #include <thread>
 #include <vector>
 
+#include "common/cancel.h"
+#include "common/status.h"
 #include "dpu/ate.h"
 #include "dpu/config.h"
 #include "dpu/cost_model.h"
 #include "dpu/dms.h"
 #include "dpu/dpcore.h"
 #include "dpu/power_model.h"
+#include "dpu/work_queue.h"
 
 namespace rapid::dpu {
 
@@ -55,8 +58,20 @@ class Dpu {
   // accounting is unaffected.
   void SetInlineExecution(bool inline_exec) { inline_exec_ = inline_exec; }
 
-  // Same, but only on cores [0, n).
+  // Same, but only on cores [0, n). `n` is clamped to
+  // [1, num_cores]; out-of-range requests never index the pool.
   void ParallelForN(int n, const std::function<void(DpCore&)>& fn);
+
+  // Morsel-driven scheduling round: every core pulls morsels from
+  // `queue` until it drains, polling `cancel` (may be null) between
+  // morsels so cancellation latency is bounded by one morsel. The
+  // first non-OK status (including cancellation) aborts the remaining
+  // morsels on all cores and is returned. Callers must index their
+  // output slots by morsel id so results are independent of which core
+  // ran which morsel. Updates the phase/accumulated ImbalanceStats.
+  Status ParallelForMorsels(
+      WorkQueue& queue, const CancelToken* cancel,
+      const std::function<Status(DpCore&, size_t)>& fn);
 
   // Modeled elapsed cycles of the last/accumulated execution: the
   // slowest core bounds the phase.
@@ -75,7 +90,15 @@ class Dpu {
   // Sum over cores, for utilization analysis.
   double TotalComputeCycles() const;
 
-  // Clears all core cycle counters and DMEM arenas.
+  // Load-balance statistics accumulated over every morsel phase since
+  // the last ResetCores (per-phase max/mean core compute cycles and
+  // steal counts), and the most recent phase alone.
+  const ImbalanceStats& imbalance() const { return imbalance_; }
+  const ImbalanceStats& last_phase_imbalance() const {
+    return last_phase_imbalance_;
+  }
+
+  // Clears all core cycle counters, DMEM arenas and imbalance stats.
   void ResetCores();
 
  private:
@@ -99,6 +122,9 @@ class Dpu {
   bool shutdown_ = false;
   bool inline_exec_ = false;
   std::vector<std::thread> workers_;
+
+  ImbalanceStats imbalance_;
+  ImbalanceStats last_phase_imbalance_;
 };
 
 }  // namespace rapid::dpu

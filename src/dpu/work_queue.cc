@@ -1,0 +1,190 @@
+#include "dpu/work_queue.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <numeric>
+
+namespace rapid::dpu {
+
+namespace {
+
+SchedMode ResolveStartupMode() {
+  SchedMode mode = SchedMode::kMorsel;
+  const char* requested = "morsel";
+  if (const char* env = std::getenv("RAPID_SCHED"); env != nullptr && *env) {
+    requested = env;
+    if (std::strcmp(env, "static") == 0) {
+      mode = SchedMode::kStatic;
+    } else if (std::strcmp(env, "morsel") == 0 ||
+               std::strcmp(env, "dynamic") == 0) {
+      mode = SchedMode::kMorsel;
+    } else {
+      std::fprintf(stderr,
+                   "rapid: unknown RAPID_SCHED value '%s' "
+                   "(want static|morsel); using morsel\n",
+                   env);
+      requested = "morsel";
+    }
+  }
+  std::fprintf(stderr, "rapid: scheduling mode %s (RAPID_SCHED=%s)\n",
+               SchedModeName(mode), requested);
+  return mode;
+}
+
+// -1 encodes "no override"; anything else is a ForceSchedMode pin.
+std::atomic<int> g_forced_mode{-1};
+
+}  // namespace
+
+SchedMode SchedModeActive() {
+  const int forced = g_forced_mode.load(std::memory_order_acquire);
+  if (forced >= 0) return static_cast<SchedMode>(forced);
+  static const SchedMode startup = ResolveStartupMode();
+  return startup;
+}
+
+SchedMode ForceSchedMode(SchedMode mode) {
+  const SchedMode previous = SchedModeActive();
+  g_forced_mode.store(static_cast<int>(mode), std::memory_order_release);
+  return previous;
+}
+
+const char* SchedModeName(SchedMode mode) {
+  switch (mode) {
+    case SchedMode::kStatic:
+      return "static";
+    case SchedMode::kMorsel:
+      return "morsel";
+  }
+  return "unknown";
+}
+
+double BalancedMakespanCycles(double total_cycles,
+                              double largest_morsel_cycles, int num_cores) {
+  if (num_cores <= 1) return total_cycles;
+  const double cores = static_cast<double>(num_cores);
+  const double bound =
+      total_cycles / cores + largest_morsel_cycles * (cores - 1.0) / cores;
+  // A phase can never finish faster than its largest morsel.
+  return std::max(bound, largest_morsel_cycles);
+}
+
+WorkQueue::WorkQueue(size_t num_morsels, int num_cores, SchedMode mode)
+    : WorkQueue(std::vector<double>(num_morsels, 1.0), num_cores, mode) {}
+
+WorkQueue::WorkQueue(std::vector<double> weights, int num_cores,
+                     SchedMode mode)
+    : num_morsels_(weights.size()),
+      num_cores_(num_cores < 1 ? 1 : num_cores),
+      mode_(mode) {
+  if (mode_ == SchedMode::kStatic) {
+    static_next_.resize(static_cast<size_t>(num_cores_));
+    for (int c = 0; c < num_cores_; ++c) {
+      static_next_[static_cast<size_t>(c)] = static_cast<size_t>(c);
+    }
+    return;
+  }
+  weights_ = std::move(weights);
+  SeedLpt(weights_);
+}
+
+void WorkQueue::SeedLpt(const std::vector<double>& weights) {
+  deques_.assign(static_cast<size_t>(num_cores_), {});
+  remaining_weight_.assign(static_cast<size_t>(num_cores_), 0.0);
+  executed_cycles_.assign(static_cast<size_t>(num_cores_), 0.0);
+  estimated_charge_.assign(weights.size(), 0.0);
+
+  // LPT: morsels sorted by weight descending (ties in morsel-id order
+  // so the seeding is deterministic), each dealt to the least-loaded
+  // core so far. Deques end up sorted largest-first, so owners popping
+  // the front run their biggest morsels first and the small tail is
+  // what gets stolen.
+  std::vector<size_t> order(weights.size());
+  std::iota(order.begin(), order.end(), size_t{0});
+  std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return weights[a] > weights[b];
+  });
+  std::vector<double> load(static_cast<size_t>(num_cores_), 0.0);
+  for (size_t m : order) {
+    size_t target = 0;
+    for (size_t c = 1; c < load.size(); ++c) {
+      if (load[c] < load[target]) target = c;
+    }
+    deques_[target].push_back(m);
+    load[target] += weights[m];
+  }
+  remaining_weight_ = load;
+}
+
+bool WorkQueue::Next(int core_id, size_t* morsel) {
+  const size_t cid =
+      static_cast<size_t>(core_id) % static_cast<size_t>(num_cores_);
+  if (mode_ == SchedMode::kStatic) {
+    // Legacy deterministic striding: core c runs c, c+P, c+2P, ...
+    size_t& next = static_next_[cid];
+    if (next >= num_morsels_) return false;
+    *morsel = next;
+    next += static_cast<size_t>(num_cores_);
+    return true;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  const double rate = CyclesPerWeight();
+  std::deque<size_t>& own = deques_[cid];
+  if (!own.empty()) {
+    *morsel = own.front();
+    own.pop_front();
+    remaining_weight_[cid] -= weights_[*morsel];
+    estimated_charge_[*morsel] = weights_[*morsel] * rate;
+    executed_cycles_[cid] += estimated_charge_[*morsel];
+    return true;
+  }
+  // Virtual-time steal: the DPU is simulated, so "who is ahead" is a
+  // question of modeled cycles, not host thread wake-up order. Target
+  // the victim whose virtual completion time (executed cycles + still
+  // queued weight at the observed rate) is largest, and take its
+  // smallest tail morsel — but only when this thief would finish that
+  // morsel, in virtual time, before the victim's completion. Such a
+  // steal strictly lowers the pair's makespan; rejecting everything
+  // else keeps the modeled balance independent of host scheduling
+  // jitter.
+  size_t victim = cid;
+  double victim_completion = -1.0;
+  for (size_t c = 0; c < deques_.size(); ++c) {
+    if (c == cid || deques_[c].empty()) continue;
+    const double completion = executed_cycles_[c] + remaining_weight_[c] * rate;
+    if (completion > victim_completion) {
+      victim = c;
+      victim_completion = completion;
+    }
+  }
+  if (victim == cid) return false;
+  const size_t candidate = deques_[victim].back();
+  if (executed_cycles_[cid] + weights_[candidate] * rate >= victim_completion) {
+    return false;
+  }
+  *morsel = candidate;
+  deques_[victim].pop_back();
+  remaining_weight_[victim] -= weights_[*morsel];
+  estimated_charge_[*morsel] = weights_[*morsel] * rate;
+  executed_cycles_[cid] += estimated_charge_[*morsel];
+  steals_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+double WorkQueue::CyclesPerWeight() const {
+  return charged_weight_ > 0 ? charged_cycles_ / charged_weight_ : 1.0;
+}
+
+void WorkQueue::Charge(int core_id, size_t morsel, double cycles) {
+  if (mode_ == SchedMode::kStatic) return;
+  const size_t cid =
+      static_cast<size_t>(core_id) % static_cast<size_t>(num_cores_);
+  std::lock_guard<std::mutex> lock(mu_);
+  executed_cycles_[cid] += cycles - estimated_charge_[morsel];
+  charged_cycles_ += cycles;
+  charged_weight_ += weights_[morsel];
+}
+
+}  // namespace rapid::dpu

@@ -204,7 +204,9 @@ class FaultEngineTest : public ::testing::Test {
   }
 
   HostDatabase host_;
-  core::RapidEngine engine_;
+  // Pinned to the paper's 32-core DPU: offload decisions are
+  // cost-based and must not flip under a RAPID_CORES override.
+  core::RapidEngine engine_{dpu::DpuConfig{}};
 };
 
 TEST_F(FaultEngineTest, TransientDmsFaultIsRetriedAndQuerySucceeds) {

@@ -54,7 +54,9 @@ class HostDbTest : public ::testing::Test {
   }
 
   HostDatabase host_;
-  core::RapidEngine engine_;
+  // Pinned to the paper's 32-core DPU: offload decisions are
+  // cost-based and must not flip under a RAPID_CORES override.
+  core::RapidEngine engine_{dpu::DpuConfig{}};
 };
 
 // ---- Journal / admissibility -------------------------------------------
