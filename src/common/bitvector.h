@@ -89,6 +89,23 @@ class BitVector {
     }
   }
 
+  // Raw-buffer flavour: writes the offsets of all set bits into `rids`
+  // (capacity >= size()) and returns how many were written. Lets
+  // callers stage RID lists in recycled scratch instead of growing a
+  // vector per tile.
+  size_t ToRids(uint32_t* rids) const {
+    size_t n = 0;
+    for (size_t wi = 0; wi < words_.size(); ++wi) {
+      uint64_t w = words_[wi];
+      while (w != 0) {
+        const int bit = __builtin_ctzll(w);
+        rids[n++] = static_cast<uint32_t>(wi * 64 + bit);
+        w &= (w - 1);
+      }
+    }
+    return n;
+  }
+
   // Builds from a RID list; RIDs must be < num_bits.
   static BitVector FromRids(const std::vector<uint32_t>& rids,
                             size_t num_bits) {

@@ -63,10 +63,11 @@ size_t RapidEngine::VacuumTrackers(uint64_t min_active_scn) {
 }
 
 Result<QueryResult> RapidEngine::Execute(const LogicalPtr& plan,
-                                         const ExecOptions& options) {
+                                         const ExecOptions& options,
+                                         std::vector<PartialResult>* partials) {
   Planner planner(config_, params_, options.planner);
   RAPID_ASSIGN_OR_RETURN(PhysicalPlan physical, planner.Plan(plan, catalog_));
-  Result<QueryResult> result = ExecutePhysical(physical, options);
+  Result<QueryResult> result = ExecutePhysical(physical, options, partials);
 
   // DMEM out-of-memory demotion: a fused pipeline keeps every
   // operator's state resident in the scratchpad at once, so it is the
@@ -76,19 +77,21 @@ Result<QueryResult> RapidEngine::Execute(const LogicalPtr& plan,
   // surfacing the failure.
   if (!result.ok() && result.status().IsOutOfMemory() &&
       options.planner.enable_fusion) {
+    if (partials != nullptr) partials->clear();  // the retry supersedes them
     ExecOptions demoted = options;
     demoted.planner.enable_fusion = false;
     Planner unfused_planner(config_, params_, demoted.planner);
     RAPID_ASSIGN_OR_RETURN(PhysicalPlan unfused,
                            unfused_planner.Plan(plan, catalog_));
-    result = ExecutePhysical(unfused, demoted);
+    result = ExecutePhysical(unfused, demoted, partials);
     if (result.ok()) result.value().stats.demoted_to_unfused = true;
   }
   return result;
 }
 
-Result<QueryResult> RapidEngine::ExecutePhysical(const PhysicalPlan& plan,
-                                                 const ExecOptions& options) {
+Result<QueryResult> RapidEngine::ExecutePhysical(
+    const PhysicalPlan& plan, const ExecOptions& options,
+    std::vector<PartialResult>* partials) {
   if (plan.root < 0 || plan.steps.empty()) {
     return Status::InvalidArgument("physical plan is empty");
   }
@@ -117,19 +120,30 @@ Result<QueryResult> RapidEngine::ExecutePhysical(const PhysicalPlan& plan,
 
   const auto wall_start = std::chrono::steady_clock::now();
   const auto ncores = static_cast<size_t>(dpu_->num_cores());
+  // Per-query tile-pool delta: the pools persist across queries, so
+  // subtract their lifetime counters from after the run.
+  TilePoolStats pool_before;
+  for (size_t c = 0; c < ncores; ++c) {
+    pool_before.Accumulate(dpu_->core(static_cast<int>(c)).pool().stats());
+  }
   std::vector<double> before_compute(ncores, 0);
   std::vector<double> before_dms(ncores, 0);
+  Status step_status = Status::OK();
+  size_t completed_steps = 0;
   for (const auto& step : plan.steps) {
     // Barrier boundary between steps: the cheapest place to notice a
     // cancelled or expired query before launching another DPU round.
-    RAPID_RETURN_NOT_OK(CancelToken::Check(cancel));
+    step_status = CancelToken::Check(cancel);
+    if (!step_status.ok()) break;
     for (size_t c = 0; c < ncores; ++c) {
       before_compute[c] = dpu_->core(static_cast<int>(c)).cycles()
                               .compute_cycles();
       before_dms[c] = dpu_->core(static_cast<int>(c)).cycles().dms_cycles();
     }
     const dpu::ImbalanceStats imb_before = dpu_->imbalance();
-    RAPID_RETURN_NOT_OK(step->Execute(env));
+    step_status = step->Execute(env);
+    if (!step_status.ok()) break;
+    ++completed_steps;
     // Modeled step time: cores compute concurrently (slowest bounds
     // the phase) while all DMS transfers share the single DRAM
     // interface (they serialize); double buffering overlaps the two
@@ -161,6 +175,21 @@ Result<QueryResult> RapidEngine::ExecutePhysical(const PhysicalPlan& plan,
     result.stats.modeled_seconds += step_seconds;
     result.stats.total_dms_cycles += sum_dms;
   }
+  if (!step_status.ok()) {
+    // Hand the completed steps' materialized rows to the caller's
+    // fallback. Steps run in plan order, so every step id below the
+    // failed one has a valid output; only whole logical subtrees
+    // (recorded by the planner, remapped by fusion) are reusable.
+    // Cancellation gets nothing: the caller is abandoning the query.
+    if (partials != nullptr && !step_status.IsCancellation()) {
+      for (const auto& [path, sid] : plan.subtree_steps) {
+        const auto uid = static_cast<size_t>(sid);
+        if (uid >= completed_steps || env.outputs[uid].partitioned) continue;
+        partials->push_back(PartialResult{path, std::move(env.outputs[uid].set)});
+      }
+    }
+    return step_status;
+  }
   const auto wall_end = std::chrono::steady_clock::now();
 
   result.stats.wall_seconds =
@@ -168,6 +197,18 @@ Result<QueryResult> RapidEngine::ExecutePhysical(const PhysicalPlan& plan,
   result.stats.workload = env.counters;
   result.stats.imbalance = dpu_->imbalance();
   result.stats.total_compute_cycles = dpu_->TotalComputeCycles();
+  for (size_t c = 0; c < ncores; ++c) {
+    result.stats.arena.Accumulate(
+        dpu_->core(static_cast<int>(c)).arena().stats());
+    result.stats.tile_pool.Accumulate(
+        dpu_->core(static_cast<int>(c)).pool().stats());
+  }
+  // Lifetime-counter deltas -> per-query figures (sizes stay absolute).
+  result.stats.tile_pool.acquires -= pool_before.acquires;
+  result.stats.tile_pool.reuses -= pool_before.reuses;
+  result.stats.tile_pool.misses -= pool_before.misses;
+  result.stats.tile_pool.bytes_acquired -= pool_before.bytes_acquired;
+  result.stats.tile_pool.bytes_allocated -= pool_before.bytes_allocated;
   result.rows = std::move(env.outputs[static_cast<size_t>(plan.root)].set);
   return result;
 }

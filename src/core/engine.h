@@ -12,6 +12,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/arena.h"
 #include "common/cancel.h"
 #include "core/qcomp/planner.h"
 #include "core/qcomp/steps.h"
@@ -62,6 +63,23 @@ struct ExecutionStats {
   // pipelines back to step-at-a-time execution (the fused chain's
   // per-core state no longer fit the scratchpad).
   bool demoted_to_unfused = false;
+  // Tile-local memory subsystem, summed over the dpCores at query end.
+  // Arena figures are absolute (arenas persist across queries; a warm
+  // steady state shows a flat high-water mark); tile_pool counters are
+  // the per-query delta, so `misses` is the number of tile buffers
+  // this query had to allocate rather than recycle.
+  ArenaStats arena;
+  TilePoolStats tile_pool;
+};
+
+// A completed step's materialized rows, identified by the logical
+// subtree it computes ("" = plan root; then one digit per level: '0'
+// descends to the input/left child, '1' to the right). When a later
+// step fails, the engine hands these back so the host fallback can
+// resume from them instead of recomputing the whole fragment.
+struct PartialResult {
+  std::string path;
+  ColumnSet rows;
 };
 
 struct QueryResult {
@@ -85,14 +103,20 @@ class RapidEngine {
   const storage::Table* GetTable(const std::string& name) const;
   const Catalog& catalog() const { return catalog_; }
 
-  // Compiles and executes a logical plan.
+  // Compiles and executes a logical plan. When `partials` is non-null
+  // and execution fails partway (other than by cancellation), it
+  // receives the materialized outputs of the steps that completed,
+  // keyed by logical-subtree path, so the caller's fallback can reuse
+  // them.
   Result<QueryResult> Execute(const LogicalPtr& plan,
-                              const ExecOptions& options = ExecOptions{});
+                              const ExecOptions& options = ExecOptions{},
+                              std::vector<PartialResult>* partials = nullptr);
 
   // Executes an already-planned physical plan (used by benchmarks that
   // need access to step internals such as join statistics).
-  Result<QueryResult> ExecutePhysical(const PhysicalPlan& plan,
-                                      const ExecOptions& options);
+  Result<QueryResult> ExecutePhysical(
+      const PhysicalPlan& plan, const ExecOptions& options,
+      std::vector<PartialResult>* partials = nullptr);
 
   // Applies an update batch to a loaded table through its tracker and
   // bumps the table SCN (Section 4.3).

@@ -1,6 +1,9 @@
 #include "core/expr.h"
 
+#include <algorithm>
 #include <cmath>
+
+#include "common/arena.h"
 
 #include "common/logging.h"
 #include "storage/dsb.h"
@@ -74,6 +77,13 @@ void Expr::CollectColumns(std::vector<std::string>* out) const {
 Result<int> EvalExpr(ExecCtx& ctx, const Tile& tile,
                      const ColumnBinding& binding, const Expr& expr,
                      std::vector<int64_t>* out) {
+  out->resize(tile.rows);
+  return EvalExpr(ctx, tile, binding, expr, out->data());
+}
+
+Result<int> EvalExpr(ExecCtx& ctx, const Tile& tile,
+                     const ColumnBinding& binding, const Expr& expr,
+                     int64_t* out) {
   const size_t n = tile.rows;
   switch (expr.kind) {
     case Expr::Kind::kColumn: {
@@ -82,28 +92,31 @@ Result<int> EvalExpr(ExecCtx& ctx, const Tile& tile,
         return Status::NotFound("unbound column '" + expr.column + "'");
       }
       const TileColumn& col = tile.columns[it->second];
-      out->resize(n);
       // Widening copy; free on the DPU where the load unit widens.
-      WidenColumn(col, nullptr, n, out->data());
+      WidenColumn(col, nullptr, n, out);
       return col.dsb_scale;
     }
     case Expr::Kind::kConst: {
-      out->assign(n, expr.value);
+      std::fill_n(out, n, expr.value);
       return expr.scale;
     }
     case Expr::Kind::kBinary: {
-      std::vector<int64_t> lhs;
-      std::vector<int64_t> rhs;
-      RAPID_ASSIGN_OR_RETURN(int lscale,
-                             EvalExpr(ctx, tile, binding, *expr.left, &lhs));
-      RAPID_ASSIGN_OR_RETURN(int rscale,
-                             EvalExpr(ctx, tile, binding, *expr.right, &rhs));
-      out->resize(n);
+      // Intermediates live in recycled tile-pool buffers (released on
+      // scope exit), so nested expressions never touch the heap after
+      // the pool warms up.
+      TileBufferPool::Handle lhs = ctx.pool().AcquireArray<int64_t>(n);
+      TileBufferPool::Handle rhs = ctx.pool().AcquireArray<int64_t>(n);
+      RAPID_ASSIGN_OR_RETURN(
+          int lscale,
+          EvalExpr(ctx, tile, binding, *expr.left, lhs.as<int64_t>()));
+      RAPID_ASSIGN_OR_RETURN(
+          int rscale,
+          EvalExpr(ctx, tile, binding, *expr.right, rhs.as<int64_t>()));
       int result_scale = 0;
       if (expr.op == ArithOp::kMul) {
         // DSB multiply: mantissas multiply, scales add.
-        result_scale = primitives::DsbMulTile(lhs.data(), lscale, rhs.data(),
-                                              rscale, n, out->data());
+        result_scale = primitives::DsbMulTile(
+            lhs.as<int64_t>(), lscale, rhs.as<int64_t>(), rscale, n, out);
         ctx.ChargeCompute((ctx.params->arith_cycles_per_row +
                            ctx.params->mult_extra_cycles_per_row) /
                           ctx.params->simd.arith * static_cast<double>(n));
@@ -111,17 +124,19 @@ Result<int> EvalExpr(ExecCtx& ctx, const Tile& tile,
         // Add/sub require a common scale; rescale the smaller side.
         result_scale = lscale > rscale ? lscale : rscale;
         if (lscale < result_scale) {
-          primitives::DsbRescaleTile(lhs.data(), n, lscale, result_scale);
+          primitives::DsbRescaleTile(lhs.as<int64_t>(), n, lscale,
+                                     result_scale);
         }
         if (rscale < result_scale) {
-          primitives::DsbRescaleTile(rhs.data(), n, rscale, result_scale);
+          primitives::DsbRescaleTile(rhs.as<int64_t>(), n, rscale,
+                                     result_scale);
         }
         if (expr.op == ArithOp::kAdd) {
           primitives::ArithColCol<ArithOp::kAdd, int64_t>(
-              lhs.data(), rhs.data(), n, out->data());
+              lhs.as<int64_t>(), rhs.as<int64_t>(), n, out);
         } else {
           primitives::ArithColCol<ArithOp::kSub, int64_t>(
-              lhs.data(), rhs.data(), n, out->data());
+              lhs.as<int64_t>(), rhs.as<int64_t>(), n, out);
         }
         ctx.ChargeCompute(ctx.params->arith_cycles_per_row /
                           ctx.params->simd.arith * static_cast<double>(n));

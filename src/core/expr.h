@@ -66,6 +66,14 @@ Result<int> EvalExpr(ExecCtx& ctx, const Tile& tile,
                      const ColumnBinding& binding, const Expr& expr,
                      std::vector<int64_t>* out);
 
+// Raw-buffer flavour: `out` must hold at least tile.rows widened
+// values (typically a tile-pool buffer). Intermediates of nested
+// arithmetic come from the core's tile pool rather than per-tile heap
+// vectors, so steady-state evaluation allocates nothing.
+Result<int> EvalExpr(ExecCtx& ctx, const Tile& tile,
+                     const ColumnBinding& binding, const Expr& expr,
+                     int64_t* out);
+
 // One conjunct of a WHERE clause. Values are pre-encoded by the
 // compiler to the column's storage representation (dict codes, day
 // numbers, DSB mantissas at the column scale).

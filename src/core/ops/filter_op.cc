@@ -1,5 +1,7 @@
 #include "core/ops/filter_op.h"
 
+#include <utility>
+
 #include "common/logging.h"
 
 namespace rapid::core {
@@ -26,35 +28,36 @@ Status FilterOp::Open(ExecCtx& ctx) {
   // Charge the DMEM budget for real: the arena enforces the 32 KiB
   // limit that task formation planned against.
   RAPID_RETURN_NOT_OK(ctx.dmem().Allocate(DmemBytes(tile_rows_)).status());
-  out_buffers_.assign(output_columns_.size(), {});
-  for (auto& buf : out_buffers_) buf.resize(tile_rows_);
+  out_buffers_.clear();
+  out_buffers_.reserve(output_columns_.size());
+  for (size_t c = 0; c < output_columns_.size(); ++c) {
+    out_buffers_.push_back(ctx.pool().AcquireArray<int64_t>(tile_rows_));
+  }
+  rid_buffer_ = ctx.pool().AcquireArray<uint32_t>(tile_rows_);
   return Status::OK();
 }
 
 Status FilterOp::Consume(ExecCtx& ctx, const Tile& tile) {
   rows_in_ += tile.rows;
 
-  BitVector selected;
   if (predicates_.empty()) {
-    selected.Resize(tile.rows);
-    selected.SetAll();
+    selected_.Resize(tile.rows);
+    selected_.SetAll();
   } else {
     RAPID_RETURN_NOT_OK(
-        EvalPredicate(ctx, tile, binding_, predicates_[0], &selected));
+        EvalPredicate(ctx, tile, binding_, predicates_[0], &selected_));
     for (size_t p = 1; p < predicates_.size(); ++p) {
-      BitVector refined;
       RAPID_RETURN_NOT_OK(RefinePredicate(ctx, tile, binding_, predicates_[p],
-                                          selected, &refined));
-      selected = std::move(refined);
+                                          selected_, &refined_));
+      std::swap(selected_, refined_);
     }
   }
 
   // Late materialization: gather projection columns for qualifying
   // rows only. The RID list doubles as the gather descriptor the RA
   // programs into the DMS.
-  rid_scratch_.clear();
-  selected.ToRids(&rid_scratch_);
-  const size_t q = rid_scratch_.size();
+  uint32_t* rids = rid_buffer_.as<uint32_t>();
+  const size_t q = selected_.ToRids(rids);
   rows_out_ += q;
   if (q == 0) return Status::OK();
 
@@ -69,12 +72,12 @@ Status FilterOp::Consume(ExecCtx& ctx, const Tile& tile) {
                               "' not bound");
     }
     const TileColumn& src = tile.columns[it->second];
-    std::vector<int64_t>& dst = out_buffers_[c];
-    WidenColumn(src, rid_scratch_.data(), q, dst.data());
+    int64_t* dst = out_buffers_[c].as<int64_t>();
+    WidenColumn(src, rids, q, dst);
     // The gather runs over DMEM-resident tiles (the accessor already
     // streamed them in), and DMEM random access is single-cycle.
     ctx.ChargeCompute(static_cast<double>(q));
-    out.columns[c].data = reinterpret_cast<uint8_t*>(dst.data());
+    out.columns[c].data = out_buffers_[c].data();
     out.columns[c].type = src.type == storage::DataType::kDecimal
                               ? storage::DataType::kDecimal
                               : storage::DataType::kInt64;

@@ -19,6 +19,7 @@
 #include <string>
 #include <vector>
 
+#include "common/arena.h"
 #include "core/expr.h"
 #include "core/qef/operator.h"
 
@@ -53,9 +54,14 @@ class FilterOp : public PipelineOp {
   size_t tile_rows_;
   bool use_rid_list_;
 
-  // Output tile storage (widened), one buffer per output column.
-  std::vector<std::vector<int64_t>> out_buffers_;
-  std::vector<uint32_t> rid_scratch_;
+  // Output tile storage (widened), one recycled tile-pool buffer per
+  // output column; the RID scratch rides in the pool too.
+  std::vector<TileBufferPool::Handle> out_buffers_;
+  TileBufferPool::Handle rid_buffer_;
+  // Qualifying-row bit vectors, hoisted so per-tile evaluation reuses
+  // their capacity instead of reallocating.
+  BitVector selected_;
+  BitVector refined_;
   uint64_t rows_in_ = 0;
   uint64_t rows_out_ = 0;
 };

@@ -2,10 +2,12 @@
 
 #include <algorithm>
 
+#include "common/arena.h"
 #include "common/crc32.h"
 #include "common/fault.h"
 #include "common/logging.h"
 #include "primitives/partition_map.h"
+#include "primitives/simd.h"
 
 namespace rapid::core {
 
@@ -33,6 +35,12 @@ size_t LogicalRowBytes(const ColumnSet& set) {
 // [shift, shift+log2(fanout)). Runs on one core. The DMS charge covers
 // the full stream through the partition engine (staging, CRC/CID
 // resolution and the scatter back to DRAM in one pass, cf. Figure 8).
+//
+// The software stage scatters each column directly to its partition
+// via the per-partition write-combining kernel (streaming stores on
+// AVX2); all tile scratch comes from the core's buffer pool, so a
+// warm core touches the heap only to grow the partition vectors
+// themselves.
 Status SplitRange(dpu::DpCore& core, const dpu::CostParams& params,
                   const ColumnSet& bucket, const std::vector<uint32_t>& hashes,
                   size_t begin, size_t end, int fanout, int hw_fanout,
@@ -44,27 +52,39 @@ Status SplitRange(dpu::DpCore& core, const dpu::CostParams& params,
 
   out->assign(static_cast<size_t>(fanout), ColumnSet(bucket.metas()));
 
-  primitives::PartitionMap map;
-  std::vector<int64_t> gathered(tile_rows);
+  const primitives::simd::PartitionKernelTable& kernels =
+      primitives::simd::partition_kernels();
+  TileBufferPool& pool = core.pool();
+  const auto ufanout = static_cast<size_t>(fanout);
+  TileBufferPool::Handle pof = pool.AcquireArray<uint16_t>(tile_rows);
+  TileBufferPool::Handle counts = pool.AcquireArray<uint32_t>(ufanout);
+  TileBufferPool::Handle bases = pool.AcquireArray<int64_t*>(ufanout);
+  TileBufferPool::Handle wc =
+      pool.Acquire(primitives::simd::ScatterScratchBytes(ufanout));
+
   for (size_t start = begin; start < end; start += tile_rows) {
     RAPID_RETURN_NOT_OK(CancelToken::Check(cancel));
     const size_t rows = std::min(tile_rows, end - start);
-    // compute_partition_map over this tile's hash values (Listing 2).
-    primitives::ComputePartitionMap(hashes.data() + start, rows, fanout,
-                                    shift, &map);
-    // Partition every projection column via gather + sequential emit
-    // (Listing 3), appending to the per-partition local buffers.
+    // compute_partition_map over this tile's hash values (Listing 2,
+    // loops 1-2; the RID list is not needed on the scatter path).
+    primitives::ComputePartitionIndex(hashes.data() + start, rows, fanout,
+                                      shift, pof.as<uint16_t>(),
+                                      counts.as<uint32_t>());
+    // Scatter every projection column into the per-partition buffers
+    // through software write-combining lines; within each partition
+    // rows land in tile order, exactly as the former gather +
+    // sequential-emit path appended them.
     for (size_t c = 0; c < num_cols; ++c) {
       const int64_t* in = bucket.column(c).data() + start;
-      primitives::SwPartitionColumn(in, map, gathered.data());
-      size_t cursor = 0;
-      for (int p = 0; p < fanout; ++p) {
-        const size_t cnt = map.counts[static_cast<size_t>(p)];
-        auto& dst = (*out)[static_cast<size_t>(p)].column(c);
-        dst.insert(dst.end(), gathered.data() + cursor,
-                   gathered.data() + cursor + cnt);
-        cursor += cnt;
+      int64_t** dst = bases.as<int64_t*>();
+      for (size_t p = 0; p < ufanout; ++p) {
+        auto& vec = (*out)[p].column(c);
+        const size_t old = vec.size();
+        vec.resize(old + counts.as<uint32_t>()[p]);
+        dst[p] = vec.data() + old;
       }
+      kernels.scatter_col(in, pof.as<uint16_t>(), rows, ufanout, dst,
+                          wc.data());
     }
 
     // Cycle charges. One partition-engine pass moves the tile's data

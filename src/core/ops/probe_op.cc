@@ -51,8 +51,8 @@ Status HashJoinProbeOp::Open(ExecCtx& ctx) {
   out_buffers_.assign(spec_.outputs.size(), {});
   out_types_.assign(spec_.outputs.size(), storage::DataType::kInt64);
   out_scales_.assign(spec_.outputs.size(), 0);
-  hash_scratch_.resize(spec_.tile_rows);
-  count_scratch_.resize(spec_.tile_rows);
+  hash_scratch_ = ctx.pool().AcquireArray<uint32_t>(spec_.tile_rows);
+  count_scratch_ = ctx.pool().AcquireArray<uint32_t>(spec_.tile_rows);
 
   const ColumnSet& build = *spec_.build;
   const size_t rows = build.num_rows();
@@ -141,10 +141,12 @@ Status HashJoinProbeOp::FlushPending(ExecCtx& ctx) {
 Status HashJoinProbeOp::Consume(ExecCtx& ctx, const Tile& tile) {
   const size_t n = tile.rows;
   stats_.probe_rows += n;
-  if (hash_scratch_.size() < n) {
-    hash_scratch_.resize(n);
-    count_scratch_.resize(n);
+  if (hash_scratch_.size() < n * sizeof(uint32_t)) {
+    hash_scratch_ = ctx.pool().AcquireArray<uint32_t>(n);
+    count_scratch_ = ctx.pool().AcquireArray<uint32_t>(n);
   }
+  uint32_t* hashes = hash_scratch_.as<uint32_t>();
+  uint32_t* counts = count_scratch_.as<uint32_t>();
   // Capture probe-side decimal metadata from the incoming tile so the
   // sink records scales correctly.
   for (size_t c = 0; c < spec_.outputs.size(); ++c) {
@@ -159,13 +161,13 @@ Status HashJoinProbeOp::Consume(ExecCtx& ctx, const Tile& tile) {
   }
 
   for (size_t i = 0; i < n; ++i) {
-    hash_scratch_[i] = HashTileRow(tile, spec_.probe_keys, i);
+    hashes[i] = HashTileRow(tile, spec_.probe_keys, i);
   }
 
   const ColumnSet& build = *spec_.build;
   primitives::ProbeStats tile_stats;
   table_->ProbeBatch(
-      hash_scratch_.data(), n,
+      hashes, n,
       [&](size_t i, size_t brow) {
         for (size_t k = 0; k < spec_.build_keys.size(); ++k) {
           if (build.Value(brow, spec_.build_keys[k]) !=
@@ -181,10 +183,10 @@ Status HashJoinProbeOp::Consume(ExecCtx& ctx, const Tile& tile) {
           EmitRow(tile, i, brow);
         }
       },
-      count_scratch_.data(), &tile_stats);
+      counts, &tile_stats);
 
   for (size_t i = 0; i < n; ++i) {
-    const uint32_t matches = count_scratch_[i];
+    const uint32_t matches = counts[i];
     if (matches == 0 && (spec_.type == JoinType::kAnti ||
                          spec_.type == JoinType::kLeftOuter)) {
       EmitRow(tile, i, SIZE_MAX);

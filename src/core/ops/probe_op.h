@@ -23,6 +23,7 @@
 #include <memory>
 #include <vector>
 
+#include "common/arena.h"
 #include "core/ops/join_exec.h"
 #include "core/qef/column_set.h"
 #include "core/qef/operator.h"
@@ -79,8 +80,11 @@ class HashJoinProbeOp : public PipelineOp {
   std::vector<storage::DataType> out_types_;
   std::vector<int> out_scales_;
 
-  std::vector<uint32_t> hash_scratch_;
-  std::vector<uint32_t> count_scratch_;
+  // Fixed tile-sized scratch from the core's tile pool. The growable
+  // out_buffers_ above stay heap vectors: a single probe row can emit
+  // arbitrarily many matches, so their size is unbounded.
+  TileBufferPool::Handle hash_scratch_;
+  TileBufferPool::Handle count_scratch_;
   JoinStats stats_;
 };
 

@@ -14,7 +14,11 @@ size_t ProjectOp::DmemBytes(size_t tile_rows) const {
 
 Status ProjectOp::Open(ExecCtx& ctx) {
   RAPID_RETURN_NOT_OK(ctx.dmem().Allocate(DmemBytes(tile_rows_)).status());
-  out_buffers_.assign(projections_.size(), {});
+  out_buffers_.clear();
+  out_buffers_.reserve(projections_.size());
+  for (size_t c = 0; c < projections_.size(); ++c) {
+    out_buffers_.push_back(ctx.pool().AcquireArray<int64_t>(tile_rows_));
+  }
   return Status::OK();
 }
 
@@ -27,8 +31,8 @@ Status ProjectOp::Consume(ExecCtx& ctx, const Tile& tile) {
     RAPID_ASSIGN_OR_RETURN(
         int scale,
         EvalExpr(ctx, tile, binding_, *projections_[c].second,
-                 &out_buffers_[c]));
-    out.columns[c].data = reinterpret_cast<uint8_t*>(out_buffers_[c].data());
+                 out_buffers_[c].as<int64_t>()));
+    out.columns[c].data = out_buffers_[c].data();
     out.columns[c].type = scale != 0 ? storage::DataType::kDecimal
                                      : storage::DataType::kInt64;
     out.columns[c].dsb_scale = scale;

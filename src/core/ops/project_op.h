@@ -9,6 +9,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/arena.h"
 #include "core/expr.h"
 #include "core/qef/operator.h"
 
@@ -30,7 +31,9 @@ class ProjectOp : public PipelineOp {
   std::vector<std::pair<std::string, ExprPtr>> projections_;
   ColumnBinding binding_;
   size_t tile_rows_;
-  std::vector<std::vector<int64_t>> out_buffers_;
+  // Recycled tile-pool buffers, one per projection (acquired in Open,
+  // released back to the core's pool when the operator is destroyed).
+  std::vector<TileBufferPool::Handle> out_buffers_;
 };
 
 }  // namespace rapid::core

@@ -336,6 +336,15 @@ Result<PhysicalPlan> Fuser::Run() {
       RAPID_RETURN_NOT_OK(Materialize(static_cast<int>(id)).status());
     }
   }
+  // Carry the planner's subtree map across the renumbering. An old
+  // step has old_to_new_ >= 0 exactly when its output survives as a
+  // step of the fused plan (a chain's terminal maps to its pipeline);
+  // steps absorbed mid-pipeline never materialize their rows, so
+  // their subtree entries are dropped.
+  for (const auto& [path, old_id] : plan_.subtree_steps) {
+    const int nid = old_to_new_[static_cast<size_t>(old_id)];
+    if (nid >= 0) out_.subtree_steps.emplace_back(path, nid);
+  }
   return std::move(out_);
 }
 

@@ -177,7 +177,29 @@ Result<Planner::Lowered> Planner::LowerScan(
 
 Result<Planner::Lowered> Planner::Lower(const LogicalNode& node,
                                         const Catalog& catalog,
-                                        PhysicalPlan* plan) {
+                                        PhysicalPlan* plan,
+                                        const std::string& path) {
+  RAPID_ASSIGN_OR_RETURN(Lowered out, LowerImpl(node, catalog, plan, path));
+  // Record which step materializes this logical subtree's full result
+  // (fused cases recurse at the same path; the inner recursion already
+  // recorded the same step, so skip duplicates).
+  bool recorded = false;
+  for (const auto& [existing, step] : plan->subtree_steps) {
+    if (existing == path) {
+      recorded = true;
+      break;
+    }
+  }
+  if (!recorded && out.step >= 0) {
+    plan->subtree_steps.emplace_back(path, out.step);
+  }
+  return out;
+}
+
+Result<Planner::Lowered> Planner::LowerImpl(const LogicalNode& node,
+                                            const Catalog& catalog,
+                                            PhysicalPlan* plan,
+                                            const std::string& path) {
   switch (node.kind) {
     case LogicalNode::Kind::kScan: {
       // Identity projections for the scanned columns.
@@ -194,7 +216,7 @@ Result<Planner::Lowered> Planner::Lower(const LogicalNode& node,
       if (node.input->kind == LogicalNode::Kind::kScan) {
         return LowerScan(*node.input, catalog, plan, node.projections);
       }
-      RAPID_ASSIGN_OR_RETURN(Lowered in, Lower(*node.input, catalog, plan));
+      RAPID_ASSIGN_OR_RETURN(Lowered in, Lower(*node.input, catalog, plan, path + "0"));
       const int id = NextId(*plan);
       AddStep(plan, std::make_unique<PipeStep>(id, in.step,
                                                std::vector<Predicate>{},
@@ -217,9 +239,9 @@ Result<Planner::Lowered> Planner::Lower(const LogicalNode& node,
                                 node.predicates.begin(),
                                 node.predicates.end());
         if (!node.columns.empty()) fused.columns = node.columns;
-        return Lower(fused, catalog, plan);
+        return Lower(fused, catalog, plan, path);
       }
-      RAPID_ASSIGN_OR_RETURN(Lowered in, Lower(*node.input, catalog, plan));
+      RAPID_ASSIGN_OR_RETURN(Lowered in, Lower(*node.input, catalog, plan, path + "0"));
       const std::vector<std::string>& keep =
           node.columns.empty() ? in.columns : node.columns;
       std::vector<std::pair<std::string, ExprPtr>> identity;
@@ -239,8 +261,8 @@ Result<Planner::Lowered> Planner::Lower(const LogicalNode& node,
     }
 
     case LogicalNode::Kind::kJoin: {
-      RAPID_ASSIGN_OR_RETURN(Lowered left, Lower(*node.input, catalog, plan));
-      RAPID_ASSIGN_OR_RETURN(Lowered right, Lower(*node.right, catalog, plan));
+      RAPID_ASSIGN_OR_RETURN(Lowered left, Lower(*node.input, catalog, plan, path + "0"));
+      RAPID_ASSIGN_OR_RETURN(Lowered right, Lower(*node.right, catalog, plan, path + "1"));
 
       // Build on the smaller estimated side. For semi/anti/outer
       // joins the right side is semantically the probe (preserved)
@@ -322,7 +344,7 @@ Result<Planner::Lowered> Planner::Lower(const LogicalNode& node,
     }
 
     case LogicalNode::Kind::kGroupBy: {
-      RAPID_ASSIGN_OR_RETURN(Lowered in, Lower(*node.input, catalog, plan));
+      RAPID_ASSIGN_OR_RETURN(Lowered in, Lower(*node.input, catalog, plan, path + "0"));
 
       // Group count estimate: NDV statistics when keys are plain base
       // columns, a fraction of the input otherwise.
@@ -401,7 +423,7 @@ Result<Planner::Lowered> Planner::Lower(const LogicalNode& node,
     }
 
     case LogicalNode::Kind::kSort: {
-      RAPID_ASSIGN_OR_RETURN(Lowered in, Lower(*node.input, catalog, plan));
+      RAPID_ASSIGN_OR_RETURN(Lowered in, Lower(*node.input, catalog, plan, path + "0"));
       const int id = NextId(*plan);
       AddStep(plan, std::make_unique<SortStep>(id, in.step, node.sort_keys));
       Lowered out;
@@ -412,7 +434,7 @@ Result<Planner::Lowered> Planner::Lower(const LogicalNode& node,
     }
 
     case LogicalNode::Kind::kTopK: {
-      RAPID_ASSIGN_OR_RETURN(Lowered in, Lower(*node.input, catalog, plan));
+      RAPID_ASSIGN_OR_RETURN(Lowered in, Lower(*node.input, catalog, plan, path + "0"));
       const int id = NextId(*plan);
       AddStep(plan, std::make_unique<TopKStep>(id, in.step, node.sort_keys,
                                                node.limit));
@@ -424,8 +446,8 @@ Result<Planner::Lowered> Planner::Lower(const LogicalNode& node,
     }
 
     case LogicalNode::Kind::kSetOp: {
-      RAPID_ASSIGN_OR_RETURN(Lowered l, Lower(*node.input, catalog, plan));
-      RAPID_ASSIGN_OR_RETURN(Lowered r, Lower(*node.right, catalog, plan));
+      RAPID_ASSIGN_OR_RETURN(Lowered l, Lower(*node.input, catalog, plan, path + "0"));
+      RAPID_ASSIGN_OR_RETURN(Lowered r, Lower(*node.right, catalog, plan, path + "1"));
       const int id = NextId(*plan);
       AddStep(plan, std::make_unique<SetOpStep>(id, node.setop, l.step,
                                                 r.step));
@@ -437,7 +459,7 @@ Result<Planner::Lowered> Planner::Lower(const LogicalNode& node,
     }
 
     case LogicalNode::Kind::kWindow: {
-      RAPID_ASSIGN_OR_RETURN(Lowered in, Lower(*node.input, catalog, plan));
+      RAPID_ASSIGN_OR_RETURN(Lowered in, Lower(*node.input, catalog, plan, path + "0"));
       const int id = NextId(*plan);
       AddStep(plan, std::make_unique<WindowStep>(id, in.step, node.windows));
       Lowered out;
@@ -459,7 +481,7 @@ Result<PhysicalPlan> Planner::Plan(const LogicalPtr& root,
     return Status::InvalidArgument("logical plan is null");
   }
   PhysicalPlan plan;
-  RAPID_ASSIGN_OR_RETURN(Lowered lowered, Lower(*root, catalog, &plan));
+  RAPID_ASSIGN_OR_RETURN(Lowered lowered, Lower(*root, catalog, &plan, ""));
   plan.root = lowered.step;
   // Tile-pipeline fusion pass. Skew/capacity overrides force the
   // partitioned join machinery, so fusion stands down for them.

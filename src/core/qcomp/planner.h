@@ -78,8 +78,16 @@ class Planner {
     std::vector<std::string> columns;
   };
 
+  // Lowers `node` (whose position in the logical tree is `path`: ""
+  // at the root, then '0' per input/left edge and '1' per right edge)
+  // and records the step that materializes the subtree's rows in
+  // plan->subtree_steps, so a failed execution can hand completed
+  // subtree results back to the host fallback.
   Result<Lowered> Lower(const LogicalNode& node, const Catalog& catalog,
-                        PhysicalPlan* plan);
+                        PhysicalPlan* plan, const std::string& path);
+
+  Result<Lowered> LowerImpl(const LogicalNode& node, const Catalog& catalog,
+                            PhysicalPlan* plan, const std::string& path);
 
   Result<Lowered> LowerScan(const LogicalNode& node, const Catalog& catalog,
                             PhysicalPlan* plan,

@@ -91,6 +91,15 @@ struct PhysicalPlan {
   std::vector<std::unique_ptr<PlanStep>> steps;
   int root = -1;
 
+  // Logical-subtree path -> id of the step whose (unpartitioned)
+  // output materializes exactly that subtree's rows. Paths are ""
+  // for the root, then one character per level: '0' descends to the
+  // input/left child, '1' to the right. Recorded by the planner,
+  // remapped by pipeline fusion (entries whose step was absorbed into
+  // the middle of a pipeline are dropped). The engine uses this to
+  // return completed-step results to the host fallback on failure.
+  std::vector<std::pair<std::string, int>> subtree_steps;
+
   std::string Describe() const;
 };
 

@@ -32,6 +32,10 @@ struct ExecCtx {
   dpu::Dmem& dmem() { return core->dmem(); }
   dpu::CycleCounter& cycles() { return core->cycles(); }
 
+  // Tile-local buffer pool of the executing core; recycles scratch
+  // buffers across tiles and queries (see common/arena.h).
+  TileBufferPool& pool() { return core->pool(); }
+
   void ChargeCompute(double cycles) { core->cycles().ChargeCompute(cycles); }
   void ChargeDms(double cycles) { core->cycles().ChargeDms(cycles); }
 

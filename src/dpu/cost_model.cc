@@ -25,6 +25,10 @@ CostParams CostParams::HostCalibrated() {
       params.simd.arith = 2.0;
       params.simd.hash = 7.5;
       params.simd.partition_map = 1.2;
+      // Write-combining scatter with streaming stores
+      // (bench_partition_scatter, fan-out >= 64, where the direct
+      // scatter's working set of destination lines overflows L1/L2).
+      params.simd.partition_scatter = 1.8;
       break;
     case SimdLevel::kSse42:
       // SSE4.2 vectorizes 32/64-bit filters (4 lanes) and runs the

@@ -229,6 +229,14 @@ void Dms::DistributeColumn(CycleCounter* cycles, const uint8_t* col,
                            size_t width,
                            const std::vector<uint16_t>& targets,
                            std::vector<std::vector<uint8_t>>* out) const {
+  // Histogram pass first: sizing every target buffer up front turns
+  // the distribution into one reservation per target instead of
+  // log-many growth reallocations while the engine streams rows.
+  std::vector<size_t> extra(out->size(), 0);
+  for (const uint16_t t : targets) extra[t] += width;
+  for (size_t t = 0; t < out->size(); ++t) {
+    if (extra[t] > 0) (*out)[t].reserve((*out)[t].size() + extra[t]);
+  }
   for (size_t i = 0; i < targets.size(); ++i) {
     std::vector<uint8_t>& buf = (*out)[targets[i]];
     buf.insert(buf.end(), col + i * width, col + (i + 1) * width);

@@ -6,6 +6,7 @@
 #ifndef RAPID_DPU_DPCORE_H_
 #define RAPID_DPU_DPCORE_H_
 
+#include "common/arena.h"
 #include "dpu/config.h"
 #include "dpu/cost_model.h"
 #include "dpu/dmem.h"
@@ -17,7 +18,8 @@ class DpCore {
   DpCore(int id, const DpuConfig& config)
       : id_(id),
         macro_id_(id / config.cores_per_macro),
-        dmem_(config.dmem_bytes) {}
+        dmem_(config.dmem_bytes),
+        pool_(&arena_) {}
 
   DpCore(const DpCore&) = delete;
   DpCore& operator=(const DpCore&) = delete;
@@ -29,11 +31,23 @@ class DpCore {
   CycleCounter& cycles() { return cycles_; }
   const CycleCounter& cycles() const { return cycles_; }
 
+  // Tile-local scratch memory. Only the worker currently executing
+  // this core's morsel may touch either. The arena is never Reset()
+  // while the pool is live (pooled buffers point into it); both
+  // persist across queries so warm tiles allocate nothing — which is
+  // why Dpu::ResetCores leaves them alone.
+  Arena& arena() { return arena_; }
+  const Arena& arena() const { return arena_; }
+  TileBufferPool& pool() { return pool_; }
+  const TileBufferPool& pool() const { return pool_; }
+
  private:
   int id_;
   int macro_id_;
   Dmem dmem_;
   CycleCounter cycles_;
+  Arena arena_;
+  TileBufferPool pool_;
 };
 
 }  // namespace rapid::dpu

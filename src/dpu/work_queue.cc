@@ -78,44 +78,80 @@ WorkQueue::WorkQueue(std::vector<double> weights, int num_cores,
                      SchedMode mode)
     : num_morsels_(weights.size()),
       num_cores_(num_cores < 1 ? 1 : num_cores),
-      mode_(mode) {
+      mode_(mode),
+      // Size the arena for exactly one chunk: the constructor knows
+      // every array's extent up front, so the whole queue is one
+      // 64-byte-aligned allocation (plus per-array alignment slack).
+      arena_((mode == SchedMode::kStatic
+                  ? static_cast<size_t>(num_cores < 1 ? 1 : num_cores) *
+                        sizeof(size_t)
+                  : weights.size() * (2 * sizeof(size_t) + 2 * sizeof(double)) +
+                        static_cast<size_t>(num_cores < 1 ? 1 : num_cores) *
+                            (4 * sizeof(size_t) + 3 * sizeof(double)) +
+                        sizeof(size_t)) +
+             8 * Arena::kDefaultAlignment) {
+  const auto cores = static_cast<size_t>(num_cores_);
   if (mode_ == SchedMode::kStatic) {
-    static_next_.resize(static_cast<size_t>(num_cores_));
-    for (int c = 0; c < num_cores_; ++c) {
-      static_next_[static_cast<size_t>(c)] = static_cast<size_t>(c);
-    }
+    static_next_ = arena_.AllocateArray<size_t>(cores);
+    for (size_t c = 0; c < cores; ++c) static_next_[c] = c;
     return;
   }
-  weights_ = std::move(weights);
-  SeedLpt(weights_);
+  slots_ = arena_.AllocateArray<size_t>(num_morsels_);
+  seg_begin_ = arena_.AllocateArray<size_t>(cores + 1);
+  head_ = arena_.AllocateArray<size_t>(cores);
+  tail_ = arena_.AllocateArray<size_t>(cores);
+  weights_ = arena_.AllocateArray<double>(num_morsels_);
+  estimated_charge_ = arena_.AllocateArray<double>(num_morsels_);
+  remaining_weight_ = arena_.AllocateArray<double>(cores);
+  executed_cycles_ = arena_.AllocateArray<double>(cores);
+  std::copy(weights.begin(), weights.end(), weights_);
+  SeedLpt(weights);
 }
 
 void WorkQueue::SeedLpt(const std::vector<double>& weights) {
-  deques_.assign(static_cast<size_t>(num_cores_), {});
-  remaining_weight_.assign(static_cast<size_t>(num_cores_), 0.0);
-  executed_cycles_.assign(static_cast<size_t>(num_cores_), 0.0);
-  estimated_charge_.assign(weights.size(), 0.0);
+  const auto cores = static_cast<size_t>(num_cores_);
+  for (size_t c = 0; c < cores; ++c) {
+    remaining_weight_[c] = 0.0;
+    executed_cycles_[c] = 0.0;
+  }
+  for (size_t m = 0; m < num_morsels_; ++m) estimated_charge_[m] = 0.0;
 
   // LPT: morsels sorted by weight descending (ties in morsel-id order
   // so the seeding is deterministic), each dealt to the least-loaded
-  // core so far. Deques end up sorted largest-first, so owners popping
-  // the front run their biggest morsels first and the small tail is
-  // what gets stolen.
+  // core so far. Each core's slot segment ends up sorted
+  // largest-first, so owners popping the head run their biggest
+  // morsels first and the small tail is what gets stolen.
   std::vector<size_t> order(weights.size());
   std::iota(order.begin(), order.end(), size_t{0});
   std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
     return weights[a] > weights[b];
   });
-  std::vector<double> load(static_cast<size_t>(num_cores_), 0.0);
+  // Pass 1: deal to the least-loaded core, counting segment sizes.
+  std::vector<size_t> target(weights.size());
+  std::vector<size_t> count(cores, 0);
+  std::vector<double> load(cores, 0.0);
   for (size_t m : order) {
-    size_t target = 0;
-    for (size_t c = 1; c < load.size(); ++c) {
-      if (load[c] < load[target]) target = c;
+    size_t t = 0;
+    for (size_t c = 1; c < cores; ++c) {
+      if (load[c] < load[t]) t = c;
     }
-    deques_[target].push_back(m);
-    load[target] += weights[m];
+    target[m] = t;
+    ++count[t];
+    load[t] += weights[m];
   }
-  remaining_weight_ = load;
+  // Pass 2: lay the segments out contiguously and fill them in deal
+  // order (largest-first within each core).
+  seg_begin_[0] = 0;
+  for (size_t c = 0; c < cores; ++c) {
+    seg_begin_[c + 1] = seg_begin_[c] + count[c];
+    head_[c] = seg_begin_[c];
+    remaining_weight_[c] = load[c];
+  }
+  std::vector<size_t> cursor(seg_begin_, seg_begin_ + cores);
+  for (size_t m : order) {
+    slots_[cursor[target[m]]++] = m;
+  }
+  for (size_t c = 0; c < cores; ++c) tail_[c] = cursor[c];
 }
 
 bool WorkQueue::Next(int core_id, size_t* morsel) {
@@ -131,10 +167,8 @@ bool WorkQueue::Next(int core_id, size_t* morsel) {
   }
   std::lock_guard<std::mutex> lock(mu_);
   const double rate = CyclesPerWeight();
-  std::deque<size_t>& own = deques_[cid];
-  if (!own.empty()) {
-    *morsel = own.front();
-    own.pop_front();
+  if (head_[cid] < tail_[cid]) {
+    *morsel = slots_[head_[cid]++];
     remaining_weight_[cid] -= weights_[*morsel];
     estimated_charge_[*morsel] = weights_[*morsel] * rate;
     executed_cycles_[cid] += estimated_charge_[*morsel];
@@ -151,8 +185,8 @@ bool WorkQueue::Next(int core_id, size_t* morsel) {
   // jitter.
   size_t victim = cid;
   double victim_completion = -1.0;
-  for (size_t c = 0; c < deques_.size(); ++c) {
-    if (c == cid || deques_[c].empty()) continue;
+  for (size_t c = 0; c < static_cast<size_t>(num_cores_); ++c) {
+    if (c == cid || head_[c] >= tail_[c]) continue;
     const double completion = executed_cycles_[c] + remaining_weight_[c] * rate;
     if (completion > victim_completion) {
       victim = c;
@@ -160,12 +194,12 @@ bool WorkQueue::Next(int core_id, size_t* morsel) {
     }
   }
   if (victim == cid) return false;
-  const size_t candidate = deques_[victim].back();
+  const size_t candidate = slots_[tail_[victim] - 1];
   if (executed_cycles_[cid] + weights_[candidate] * rate >= victim_completion) {
     return false;
   }
   *morsel = candidate;
-  deques_[victim].pop_back();
+  --tail_[victim];
   remaining_weight_[victim] -= weights_[*morsel];
   estimated_charge_[*morsel] = weights_[*morsel] * rate;
   executed_cycles_[cid] += estimated_charge_[*morsel];

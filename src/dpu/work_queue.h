@@ -29,9 +29,10 @@
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
-#include <deque>
 #include <mutex>
 #include <vector>
+
+#include "common/arena.h"
 
 namespace rapid::dpu {
 
@@ -120,21 +121,30 @@ class WorkQueue {
   const int num_cores_;
   const SchedMode mode_;
 
-  // Static mode: per-core stride cursors (no sharing).
-  std::vector<size_t> static_next_;
-
-  // Morsel mode: per-core deques under one mutex (morsels are coarse,
-  // so a global lock is cheaper than per-deque CAS here). Virtual
-  // clocks are in modeled cycles: pops charge weight * rate up front
-  // and Charge() replaces the estimate with the measured cost.
+  // All queue state lives in one 64-byte-aligned arena block sized
+  // exactly for this phase in the constructor — one allocation per
+  // phase instead of per-core deques and half a dozen vectors. Each
+  // core owns a contiguous slot segment [seg_begin_[c],
+  // seg_begin_[c+1]) holding its LPT-seeded morsels largest-first;
+  // [head_[c], tail_[c]) is the live window: the owner pops the head
+  // (its largest remaining morsel), a thief pops the victim's tail
+  // (the smallest). One mutex guards the morsel-mode state — morsels
+  // are coarse, so a global lock is cheaper than per-segment CAS.
+  // Virtual clocks are in modeled cycles: pops charge weight * rate up
+  // front and Charge() replaces the estimate with the measured cost.
   double CyclesPerWeight() const;  // observed rate (callers hold mu_)
 
+  Arena arena_;
   std::mutex mu_;
-  std::vector<std::deque<size_t>> deques_;
-  std::vector<double> remaining_weight_;  // weight still queued per core
-  std::vector<double> executed_cycles_;   // virtual clock per core
-  std::vector<double> estimated_charge_;  // optimistic pop charge, per morsel
-  std::vector<double> weights_;
+  size_t* slots_ = nullptr;             // num_morsels_, per-core segments
+  size_t* seg_begin_ = nullptr;         // num_cores_ + 1 segment bounds
+  size_t* head_ = nullptr;              // num_cores_ live-window starts
+  size_t* tail_ = nullptr;              // num_cores_ live-window ends
+  double* weights_ = nullptr;           // num_morsels_
+  double* estimated_charge_ = nullptr;  // optimistic pop charge, per morsel
+  double* remaining_weight_ = nullptr;  // weight still queued per core
+  double* executed_cycles_ = nullptr;   // virtual clock per core
+  size_t* static_next_ = nullptr;       // static mode: stride cursors
   double charged_cycles_ = 0;  // measured cycles across charged morsels
   double charged_weight_ = 0;  // weight of charged morsels
   std::atomic<uint64_t> steals_{0};

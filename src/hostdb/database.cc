@@ -150,6 +150,7 @@ Result<QueryReport> HostDatabase::ExecuteQuery(
     report.rapid_wall_seconds += placeholders[f]->rapid_wall_seconds();
     report.rapid_modeled_seconds +=
         placeholders[f]->rapid_stats().modeled_seconds;
+    report.reused_fragments += placeholders[f]->reused_fragments();
   }
   if (!placeholders.empty()) {
     report.rapid_stats = placeholders[0]->rapid_stats();

@@ -153,6 +153,23 @@ OffloadDecision OffloadPlanner::Decide(const core::LogicalPtr& plan,
   return decision;
 }
 
+namespace {
+
+// Walks the fragment to the logical node at `path` ('0' descends into
+// input/left, '1' into right — the planner's subtree addressing).
+// Returns nullptr when the path does not exist in this tree.
+const core::LogicalNode* ResolvePath(const core::LogicalPtr& root,
+                                     const std::string& path) {
+  const core::LogicalNode* node = root.get();
+  for (const char edge : path) {
+    if (node == nullptr) return nullptr;
+    node = edge == '0' ? node->input.get() : node->right.get();
+  }
+  return node;
+}
+
+}  // namespace
+
 RapidOperator::RapidOperator(core::LogicalPtr fragment,
                              core::RapidEngine* engine,
                              const ScnJournal* journal, uint64_t query_scn,
@@ -167,6 +184,8 @@ RapidOperator::RapidOperator(core::LogicalPtr fragment,
 
 Status RapidOperator::Start() {
   fallback_reason_ = Status::OK();
+  reused_partials_.clear();
+  reused_fragments_ = 0;
   // Admissibility: every table the fragment touches must have all
   // changes visible at the query SCN already propagated.
   std::vector<std::string> tables;
@@ -190,9 +209,10 @@ Status RapidOperator::Start() {
     const std::string wire = core::SerializePlan(fragment_);
     auto received = core::ParsePlan(wire);
     const auto start = std::chrono::steady_clock::now();
-    auto result = received.ok()
-                      ? engine_->Execute(received.value(), options_)
-                      : Result<core::QueryResult>(received.status());
+    auto result =
+        received.ok()
+            ? engine_->Execute(received.value(), options_, &reused_partials_)
+            : Result<core::QueryResult>(received.status());
     const auto end = std::chrono::steady_clock::now();
     if (result.ok()) {
       buffered_ = std::move(result.value().rows);
@@ -215,10 +235,41 @@ Status RapidOperator::Start() {
     fallback_reason_ = result.status();
   }
 
-  // Fallback: System-X-only execution of the fragment.
+  // Fallback: System-X-only execution of the fragment. Subtrees the
+  // DPU run did complete before failing are injected as materialized
+  // node overrides so the host resumes from them instead of
+  // recomputing (admission denials harvested nothing, so those still
+  // re-execute from scratch).
   fell_back_ = true;
-  RAPID_ASSIGN_OR_RETURN(buffered_,
-                         VolcanoExecutor::Execute(fragment_, *host_catalog_));
+  std::stable_sort(reused_partials_.begin(), reused_partials_.end(),
+                   [](const core::PartialResult& a,
+                      const core::PartialResult& b) {
+                     return a.path.size() < b.path.size();
+                   });
+  std::vector<core::PartialResult> kept;
+  kept.reserve(reused_partials_.size());
+  for (auto& pr : reused_partials_) {
+    // Shallowest-first: a subtree under an already-kept ancestor is
+    // shadowed by it — the Volcano walk never reaches the deeper node.
+    const auto covered = [&kept](const std::string& path) {
+      for (const auto& k : kept) {
+        if (path.compare(0, k.path.size(), k.path) == 0) return true;
+      }
+      return false;
+    };
+    if (covered(pr.path)) continue;
+    if (ResolvePath(fragment_, pr.path) == nullptr) continue;
+    kept.push_back(std::move(pr));
+  }
+  reused_partials_ = std::move(kept);
+  NodeOverrides overrides;
+  for (const auto& pr : reused_partials_) {
+    overrides[ResolvePath(fragment_, pr.path)] = &pr.rows;
+  }
+  reused_fragments_ = overrides.size();
+  RAPID_ASSIGN_OR_RETURN(
+      buffered_,
+      VolcanoExecutor::Execute(fragment_, *host_catalog_, overrides));
   schema_ = buffered_.metas();
   cursor_ = 0;
   return Status::OK();

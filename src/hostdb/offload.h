@@ -76,6 +76,10 @@ struct QueryReport {
   double rapid_modeled_seconds = 0;  // modeled DPU time of the fragment
   double host_wall_seconds = 0;      // host-side execution + post-processing
   core::ExecutionStats rapid_stats;
+  // Completed DPU subtree results the host fallback resumed from
+  // instead of recomputing (0 when nothing fell back or nothing had
+  // completed).
+  uint64_t reused_fragments = 0;
 };
 
 // The RAPID placeholder operator: checks admissibility, triggers
@@ -99,6 +103,9 @@ class RapidOperator : public Iterator {
   const Status& fallback_reason() const { return fallback_reason_; }
   double rapid_wall_seconds() const { return rapid_wall_seconds_; }
   const core::ExecutionStats& rapid_stats() const { return rapid_stats_; }
+  // Completed DPU subtree results the host fallback resumed from
+  // (materialized-node overrides) instead of recomputing.
+  size_t reused_fragments() const { return reused_fragments_; }
 
  private:
   core::LogicalPtr fragment_;
@@ -114,6 +121,10 @@ class RapidOperator : public Iterator {
   Status fallback_reason_ = Status::OK();
   double rapid_wall_seconds_ = 0;
   core::ExecutionStats rapid_stats_;
+  // Subtree results completed by the failed DPU run, kept alive while
+  // the Volcano fallback reads them through node overrides.
+  std::vector<core::PartialResult> reused_partials_;
+  size_t reused_fragments_ = 0;
 };
 
 }  // namespace rapid::hostdb

@@ -63,6 +63,8 @@ PrimitiveCatalog::PrimitiveCatalog() {
       PrimitiveInfo{"swpart_partcol_ub4", "partition", "partcol", 4, false});
   primitives_.push_back(
       PrimitiveInfo{"swpart_partcol_ub8", "partition", "partcol", 8, false});
+  primitives_.push_back(
+      PrimitiveInfo{"swpart_scatcol_ub8", "partition", "scatcol", 8, false});
 }
 
 const PrimitiveCatalog& PrimitiveCatalog::Instance() {
