@@ -15,8 +15,10 @@
 //      noise of the seed's pre-injector numbers; the armed case bounds
 //      the cost of the slow path's RNG draw.
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <vector>
 
 #include "bench/bench_util.h"
@@ -93,9 +95,11 @@ LogicalPtr JoinPlan() {
                            {"val", "w"});
 }
 
-double QuerySeconds(RapidEngine& engine, const LogicalPtr& plan) {
+double QuerySeconds(RapidEngine& engine, const LogicalPtr& plan,
+                    bool enable_checkpoints = true) {
   ExecOptions options;
   options.planner.enable_fusion = false;  // exercise the partition path
+  options.enable_checkpoints = enable_checkpoints;
   double best = 1e30;
   for (int i = 0; i < kQueryReps; ++i) {
     const auto start = std::chrono::steady_clock::now();
@@ -139,17 +143,20 @@ int main() {
   struct QueryCase {
     const char* name;
     LogicalPtr plan;
+    double disabled = 0;        // injector off, checkpoints on (production)
+    double armed = 0;           // injector armed p=0, checkpoints on
+    double no_checkpoints = 0;  // injector off, checkpoints off
   };
-  const QueryCase cases[] = {{"filter+group-by", AggPlan()},
-                             {"partitioned join", JoinPlan()}};
+  QueryCase cases[] = {{"filter+group-by", AggPlan()},
+                       {"partitioned join", JoinPlan()}};
 
   std::printf("\nEnd-to-end queries (%zu rows, best of %d):\n", kRows,
               kQueryReps);
   std::printf("  %-18s %12s %12s %10s\n", "query", "disabled", "armed p=0",
               "overhead");
-  for (const QueryCase& c : cases) {
+  for (QueryCase& c : cases) {
     FaultInjector::Instance().Reset();
-    const double disabled = QuerySeconds(engine, c.plan);
+    c.disabled = QuerySeconds(engine, c.plan);
 
     FaultInjector::Instance().Reset(0x0eadful);
     FaultInjector::SiteSpec quiet;
@@ -158,12 +165,75 @@ int main() {
                              faults::kDmemAlloc, faults::kJoinBuild}) {
       FaultInjector::Instance().Arm(site, quiet);
     }
-    const double armed = QuerySeconds(engine, c.plan);
+    c.armed = QuerySeconds(engine, c.plan);
     FaultInjector::Instance().Reset();
 
     std::printf("  %-18s %9.3f ms %9.3f ms %9.1f%%\n", c.name,
-                disabled * 1e3, armed * 1e3,
-                (armed / disabled - 1.0) * 100.0);
+                c.disabled * 1e3, c.armed * 1e3,
+                (c.armed / c.disabled - 1.0) * 100.0);
+  }
+
+  // ---- Checkpoint bookkeeping ----------------------------------------------
+  // Fragment checkpointing is on by default: on the fault-free path
+  // its cost is the subtree_steps map build, the per-step done/progress
+  // vectors and the progress pointer threading — no data copies. The
+  // A/B below bounds that bookkeeping; interleaved best-of-reps damps
+  // clock drift between the two configurations.
+  std::printf("\nFragment checkpointing (fault-free, best of %d):\n",
+              kQueryReps);
+  std::printf("  %-18s %12s %12s %10s\n", "query", "ckpt off", "ckpt on",
+              "overhead");
+  double worst_overhead = 0;
+  for (QueryCase& c : cases) {
+    // Interleave the two configurations rep by rep so frequency and
+    // cache drift hit both sides equally; keep the best of each.
+    c.no_checkpoints = 1e30;
+    c.disabled = 1e30;
+    for (int i = 0; i < kQueryReps; ++i) {
+      c.no_checkpoints =
+          std::min(c.no_checkpoints, QuerySeconds(engine, c.plan, false));
+      c.disabled = std::min(c.disabled, QuerySeconds(engine, c.plan, true));
+    }
+    const double overhead = c.disabled / c.no_checkpoints - 1.0;
+    if (overhead > worst_overhead) worst_overhead = overhead;
+    std::printf("  %-18s %9.3f ms %9.3f ms %9.1f%%\n", c.name,
+                c.no_checkpoints * 1e3, c.disabled * 1e3, overhead * 100.0);
+  }
+
+  // ---- JSON ----------------------------------------------------------------
+  FILE* json = std::fopen("BENCH_fault.json", "w");
+  RAPID_CHECK(json != nullptr);
+  std::fprintf(json,
+               "{\n  \"alloc_loop_iters\": %zu,\n"
+               "  \"alloc_disabled_ns\": %.3f,\n  \"alloc_armed_ns\": %.3f,\n"
+               "  \"rows\": %zu,\n  \"queries\": [\n",
+               kAllocIters, alloc_disabled, alloc_armed, kRows);
+  const size_t ncases = sizeof(cases) / sizeof(cases[0]);
+  for (size_t i = 0; i < ncases; ++i) {
+    const QueryCase& c = cases[i];
+    std::fprintf(json,
+                 "    {\"query\": \"%s\", \"disabled_ms\": %.4f,"
+                 " \"armed_ms\": %.4f,\n     \"no_checkpoints_ms\": %.4f,"
+                 " \"checkpoint_overhead_pct\": %.2f}%s\n",
+                 c.name, c.disabled * 1e3, c.armed * 1e3,
+                 c.no_checkpoints * 1e3,
+                 (c.disabled / c.no_checkpoints - 1.0) * 100.0,
+                 i + 1 < ncases ? "," : "");
+  }
+  std::fprintf(json, "  ]\n}\n");
+  std::fclose(json);
+  std::printf("\nwrote BENCH_fault.json\n");
+
+  // Acceptance (opt-in, RAPID_CHECK=1): fault-free checkpoint
+  // bookkeeping must stay within 2%% of a checkpoint-free run, with a
+  // small absolute allowance for timer noise on short queries.
+  if (const char* check = std::getenv("RAPID_CHECK");
+      check != nullptr && check[0] == '1') {
+    for (const QueryCase& c : cases) {
+      RAPID_CHECK(c.disabled <= c.no_checkpoints * 1.02 + 500e-6);
+    }
+    std::printf("RAPID_CHECK: checkpoint bookkeeping within 2%% (worst %.2f%%)\n",
+                worst_overhead * 100.0);
   }
 
   std::printf(

@@ -5,6 +5,7 @@
 #include <cstring>
 #include <string_view>
 
+#include "common/fault.h"
 #include "common/logging.h"
 
 #if defined(__linux__)
@@ -164,8 +165,21 @@ TileBufferPool::Handle TileBufferPool::Acquire(size_t bytes) {
   return Handle(this, data, cls_bytes, cls);
 }
 
+Status TileBufferPool::TryAcquire(size_t bytes, Handle* out) {
+  // Only requests that leave the free lists can fail on the real
+  // machine (chunk growth maps new memory; bypass mode hits the heap);
+  // recycled buffers are already resident.
+  const int cls = ClassOf(bytes == 0 ? 1 : bytes);
+  if (BypassActive() || free_lists_[cls].empty()) {
+    RAPID_FAULT_POINT(faults::kPoolAcquire);
+  }
+  *out = Acquire(bytes);
+  return Status::OK();
+}
+
 void TileBufferPool::Release(uint8_t* data, size_t bytes, int cls) {
   (void)bytes;
+  ++stats_.releases;
   if (cls == -2) {
     std::free(data);
     return;

@@ -24,6 +24,8 @@
 #include <utility>
 #include <vector>
 
+#include "common/status.h"
+
 namespace rapid {
 
 // Counters describing one arena (or, via Accumulate, a set of them).
@@ -107,6 +109,7 @@ struct TilePoolStats {
   uint64_t acquires = 0;         // buffer requests served
   uint64_t reuses = 0;           // served from a free list
   uint64_t misses = 0;           // needed a fresh arena allocation
+  uint64_t releases = 0;         // buffers returned (handle resets)
   uint64_t bytes_acquired = 0;   // sum of class sizes handed out
   uint64_t bytes_allocated = 0;  // sum of class sizes freshly allocated
 
@@ -114,9 +117,14 @@ struct TilePoolStats {
     acquires += other.acquires;
     reuses += other.reuses;
     misses += other.misses;
+    releases += other.releases;
     bytes_acquired += other.bytes_acquired;
     bytes_allocated += other.bytes_allocated;
   }
+
+  // Buffers currently leased out. Error and cancellation paths must
+  // drain back to zero — the pool-leak regression tests assert on it.
+  uint64_t outstanding() const { return acquires - releases; }
 };
 
 // Recycles tile-sized scratch buffers (partition maps, hash columns,
@@ -189,9 +197,21 @@ class TileBufferPool {
   // Leases a buffer of at least `bytes` (64-byte aligned).
   Handle Acquire(size_t bytes);
 
+  // Fallible variant for recoverable call sites: polls the
+  // "pool.acquire" fault site whenever the request would leave the
+  // free lists (arena chunk growth / bypass heap allocation —
+  // allocator pressure), so tests can exercise recovery the same way
+  // as "dmem.alloc". On success `*out` holds the lease.
+  Status TryAcquire(size_t bytes, Handle* out);
+
   template <typename T>
   Handle AcquireArray(size_t count) {
     return Acquire(count * sizeof(T));
+  }
+
+  template <typename T>
+  Status TryAcquireArray(size_t count, Handle* out) {
+    return TryAcquire(count * sizeof(T), out);
   }
 
   const TilePoolStats& stats() const { return stats_; }

@@ -130,6 +130,7 @@ inline constexpr char kDmsPartition[] = "dms.partition";    // partition engine
 inline constexpr char kDmemAlloc[] = "dmem.alloc";          // scratchpad alloc
 inline constexpr char kAteSend[] = "ate.send";              // message delivery
 inline constexpr char kJoinBuild[] = "join.build";          // hash-table build
+inline constexpr char kPoolAcquire[] = "pool.acquire";      // tile-pool growth
 }  // namespace faults
 
 }  // namespace rapid

@@ -2,10 +2,57 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <unordered_map>
+#include <utility>
 
 #include "storage/loader.h"
 
 namespace rapid::core {
+
+namespace {
+
+// True for "X#p" checkpoint addresses (partition rounds over subtree
+// X) — these never reach the host-side path walker, which only
+// understands plain '0'/'1' subtree paths.
+bool IsPartitionAddress(const std::string& path) {
+  return path.size() >= 2 && path.compare(path.size() - 2, 2, "#p") == 0;
+}
+
+int ResolveEnvRetryBudget() {
+  constexpr int kDefault = 2;
+  int budget = kDefault;
+  if (const char* env = std::getenv("RAPID_RETRY_BUDGET");
+      env != nullptr && *env) {
+    char* end = nullptr;
+    const long parsed = std::strtol(env, &end, 10);
+    if (end != env && *end == '\0' && parsed >= 0) {
+      budget = static_cast<int>(std::min(parsed, 16L));
+    } else {
+      std::fprintf(stderr,
+                   "rapid: invalid RAPID_RETRY_BUDGET value '%s' "
+                   "(want an integer >= 0); using %d\n",
+                   env, kDefault);
+    }
+  }
+  if (budget != kDefault) {
+    std::fprintf(stderr,
+                 "rapid: fragment retry budget overridden to %d "
+                 "(RAPID_RETRY_BUDGET)\n",
+                 budget);
+  }
+  return budget;
+}
+
+}  // namespace
+
+int RapidEngine::ResolveRetryBudget(int option) {
+  if (option >= 0) return std::min(option, 16);
+  static const int env_budget = ResolveEnvRetryBudget();
+  return env_budget;
+}
 
 RapidEngine::RapidEngine(const dpu::DpuConfig& config,
                          const dpu::CostParams& params)
@@ -64,34 +111,112 @@ size_t RapidEngine::VacuumTrackers(uint64_t min_active_scn) {
 
 Result<QueryResult> RapidEngine::Execute(const LogicalPtr& plan,
                                          const ExecOptions& options,
-                                         std::vector<PartialResult>* partials) {
+                                         FallbackInfo* fallback) {
   Planner planner(config_, params_, options.planner);
   RAPID_ASSIGN_OR_RETURN(PhysicalPlan physical, planner.Plan(plan, catalog_));
-  Result<QueryResult> result = ExecutePhysical(physical, options, partials);
 
-  // DMEM out-of-memory demotion: a fused pipeline keeps every
-  // operator's state resident in the scratchpad at once, so it is the
-  // first thing to give up when DMEM runs short. Replan without fusion
-  // — step-at-a-time execution stages intermediates through DRAM and
-  // needs only one operator's state at a time — and retry once before
-  // surfacing the failure.
-  if (!result.ok() && result.status().IsOutOfMemory() &&
-      options.planner.enable_fusion) {
-    if (partials != nullptr) partials->clear();  // the retry supersedes them
-    ExecOptions demoted = options;
-    demoted.planner.enable_fusion = false;
-    Planner unfused_planner(config_, params_, demoted.planner);
-    RAPID_ASSIGN_OR_RETURN(PhysicalPlan unfused,
-                           unfused_planner.Plan(plan, catalog_));
-    result = ExecutePhysical(unfused, demoted, partials);
-    if (result.ok()) result.value().stats.demoted_to_unfused = true;
+  FragmentCheckpoint ckpt;
+  FragmentCheckpoint* cp = options.enable_checkpoints ? &ckpt : nullptr;
+  int budget = ResolveRetryBudget(options.retry_budget);
+
+  // Recovery ladder, driven by the failure class of each attempt:
+  //  1. DMEM OOM while fusion is on -> demote: replan unfused (DRAM
+  //     staging needs only one operator's state at a time). Checkpoints
+  //     carry over — subtree addressing survives the renumbering.
+  //  2. Transient failures — DMS retry exhaustion, post-demotion DMEM
+  //     OOM, allocator pressure — get up to `budget` in-place retries
+  //     of the same plan, each resuming from the checkpoint.
+  //  3. Cancellation aborts immediately; anything else exhausts the
+  //     ladder and surfaces to the caller (host fallback).
+  ExecOptions attempt = options;
+  PhysicalPlan unfused;  // owns the demoted plan when built
+  const PhysicalPlan* current = &physical;
+  bool demoted = false;
+  Result<QueryResult> result = ExecutePhysical(*current, attempt, cp);
+  while (!result.ok()) {
+    const Status& failure = result.status();
+    if (failure.IsCancellation()) break;
+    if (failure.IsOutOfMemory() && attempt.planner.enable_fusion) {
+      attempt.planner.enable_fusion = false;
+      Planner unfused_planner(config_, params_, attempt.planner);
+      auto replanned = unfused_planner.Plan(plan, catalog_);
+      if (!replanned.ok()) {
+        result = replanned.status();
+        break;
+      }
+      unfused = std::move(replanned.value());
+      current = &unfused;
+      demoted = true;
+      result = ExecutePhysical(*current, attempt, cp);
+      continue;
+    }
+    // Transient set: descriptor retry exhaustion and allocator
+    // pressure heal on their own; OOM is only retryable once fusion —
+    // the main DMEM consumer — is already off. Capacity and planning
+    // failures would just fail again identically.
+    const bool transient =
+        failure.IsRetryExhausted() ||
+        (failure.IsOutOfMemory() && !attempt.planner.enable_fusion);
+    if (cp != nullptr && transient && budget > 0) {
+      --budget;
+      ++cp->dpu_retries;
+      result = ExecutePhysical(*current, attempt, cp);
+      continue;
+    }
+    break;
+  }
+
+  if (result.ok()) {
+    if (demoted) result.value().stats.demoted_to_unfused = true;
+    return result;
+  }
+  if (fallback != nullptr && !result.status().IsCancellation()) {
+    fallback->reused_rounds = ckpt.reused_rounds;
+    fallback->resumed_morsels = ckpt.resumed_morsels;
+    fallback->dpu_retries = ckpt.dpu_retries;
+    // Unpartitioned completed subtrees graft directly into the host
+    // rerun. Completed partition rounds have no Volcano counterpart;
+    // when the partitions' *input* subtree did not itself survive,
+    // flatten them back into that subtree's rows so the host at least
+    // skips recomputing the input (partition order is deterministic,
+    // and the host rerun re-sorts/aggregates above it anyway — but to
+    // stay bit-exact we only graft when the plain subtree is absent).
+    for (auto& frag : ckpt.completed) {
+      if (frag.out.partitioned || IsPartitionAddress(frag.path)) continue;
+      fallback->partials.push_back(
+          PartialResult{frag.path, std::move(frag.out.set)});
+    }
+    for (auto& frag : ckpt.completed) {
+      if (!frag.out.partitioned || !IsPartitionAddress(frag.path)) continue;
+      const std::string input_path =
+          frag.path.substr(0, frag.path.size() - 2);
+      bool have_input = false;
+      for (const PartialResult& pr : fallback->partials) {
+        if (pr.path == input_path) {
+          have_input = true;
+          break;
+        }
+      }
+      if (have_input || frag.out.parts.partitions.empty()) continue;
+      ColumnSet flat(frag.out.parts.partitions.front().metas());
+      for (const ColumnSet& part : frag.out.parts.partitions) {
+        for (size_t col = 0; col < flat.num_columns(); ++col) {
+          if (part.num_rows() > 0) flat.meta(col) = part.meta(col);
+        }
+      }
+      for (const ColumnSet& part : frag.out.parts.partitions) {
+        flat.Append(part);
+      }
+      fallback->partials.push_back(
+          PartialResult{input_path, std::move(flat)});
+    }
   }
   return result;
 }
 
-Result<QueryResult> RapidEngine::ExecutePhysical(
-    const PhysicalPlan& plan, const ExecOptions& options,
-    std::vector<PartialResult>* partials) {
+Result<QueryResult> RapidEngine::ExecutePhysical(const PhysicalPlan& plan,
+                                                 const ExecOptions& options,
+                                                 FragmentCheckpoint* ckpt) {
   if (plan.root < 0 || plan.steps.empty()) {
     return Status::InvalidArgument("physical plan is empty");
   }
@@ -113,6 +238,49 @@ Result<QueryResult> RapidEngine::ExecutePhysical(
   env.cancel = cancel;
   env.outputs.resize(plan.steps.size());
 
+  // Restore the checkpoint into this plan. Fragments are addressed by
+  // logical-subtree path, so entries harvested from a *different*
+  // physical plan (the fused plan before demotion) land on the right
+  // steps here; addresses that no longer resolve are dropped. Restored
+  // outputs mark their step done — the loop below skips it — and
+  // restored partition rounds count as reused work.
+  std::vector<uint8_t> done(plan.steps.size(), 0);
+  std::vector<StepProgress> progress_slots;
+  if (ckpt != nullptr) {
+    std::unordered_map<std::string, size_t> by_path;
+    for (const auto& [path, sid] : plan.subtree_steps) {
+      if (sid >= 0 && static_cast<size_t>(sid) < plan.steps.size()) {
+        by_path.emplace(path, static_cast<size_t>(sid));
+      }
+    }
+    std::vector<FragmentCheckpoint::Fragment> completed =
+        std::move(ckpt->completed);
+    ckpt->completed.clear();
+    for (auto& frag : completed) {
+      auto it = by_path.find(frag.path);
+      if (it == by_path.end() || done[it->second] != 0) continue;
+      // Partition rounds restore only under "#p" addresses and plain
+      // outputs only under plain paths (defensive shape check).
+      if (frag.out.partitioned != IsPartitionAddress(frag.path)) continue;
+      if (frag.out.partitioned) {
+        env.reused_rounds += static_cast<uint64_t>(
+            std::max(0, frag.out.parts.rounds));
+      }
+      env.outputs[it->second] = std::move(frag.out);
+      done[it->second] = 1;
+    }
+    std::vector<FragmentCheckpoint::Partial> in_progress =
+        std::move(ckpt->in_progress);
+    ckpt->in_progress.clear();
+    progress_slots.resize(plan.steps.size());
+    for (auto& partial : in_progress) {
+      auto it = by_path.find(partial.path);
+      if (it == by_path.end() || done[it->second] != 0) continue;
+      progress_slots[it->second] = std::move(partial.progress);
+    }
+    env.progress = &progress_slots;
+  }
+
   dpu_->ResetCores();
 
   QueryResult result;
@@ -129,8 +297,10 @@ Result<QueryResult> RapidEngine::ExecutePhysical(
   std::vector<double> before_compute(ncores, 0);
   std::vector<double> before_dms(ncores, 0);
   Status step_status = Status::OK();
-  size_t completed_steps = 0;
   for (const auto& step : plan.steps) {
+    // Checkpoint-restored steps already hold their output; their cost
+    // was paid (and timed) by the attempt that completed them.
+    if (done[static_cast<size_t>(step->id())] != 0) continue;
     // Barrier boundary between steps: the cheapest place to notice a
     // cancelled or expired query before launching another DPU round.
     step_status = CancelToken::Check(cancel);
@@ -143,7 +313,7 @@ Result<QueryResult> RapidEngine::ExecutePhysical(
     const dpu::ImbalanceStats imb_before = dpu_->imbalance();
     step_status = step->Execute(env);
     if (!step_status.ok()) break;
-    ++completed_steps;
+    done[static_cast<size_t>(step->id())] = 1;
     // Modeled step time: cores compute concurrently (slowest bounds
     // the phase) while all DMS transfers share the single DRAM
     // interface (they serialize); double buffering overlaps the two
@@ -176,17 +346,40 @@ Result<QueryResult> RapidEngine::ExecutePhysical(
     result.stats.total_dms_cycles += sum_dms;
   }
   if (!step_status.ok()) {
-    // Hand the completed steps' materialized rows to the caller's
-    // fallback. Steps run in plan order, so every step id below the
-    // failed one has a valid output; only whole logical subtrees
-    // (recorded by the planner, remapped by fusion) are reusable.
-    // Cancellation gets nothing: the caller is abandoning the query.
-    if (partials != nullptr && !step_status.IsCancellation()) {
+    // Harvest everything this attempt completed — materialized step
+    // outputs AND partitioned intermediates — into the checkpoint,
+    // keyed by subtree address, plus any mid-step progress the failing
+    // step saved (completed partition rounds, done morsel slots).
+    // Cancellation harvests nothing: the caller is abandoning the
+    // query, not retrying it.
+    if (ckpt != nullptr && !step_status.IsCancellation()) {
+      std::vector<uint8_t> harvested(plan.steps.size(), 0);
       for (const auto& [path, sid] : plan.subtree_steps) {
         const auto uid = static_cast<size_t>(sid);
-        if (uid >= completed_steps || env.outputs[uid].partitioned) continue;
-        partials->push_back(PartialResult{path, std::move(env.outputs[uid].set)});
+        if (uid >= plan.steps.size() || done[uid] == 0 ||
+            harvested[uid] != 0) {
+          continue;
+        }
+        if (env.outputs[uid].partitioned != IsPartitionAddress(path)) {
+          continue;
+        }
+        harvested[uid] = 1;
+        ckpt->completed.push_back(
+            FragmentCheckpoint::Fragment{path,
+                                         std::move(env.outputs[uid])});
       }
+      for (const auto& [path, sid] : plan.subtree_steps) {
+        const auto uid = static_cast<size_t>(sid);
+        if (uid >= progress_slots.size() || done[uid] != 0 ||
+            progress_slots[uid].empty()) {
+          continue;
+        }
+        ckpt->in_progress.push_back(FragmentCheckpoint::Partial{
+            path, std::move(progress_slots[uid])});
+        progress_slots[uid].clear();
+      }
+      ckpt->reused_rounds += env.reused_rounds;
+      ckpt->resumed_morsels += env.resumed_morsels;
     }
     return step_status;
   }
@@ -207,8 +400,21 @@ Result<QueryResult> RapidEngine::ExecutePhysical(
   result.stats.tile_pool.acquires -= pool_before.acquires;
   result.stats.tile_pool.reuses -= pool_before.reuses;
   result.stats.tile_pool.misses -= pool_before.misses;
+  result.stats.tile_pool.releases -= pool_before.releases;
   result.stats.tile_pool.bytes_acquired -= pool_before.bytes_acquired;
   result.stats.tile_pool.bytes_allocated -= pool_before.bytes_allocated;
+  // Reuse accounting: fold this attempt into the query-lifetime
+  // checkpoint totals so the final stats cover every attempt.
+  if (ckpt != nullptr) {
+    ckpt->reused_rounds += env.reused_rounds;
+    ckpt->resumed_morsels += env.resumed_morsels;
+    result.stats.reused_rounds = ckpt->reused_rounds;
+    result.stats.resumed_morsels = ckpt->resumed_morsels;
+    result.stats.dpu_retries = ckpt->dpu_retries;
+  } else {
+    result.stats.reused_rounds = env.reused_rounds;
+    result.stats.resumed_morsels = env.resumed_morsels;
+  }
   result.rows = std::move(env.outputs[static_cast<size_t>(plan.root)].set);
   return result;
 }

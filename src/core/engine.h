@@ -32,6 +32,14 @@ struct ExecOptions {
   // Wall-clock budget for the query; 0 = none. Expiry surfaces as
   // kDeadlineExceeded. Composes with `cancel` (whichever trips first).
   double timeout_seconds = 0;
+  // Fragment checkpointing: completed step outputs, partition rounds
+  // and fused-pipeline morsels survive a failed attempt and seed
+  // in-place retries, the demotion replan and the host fallback.
+  bool enable_checkpoints = true;
+  // Fragment-level DPU retries for transient failures before the
+  // engine gives up (host fallback is the caller's last resort).
+  // < 0 resolves RAPID_RETRY_BUDGET (default 2, clamped to [0, 16]).
+  int retry_budget = -1;
 };
 
 struct StepTiming {
@@ -63,6 +71,13 @@ struct ExecutionStats {
   // pipelines back to step-at-a-time execution (the fused chain's
   // per-core state no longer fit the scratchpad).
   bool demoted_to_unfused = false;
+  // Fragment-checkpoint accounting across all attempts of the query:
+  // partition rounds restored instead of re-executed, fused-pipeline
+  // morsels skipped by mid-step resume, and fragment-level DPU retries
+  // spent (bounded by ExecOptions::retry_budget).
+  uint64_t reused_rounds = 0;
+  uint64_t resumed_morsels = 0;
+  uint64_t dpu_retries = 0;
   // Tile-local memory subsystem, summed over the dpCores at query end.
   // Arena figures are absolute (arenas persist across queries; a warm
   // steady state shows a flat high-water mark); tile_pool counters are
@@ -80,6 +95,42 @@ struct ExecutionStats {
 struct PartialResult {
   std::string path;
   ColumnSet rows;
+};
+
+// Query-lifetime checkpoint of a fragment's expensive intermediates,
+// accumulated across execution attempts. Entries are keyed by the
+// subtree address from PhysicalPlan::subtree_steps (plain paths for
+// materialized step outputs, "X#p" for the partition rounds over
+// subtree X) — addressing survives the demotion replan, which
+// renumbers steps but preserves logical paths. ExecutePhysical
+// consumes compatible entries at the start of an attempt and
+// re-harvests everything completed when the attempt fails.
+struct FragmentCheckpoint {
+  struct Fragment {
+    std::string path;   // subtree address ("" = root; may end in "#p")
+    StepOutput out;     // the completed step's output
+  };
+  std::vector<Fragment> completed;
+  struct Partial {
+    std::string path;   // address of the step the progress belongs to
+    StepProgress progress;
+  };
+  std::vector<Partial> in_progress;
+  // Accounting accumulated across every attempt of this query.
+  uint64_t reused_rounds = 0;
+  uint64_t resumed_morsels = 0;
+  uint64_t dpu_retries = 0;
+};
+
+// What the engine hands back when execution fails for good: the
+// checkpoint's completed unpartitioned subtree results (for host
+// fallback grafting) plus the reuse/retry accounting, so callers can
+// report how much DPU work survived even though the fragment did not.
+struct FallbackInfo {
+  std::vector<PartialResult> partials;
+  uint64_t reused_rounds = 0;
+  uint64_t resumed_morsels = 0;
+  uint64_t dpu_retries = 0;
 };
 
 struct QueryResult {
@@ -103,20 +154,31 @@ class RapidEngine {
   const storage::Table* GetTable(const std::string& name) const;
   const Catalog& catalog() const { return catalog_; }
 
-  // Compiles and executes a logical plan. When `partials` is non-null
-  // and execution fails partway (other than by cancellation), it
-  // receives the materialized outputs of the steps that completed,
-  // keyed by logical-subtree path, so the caller's fallback can reuse
-  // them.
+  // Compiles and executes a logical plan. Drives the recovery ladder:
+  // transient failures (DMS retry exhaustion, post-demotion DMEM OOM,
+  // allocator pressure) get up to `options.retry_budget` in-place DPU
+  // retries that resume from the fragment checkpoint; a DMEM OOM under
+  // fusion demotes to an unfused replan (checkpoints carry over by
+  // subtree address). When everything fails and `fallback` is non-null
+  // (and the failure is not a cancellation), it receives the completed
+  // subtree results and the reuse accounting for the caller's host
+  // fallback.
   Result<QueryResult> Execute(const LogicalPtr& plan,
                               const ExecOptions& options = ExecOptions{},
-                              std::vector<PartialResult>* partials = nullptr);
+                              FallbackInfo* fallback = nullptr);
 
   // Executes an already-planned physical plan (used by benchmarks that
-  // need access to step internals such as join statistics).
-  Result<QueryResult> ExecutePhysical(
-      const PhysicalPlan& plan, const ExecOptions& options,
-      std::vector<PartialResult>* partials = nullptr);
+  // need access to step internals such as join statistics). `ckpt`
+  // (optional) is consumed on entry — compatible completed outputs are
+  // restored, mid-step progress resumes — and refilled with everything
+  // completed when the attempt fails with a non-cancellation status.
+  Result<QueryResult> ExecutePhysical(const PhysicalPlan& plan,
+                                      const ExecOptions& options,
+                                      FragmentCheckpoint* ckpt = nullptr);
+
+  // Resolved fragment-retry budget: `option` when >= 0, otherwise the
+  // RAPID_RETRY_BUDGET environment value (default 2, clamped [0, 16]).
+  static int ResolveRetryBudget(int option);
 
   // Applies an update batch to a loaded table through its tracker and
   // bumps the table SCN (Section 4.3).

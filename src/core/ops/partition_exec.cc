@@ -56,11 +56,19 @@ Status SplitRange(dpu::DpCore& core, const dpu::CostParams& params,
       primitives::simd::partition_kernels();
   TileBufferPool& pool = core.pool();
   const auto ufanout = static_cast<size_t>(fanout);
-  TileBufferPool::Handle pof = pool.AcquireArray<uint16_t>(tile_rows);
-  TileBufferPool::Handle counts = pool.AcquireArray<uint32_t>(ufanout);
-  TileBufferPool::Handle bases = pool.AcquireArray<int64_t*>(ufanout);
-  TileBufferPool::Handle wc =
-      pool.Acquire(primitives::simd::ScatterScratchBytes(ufanout));
+  // Fallible acquires: "pool.acquire" faults (allocator pressure on
+  // chunk growth) surface as a Status instead of aborting, so the
+  // retry/fallback ladder can recover. The RAII handles return every
+  // buffer to the pool on any exit — including cancellation mid-round.
+  TileBufferPool::Handle pof;
+  TileBufferPool::Handle counts;
+  TileBufferPool::Handle bases;
+  TileBufferPool::Handle wc;
+  RAPID_RETURN_NOT_OK(pool.TryAcquireArray<uint16_t>(tile_rows, &pof));
+  RAPID_RETURN_NOT_OK(pool.TryAcquireArray<uint32_t>(ufanout, &counts));
+  RAPID_RETURN_NOT_OK(pool.TryAcquireArray<int64_t*>(ufanout, &bases));
+  RAPID_RETURN_NOT_OK(pool.TryAcquire(
+      primitives::simd::ScatterScratchBytes(ufanout), &wc));
 
   for (size_t start = begin; start < end; start += tile_rows) {
     RAPID_RETURN_NOT_OK(CancelToken::Check(cancel));
@@ -111,6 +119,22 @@ Status SplitRange(dpu::DpCore& core, const dpu::CostParams& params,
 
 }  // namespace
 
+bool PartitionProgress::CompatibleWith(const PartitionScheme& scheme) const {
+  if (rounds_done <= 0 ||
+      rounds_done > static_cast<int>(scheme.NumRounds())) {
+    return false;
+  }
+  size_t expect_buckets = 1;
+  int expect_bits = 0;
+  for (int r = 0; r < rounds_done; ++r) {
+    const int fanout = scheme.rounds[static_cast<size_t>(r)].fanout;
+    expect_buckets *= static_cast<size_t>(fanout);
+    for (int b = 1; b < fanout; b <<= 1) ++expect_bits;
+  }
+  return buckets.size() == expect_buckets &&
+         bucket_hashes.size() == expect_buckets && bits_used == expect_bits;
+}
+
 std::vector<uint32_t> PartitionExec::HashColumn(
     const ColumnSet& input, const std::vector<size_t>& key_cols) {
   const size_t n = input.num_rows();
@@ -127,7 +151,8 @@ std::vector<uint32_t> PartitionExec::HashColumn(
 Result<PartitionedData> PartitionExec::Execute(
     dpu::Dpu& dpu, const ColumnSet& input,
     const std::vector<size_t>& key_cols, const PartitionScheme& scheme,
-    size_t tile_rows, const CancelToken* cancel) {
+    size_t tile_rows, const CancelToken* cancel,
+    PartitionProgress* progress) {
   if (scheme.rounds.empty()) {
     return Status::InvalidArgument("partition scheme needs >= 1 round");
   }
@@ -141,16 +166,32 @@ Result<PartitionedData> PartitionExec::Execute(
   }
 
   // Current buckets plus their hash columns (hashes are computed once
-  // by the DMS hash engine and reused across rounds).
+  // by the DMS hash engine and reused across rounds). A compatible
+  // checkpoint replaces the leading rounds — including the hash pass —
+  // with the buckets it already holds; resumed rounds are
+  // deterministic functions of those buckets, so the final partitions
+  // are bit-identical to a from-scratch run.
   std::vector<ColumnSet> buckets;
-  buckets.push_back(ColumnSet(input.metas()));
-  buckets[0].Append(input);
   std::vector<std::vector<uint32_t>> bucket_hashes;
-  bucket_hashes.push_back(HashColumn(input, key_cols));
+  int shift = 0;
+  size_t start_round = 0;
+  if (progress != nullptr && !progress->empty() &&
+      progress->CompatibleWith(scheme)) {
+    buckets = std::move(progress->buckets);
+    bucket_hashes = std::move(progress->bucket_hashes);
+    shift = progress->bits_used;
+    start_round = static_cast<size_t>(progress->rounds_done);
+    progress->clear();
+  } else {
+    if (progress != nullptr) progress->clear();
+    buckets.push_back(ColumnSet(input.metas()));
+    buckets[0].Append(input);
+    bucket_hashes.push_back(HashColumn(input, key_cols));
+  }
 
   const auto num_cores = static_cast<size_t>(dpu.num_cores());
-  int shift = 0;
-  for (const PartitionRound& round : scheme.rounds) {
+  for (size_t ri = start_round; ri < scheme.rounds.size(); ++ri) {
+    const PartitionRound& round = scheme.rounds[ri];
     const int bits = Log2Of(round.fanout);
     const size_t in_buckets = buckets.size();
 
@@ -191,7 +232,7 @@ Result<PartitionedData> PartitionExec::Execute(
       unit_weights[u] = static_cast<double>(units[u].end - units[u].begin);
     }
     dpu::WorkQueue queue(std::move(unit_weights), dpu.num_cores());
-    RAPID_RETURN_NOT_OK(dpu.ParallelForMorsels(
+    const Status round_status = dpu.ParallelForMorsels(
         queue, cancel, [&](dpu::DpCore& core, size_t u) -> Status {
           WorkUnit& unit = units[u];
           // Each work unit programs one partition-engine descriptor
@@ -202,7 +243,20 @@ Result<PartitionedData> PartitionExec::Execute(
                             bucket_hashes[unit.bucket], unit.begin, unit.end,
                             round.fanout, round.hw_fanout, shift, tile_rows,
                             cancel, &unit.out);
-        }));
+        });
+    if (!round_status.ok()) {
+      // `buckets` still holds the previous completed round's output
+      // (reassembly only happens below, after the parallel loop), so
+      // checkpointing it costs nothing on the fault-free path. A
+      // cancelled query saves nothing — it is being abandoned.
+      if (progress != nullptr && ri > 0 && !round_status.IsCancellation()) {
+        progress->rounds_done = static_cast<int>(ri);
+        progress->bits_used = shift;
+        progress->buckets = std::move(buckets);
+        progress->bucket_hashes = std::move(bucket_hashes);
+      }
+      return round_status;
+    }
 
     // Reassemble buckets in (bucket, partition) order, merging the
     // range splits in range order for determinism; carry hash columns
@@ -239,6 +293,7 @@ Result<PartitionedData> PartitionExec::Execute(
   PartitionedData out;
   out.partitions = std::move(buckets);
   out.bits_used = shift;
+  out.rounds = static_cast<int>(scheme.NumRounds());
   return out;
 }
 

@@ -48,6 +48,36 @@ struct PartitionedData {
   // Hash bits already consumed to form these partitions; further
   // (re)partitioning must use bits above this position.
   int bits_used = 0;
+  // Rounds executed (or reused) to produce these partitions; the
+  // checkpoint layer counts them as reused work when a whole
+  // partitioned output is restored on a retry.
+  int rounds = 0;
+};
+
+// Completed-round checkpoint of a multi-round partition pass. When a
+// later round fails, Execute() moves the last fully reassembled
+// round's buckets (and their carried hash columns) here; a retry with
+// the same scheme resumes at round `rounds_done` instead of
+// re-partitioning from scratch. Cancellation never populates this —
+// the query is being abandoned, not retried.
+struct PartitionProgress {
+  int rounds_done = 0;  // fully completed rounds held in `buckets`
+  int bits_used = 0;    // hash bits consumed by those rounds
+  std::vector<ColumnSet> buckets;
+  std::vector<std::vector<uint32_t>> bucket_hashes;
+
+  bool empty() const { return rounds_done == 0; }
+  void clear() {
+    rounds_done = 0;
+    bits_used = 0;
+    buckets.clear();
+    bucket_hashes.clear();
+  }
+  // True when this progress is a valid prefix of `scheme`: the bucket
+  // count and consumed bits match rounds [0, rounds_done). A retry
+  // after demotion replans with the same deterministic scheme, so a
+  // mismatch only means the checkpoint belongs to a different step.
+  bool CompatibleWith(const PartitionScheme& scheme) const;
 };
 
 class PartitionExec {
@@ -59,12 +89,20 @@ class PartitionExec {
   // Each work unit programs one partition-engine descriptor chain;
   // transient "dms.partition" faults are absorbed by the DMS retry
   // policy, and `cancel` (optional) is polled at tile boundaries.
+  //
+  // `progress` (optional) carries completed rounds across attempts:
+  // on entry, compatible progress skips its rounds (including the
+  // input hash computation); on a non-cancellation failure the last
+  // completed round is saved back so the caller can retry from it.
+  // Resumed execution is bit-identical to a from-scratch run — rounds
+  // are deterministic functions of their input buckets.
   static Result<PartitionedData> Execute(dpu::Dpu& dpu,
                                          const ColumnSet& input,
                                          const std::vector<size_t>& key_cols,
                                          const PartitionScheme& scheme,
                                          size_t tile_rows,
-                                         const CancelToken* cancel = nullptr);
+                                         const CancelToken* cancel = nullptr,
+                                         PartitionProgress* progress = nullptr);
 
   // Re-partitions a single oversized partition `extra_fanout` more
   // ways (the large-skew handler, Section 6.4), starting at hash bit

@@ -340,7 +340,9 @@ Result<PhysicalPlan> Fuser::Run() {
   // step has old_to_new_ >= 0 exactly when its output survives as a
   // step of the fused plan (a chain's terminal maps to its pipeline);
   // steps absorbed mid-pipeline never materialize their rows, so
-  // their subtree entries are dropped.
+  // their subtree entries are dropped. "#p" partition addresses ride
+  // the same remap: a partition step absorbed by a broadcast-probe
+  // rewrite maps to -1 and its checkpoint address disappears with it.
   for (const auto& [path, old_id] : plan_.subtree_steps) {
     const int nid = old_to_new_[static_cast<size_t>(old_id)];
     if (nid >= 0) out_.subtree_steps.emplace_back(path, nid);

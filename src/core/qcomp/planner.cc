@@ -308,6 +308,13 @@ Result<Planner::Lowered> Planner::LowerImpl(const LogicalNode& node,
       const int probe_part_id = NextId(*plan);
       AddStep(plan, std::make_unique<PartitionStep>(
                         probe_part_id, probe.step, probe_keys, scheme, 1024));
+      // Partition addresses: the rounds over subtree X checkpoint
+      // under "X#p" so a retry or demotion replan can restore them
+      // (fusion drops the entries when it absorbs the steps).
+      plan->subtree_steps.emplace_back(
+          path + (build_is_left ? "0" : "1") + "#p", build_part_id);
+      plan->subtree_steps.emplace_back(
+          path + (build_is_left ? "1" : "0") + "#p", probe_part_id);
 
       JoinSpec spec;
       spec.tile_rows = options_.join_tile_rows;
@@ -394,6 +401,8 @@ Result<Planner::Lowered> Planner::LowerImpl(const LogicalNode& node,
         const int part_id = NextId(*plan);
         AddStep(plan, std::make_unique<PartitionStep>(
                           part_id, in.step, key_cols, choice.scheme, 1024));
+        // Checkpoint address of the group-by input's partition rounds.
+        plan->subtree_steps.emplace_back(path + "0#p", part_id);
         input_step = part_id;
       }
 

@@ -326,12 +326,24 @@ Status PartitionStep::Execute(ExecEnv& env) const {
     RAPID_ASSIGN_OR_RETURN(size_t idx, FindColumn(in.set, name));
     key_cols.push_back(idx);
   }
+  // Checkpointed rounds (from a failed earlier attempt) are consumed
+  // by PartitionExec; only the remaining rounds execute — and are
+  // charged as workload volume.
+  PartitionProgress* progress =
+      env.progress != nullptr ? &(*env.progress)[static_cast<size_t>(id_)]
+                                     .partition
+                              : nullptr;
+  size_t reused = 0;
+  if (progress != nullptr && progress->CompatibleWith(scheme_)) {
+    reused = static_cast<size_t>(progress->rounds_done);
+  }
   env.counters.partitioned_rows +=
-      in.set.num_rows() * scheme_.rounds.size();
+      in.set.num_rows() * (scheme_.rounds.size() - reused);
+  env.reused_rounds += reused;
   RAPID_ASSIGN_OR_RETURN(
       PartitionedData parts,
       PartitionExec::Execute(*env.dpu, in.set, key_cols, scheme_, tile_rows_,
-                             env.cancel));
+                             env.cancel, progress));
   StepOutput& out = env.outputs[static_cast<size_t>(id_)];
   out.partitioned = true;
   out.parts = std::move(parts);
@@ -648,6 +660,36 @@ Status PipelineStep::Execute(ExecEnv& env) const {
   const size_t num_morsels = table_source ? all_chunks.size() : ranges.size();
   std::vector<ColumnSet> per_morsel(num_morsels, ColumnSet(metas));
 
+  // Mid-pipeline resume: a failed earlier attempt left completed
+  // morsel slots (the per-morsel high-water mark) in the checkpoint.
+  // Reclaim them and skip those morsels below — slots of morsels that
+  // had not finished stay freshly constructed, discarding any
+  // partially written output from the failed attempt. The morsel
+  // decomposition is a deterministic function of the input, so slot
+  // indices line up across attempts.
+  StepProgress* sp = env.progress != nullptr
+                         ? &(*env.progress)[static_cast<size_t>(id_)]
+                         : nullptr;
+  std::vector<uint8_t> morsel_done(num_morsels, 0);
+  if (sp != nullptr && sp->has_morsels &&
+      sp->per_morsel.size() == num_morsels &&
+      sp->morsel_done.size() == num_morsels) {
+    size_t resumed = 0;
+    for (size_t m = 0; m < num_morsels; ++m) {
+      if (sp->morsel_done[m] == 0) continue;
+      per_morsel[m] = std::move(sp->per_morsel[m]);
+      morsel_done[m] = 1;
+      weights[m] = 0;  // nothing left to schedule for this morsel
+      ++resumed;
+    }
+    env.resumed_morsels += resumed;
+  }
+  if (sp != nullptr) {
+    sp->per_morsel.clear();
+    sp->morsel_done.clear();
+    sp->has_morsels = false;
+  }
+
   // A core's fused chain (with its resident broadcast hash tables) is
   // built lazily on the first morsel the core pulls and reused for the
   // rest: the build cost is paid once per participating core, exactly
@@ -662,8 +704,9 @@ Status PipelineStep::Execute(ExecEnv& env) const {
   std::vector<CoreChain> chains(static_cast<size_t>(num_cores));
 
   dpu::WorkQueue queue(std::move(weights), num_cores);
-  RAPID_RETURN_NOT_OK(env.dpu->ParallelForMorsels(
+  const Status loop_status = env.dpu->ParallelForMorsels(
       queue, env.cancel, [&](dpu::DpCore& core, size_t m) -> Status {
+        if (morsel_done[m] != 0) return Status::OK();  // resumed slot
         CoreChain& chain = chains[static_cast<size_t>(core.id())];
         ExecCtx ctx{&core, &env.dpu->dms(), &env.dpu->params(),
                     env.vectorized, env.cancel};
@@ -716,8 +759,26 @@ Status PipelineStep::Execute(ExecEnv& env) const {
                                                  chain.ops.front().get());
           }
         }
+        // High-water mark: the slot holds this morsel's complete
+        // output. Distinct workers write distinct bytes, so the bitmap
+        // needs no synchronization beyond the phase barrier.
+        if (st.ok()) morsel_done[m] = 1;
         return st;
-      }));
+      });
+  if (!loop_status.ok()) {
+    // Checkpoint the completed slots so a retry resumes after the
+    // high-water mark instead of demoting the whole step. Morsels
+    // in flight when the abort landed either finished (their done bit
+    // is set, output complete) or never ran — partially written slots
+    // are never marked done. Cancellation checkpoints nothing.
+    if (sp != nullptr && !loop_status.IsCancellation()) {
+      sp->per_morsel = std::move(per_morsel);
+      sp->morsel_done = std::move(morsel_done);
+      sp->has_morsels = true;
+    }
+    for (int c = 0; c < num_cores; ++c) env.dpu->core(c).dmem().Reset();
+    return loop_status;
+  }
   for (int c = 0; c < num_cores; ++c) env.dpu->core(c).dmem().Reset();
 
   // Join statistics accumulate per chain; sums are assignment-independent.

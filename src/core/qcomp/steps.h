@@ -51,6 +51,31 @@ struct WorkloadCounters {
   uint64_t sorted_rows = 0;
 };
 
+// Mid-step state salvaged from a failed attempt, indexed by step id
+// (ExecEnv::progress). An in-place retry of the same plan resumes
+// from it instead of recomputing:
+//  - PartitionStep keeps completed partition rounds (buckets +
+//    carried hash columns) and restarts at the failed round;
+//  - PipelineStep keeps its morsel-id-indexed output slots plus a
+//    per-morsel done bitmap — the high-water mark — and skips
+//    completed morsels on the next attempt.
+// Both resumes are bit-identical to from-scratch runs because morsel
+// decomposition and round reassembly are deterministic.
+struct StepProgress {
+  PartitionProgress partition;
+  std::vector<ColumnSet> per_morsel;
+  std::vector<uint8_t> morsel_done;  // 1 = slot holds a completed morsel
+  bool has_morsels = false;
+
+  bool empty() const { return partition.empty() && !has_morsels; }
+  void clear() {
+    partition.clear();
+    per_morsel.clear();
+    morsel_done.clear();
+    has_morsels = false;
+  }
+};
+
 struct ExecEnv {
   dpu::Dpu* dpu = nullptr;
   const std::unordered_map<std::string, storage::Table>* catalog = nullptr;
@@ -60,6 +85,15 @@ struct ExecEnv {
   const CancelToken* cancel = nullptr;
   std::vector<StepOutput> outputs;  // indexed by step id
   WorkloadCounters counters;
+  // Checkpoint slots, indexed by step id (null = checkpointing off).
+  // Steps consume their slot on entry and refill it on failure; the
+  // engine moves surviving slots into the query's FragmentCheckpoint.
+  std::vector<StepProgress>* progress = nullptr;
+  // Reuse accounting for the current attempt: partition rounds skipped
+  // via checkpoints and fused-pipeline morsels skipped via resume.
+  // Written single-threaded at step boundaries.
+  uint64_t reused_rounds = 0;
+  uint64_t resumed_morsels = 0;
 };
 
 class PlanStep {
@@ -91,13 +125,18 @@ struct PhysicalPlan {
   std::vector<std::unique_ptr<PlanStep>> steps;
   int root = -1;
 
-  // Logical-subtree path -> id of the step whose (unpartitioned)
-  // output materializes exactly that subtree's rows. Paths are ""
-  // for the root, then one character per level: '0' descends to the
-  // input/left child, '1' to the right. Recorded by the planner,
-  // remapped by pipeline fusion (entries whose step was absorbed into
-  // the middle of a pipeline are dropped). The engine uses this to
-  // return completed-step results to the host fallback on failure.
+  // Logical-subtree path -> id of the step whose output materializes
+  // exactly that subtree's rows. Paths are "" for the root, then one
+  // character per level: '0' descends to the input/left child, '1' to
+  // the right. A path suffixed with "#p" addresses the *partition
+  // rounds* of that subtree's output (join build/probe and high-NDV
+  // group-by partition steps) — partitioned intermediates checkpoint
+  // under these addresses so retries and replans can find them; the
+  // suffix never reaches the host-side path walker. Recorded by the
+  // planner, remapped by pipeline fusion (entries whose step was
+  // absorbed into the middle of a pipeline are dropped). The engine
+  // uses this to key checkpointed fragments for in-place DPU retries,
+  // demotion replans and the host fallback.
   std::vector<std::pair<std::string, int>> subtree_steps;
 
   std::string Describe() const;

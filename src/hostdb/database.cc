@@ -151,6 +151,9 @@ Result<QueryReport> HostDatabase::ExecuteQuery(
     report.rapid_modeled_seconds +=
         placeholders[f]->rapid_stats().modeled_seconds;
     report.reused_fragments += placeholders[f]->reused_fragments();
+    report.reused_rounds += placeholders[f]->reused_rounds();
+    report.resumed_morsels += placeholders[f]->resumed_morsels();
+    report.dpu_retries += placeholders[f]->dpu_retries();
   }
   if (!placeholders.empty()) {
     report.rapid_stats = placeholders[0]->rapid_stats();

@@ -184,7 +184,7 @@ RapidOperator::RapidOperator(core::LogicalPtr fragment,
 
 Status RapidOperator::Start() {
   fallback_reason_ = Status::OK();
-  reused_partials_.clear();
+  fallback_info_ = core::FallbackInfo{};
   reused_fragments_ = 0;
   // Admissibility: every table the fragment touches must have all
   // changes visible at the query SCN already propagated.
@@ -211,7 +211,7 @@ Status RapidOperator::Start() {
     const auto start = std::chrono::steady_clock::now();
     auto result =
         received.ok()
-            ? engine_->Execute(received.value(), options_, &reused_partials_)
+            ? engine_->Execute(received.value(), options_, &fallback_info_)
             : Result<core::QueryResult>(received.status());
     const auto end = std::chrono::steady_clock::now();
     if (result.ok()) {
@@ -236,19 +236,21 @@ Status RapidOperator::Start() {
   }
 
   // Fallback: System-X-only execution of the fragment. Subtrees the
-  // DPU run did complete before failing are injected as materialized
-  // node overrides so the host resumes from them instead of
-  // recomputing (admission denials harvested nothing, so those still
-  // re-execute from scratch).
+  // DPU run did complete before failing (up to and including its
+  // in-place checkpoint retries) are injected as materialized node
+  // overrides so the host resumes from them instead of recomputing
+  // (admission denials harvested nothing, so those still re-execute
+  // from scratch).
   fell_back_ = true;
-  std::stable_sort(reused_partials_.begin(), reused_partials_.end(),
+  std::vector<core::PartialResult>& partials = fallback_info_.partials;
+  std::stable_sort(partials.begin(), partials.end(),
                    [](const core::PartialResult& a,
                       const core::PartialResult& b) {
                      return a.path.size() < b.path.size();
                    });
   std::vector<core::PartialResult> kept;
-  kept.reserve(reused_partials_.size());
-  for (auto& pr : reused_partials_) {
+  kept.reserve(partials.size());
+  for (auto& pr : partials) {
     // Shallowest-first: a subtree under an already-kept ancestor is
     // shadowed by it — the Volcano walk never reaches the deeper node.
     const auto covered = [&kept](const std::string& path) {
@@ -257,13 +259,17 @@ Status RapidOperator::Start() {
       }
       return false;
     };
+    // Checkpoint addresses carrying a '#' marker are partition-round
+    // fragments; the engine flattens reusable ones to plain paths, so
+    // anything still marked has no Volcano counterpart here.
+    if (pr.path.find('#') != std::string::npos) continue;
     if (covered(pr.path)) continue;
     if (ResolvePath(fragment_, pr.path) == nullptr) continue;
     kept.push_back(std::move(pr));
   }
-  reused_partials_ = std::move(kept);
+  partials = std::move(kept);
   NodeOverrides overrides;
-  for (const auto& pr : reused_partials_) {
+  for (const auto& pr : partials) {
     overrides[ResolvePath(fragment_, pr.path)] = &pr.rows;
   }
   reused_fragments_ = overrides.size();

@@ -80,6 +80,14 @@ struct QueryReport {
   // instead of recomputing (0 when nothing fell back or nothing had
   // completed).
   uint64_t reused_fragments = 0;
+  // Fragment-checkpoint accounting summed over the query's RAPID
+  // placeholders (whether or not they ultimately fell back):
+  // partition rounds restored instead of re-executed, fused-pipeline
+  // morsels skipped by mid-step resume, and in-place DPU retries
+  // spent (bounded by RAPID_RETRY_BUDGET / ExecOptions::retry_budget).
+  uint64_t reused_rounds = 0;
+  uint64_t resumed_morsels = 0;
+  uint64_t dpu_retries = 0;
 };
 
 // The RAPID placeholder operator: checks admissibility, triggers
@@ -106,6 +114,21 @@ class RapidOperator : public Iterator {
   // Completed DPU subtree results the host fallback resumed from
   // (materialized-node overrides) instead of recomputing.
   size_t reused_fragments() const { return reused_fragments_; }
+  // Checkpoint accounting for this placeholder's fragment. Valid on
+  // both outcomes: from the engine's stats when the fragment ran on
+  // RAPID, from the engine's FallbackInfo when it fell back.
+  uint64_t reused_rounds() const {
+    return fell_back_ ? fallback_info_.reused_rounds
+                      : rapid_stats_.reused_rounds;
+  }
+  uint64_t resumed_morsels() const {
+    return fell_back_ ? fallback_info_.resumed_morsels
+                      : rapid_stats_.resumed_morsels;
+  }
+  uint64_t dpu_retries() const {
+    return fell_back_ ? fallback_info_.dpu_retries
+                      : rapid_stats_.dpu_retries;
+  }
 
  private:
   core::LogicalPtr fragment_;
@@ -121,9 +144,10 @@ class RapidOperator : public Iterator {
   Status fallback_reason_ = Status::OK();
   double rapid_wall_seconds_ = 0;
   core::ExecutionStats rapid_stats_;
-  // Subtree results completed by the failed DPU run, kept alive while
-  // the Volcano fallback reads them through node overrides.
-  std::vector<core::PartialResult> reused_partials_;
+  // Checkpoint harvest of the failed DPU run: completed subtree
+  // results (kept alive while the Volcano fallback reads them through
+  // node overrides) plus the reuse/retry accounting.
+  core::FallbackInfo fallback_info_;
   size_t reused_fragments_ = 0;
 };
 

@@ -14,15 +14,19 @@
 
 #include <gtest/gtest.h>
 
+#include "common/arena.h"
 #include "common/cancel.h"
 #include "common/fault.h"
 #include "common/rng.h"
+#include "common/simd.h"
 #include "core/engine.h"
 #include "core/ops/join_exec.h"
 #include "core/ops/partition_exec.h"
 #include "dpu/ate.h"
 #include "dpu/dpu.h"
+#include "dpu/work_queue.h"
 #include "hostdb/database.h"
+#include "storage/loader.h"
 #include "hostdb/offload.h"
 #include "tests/test_util.h"
 
@@ -491,6 +495,297 @@ TEST_F(FaultEngineTest, FaultMatrixRecoversOrFallsBackBitIdentical) {
           << " reason=" << report.fallback_reason << ")";
     }
   }
+}
+
+// ---- Fragment checkpointing: round reuse, morsel resume, DPU retry --------
+
+// Counts the injector polls of `site` over one clean run of `fn` by
+// arming the site at probability zero: the slow path runs on every
+// poll but never injects. Descriptor/allocation poll counts are a pure
+// function of the data layout (not of thread timing), so the count
+// pins a deterministic injection point via skip_first.
+template <typename Fn>
+uint64_t CleanPollCount(const char* site, Fn&& fn) {
+  ScopedFaultInjection fi(1);
+  FaultInjector::SiteSpec probe;
+  probe.probability = 0.0;
+  fi.Arm(site, probe);
+  fn();
+  return FaultInjector::Instance().hits(site);
+}
+
+TEST(PartitionFaultTest, RoundFailureResumesFromCompletedRounds) {
+  dpu::Dpu dpu;
+  ColumnSet input = RandomKv(20000, 9, 5000);
+  PartitionScheme scheme;
+  scheme.rounds.push_back(PartitionRound{4, 4});
+  scheme.rounds.push_back(PartitionRound{4, 1});
+
+  ASSERT_OK_AND_ASSIGN(
+      PartitionedData clean,
+      PartitionExec::Execute(dpu, input, {0}, scheme, 256));
+  EXPECT_EQ(clean.rounds, 2);
+
+  const uint64_t polls = CleanPollCount(faults::kDmsPartition, [&] {
+    ASSERT_OK(
+        PartitionExec::Execute(dpu, input, {0}, scheme, 256).status());
+  });
+  ASSERT_GT(polls, 1u);
+
+  // Rounds are barriers, so poll `polls` (the last first-attempt
+  // descriptor) always lands in round 2. Failing it and everything
+  // after exhausts the DMS retry budget and kills the pass with round
+  // 1 fully reassembled.
+  ScopedFaultInjection fi(52);
+  FaultInjector::SiteSpec spec;
+  spec.skip_first = polls - 1;  // unlimited failures from there on
+  fi.Arm(faults::kDmsPartition, spec);
+
+  core::PartitionProgress progress;
+  auto failed = PartitionExec::Execute(dpu, input, {0}, scheme, 256,
+                                       nullptr, &progress);
+  ASSERT_FALSE(failed.ok());
+  EXPECT_TRUE(failed.status().IsRetryExhausted())
+      << failed.status().ToString();
+  ASSERT_EQ(progress.rounds_done, 1);
+  EXPECT_TRUE(progress.CompatibleWith(scheme));
+
+  // Retry with the checkpoint: round 1 is skipped, round 2 re-runs,
+  // and the output is bit-identical to the fault-free pass.
+  FaultInjector::Instance().Disarm(faults::kDmsPartition);
+  ASSERT_OK_AND_ASSIGN(
+      PartitionedData resumed,
+      PartitionExec::Execute(dpu, input, {0}, scheme, 256, nullptr,
+                             &progress));
+  EXPECT_TRUE(progress.empty());  // consumed by the resume
+  EXPECT_EQ(resumed.rounds, 2);
+  EXPECT_EQ(resumed.bits_used, clean.bits_used);
+  ASSERT_EQ(resumed.partitions.size(), clean.partitions.size());
+  for (size_t p = 0; p < clean.partitions.size(); ++p) {
+    EXPECT_EQ(SortedRows(resumed.partitions[p]),
+              SortedRows(clean.partitions[p]))
+        << "partition " << p;
+  }
+}
+
+TEST(PartitionFaultTest, PoolAcquireFaultSurfacesAndReleasesScratch) {
+  // Fresh DPU: cold tile pools, so the first partition scratch acquire
+  // takes the would-allocate path that polls the fault point.
+  dpu::Dpu dpu;
+  ColumnSet input = RandomKv(4000, 11, 500);
+  PartitionScheme scheme;
+  scheme.rounds.push_back(PartitionRound{8, 1});
+
+  ScopedFaultInjection fi(72);
+  FaultInjector::SiteSpec spec;
+  spec.code = StatusCode::kOutOfMemory;
+  spec.max_failures = 1;
+  fi.Arm(faults::kPoolAcquire, spec);
+
+  auto result = PartitionExec::Execute(dpu, input, {0}, scheme, 256);
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsOutOfMemory()) << result.status().ToString();
+  EXPECT_EQ(FaultInjector::Instance().failures(faults::kPoolAcquire), 1u);
+
+  // Every scratch handle acquired before the failure was returned.
+  TilePoolStats stats;
+  for (int c = 0; c < dpu.num_cores(); ++c) {
+    stats.Accumulate(dpu.core(c).pool().stats());
+  }
+  EXPECT_EQ(stats.outstanding(), 0u);
+
+  // The fault is spent: the same pass now succeeds.
+  FaultInjector::Instance().Disarm(faults::kPoolAcquire);
+  ASSERT_OK(PartitionExec::Execute(dpu, input, {0}, scheme, 256).status());
+}
+
+TEST(PartitionFaultTest, MidSplitFailureReleasesEarlierScratchHandles) {
+  // Fail the *third* scratch acquire of the pass: whichever unit draws
+  // it is already holding two pooled buffers, so this exercises the
+  // unwind with live handles mid-SplitRange.
+  dpu::Dpu dpu;
+  ColumnSet input = RandomKv(4000, 13, 500);
+  PartitionScheme scheme;
+  scheme.rounds.push_back(PartitionRound{8, 1});
+
+  ScopedFaultInjection fi(73);
+  FaultInjector::SiteSpec spec;
+  spec.code = StatusCode::kOutOfMemory;
+  spec.skip_first = 2;
+  spec.max_failures = 1;
+  fi.Arm(faults::kPoolAcquire, spec);
+
+  auto result = PartitionExec::Execute(dpu, input, {0}, scheme, 256);
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsOutOfMemory()) << result.status().ToString();
+
+  TilePoolStats stats;
+  for (int c = 0; c < dpu.num_cores(); ++c) {
+    stats.Accumulate(dpu.core(c).pool().stats());
+  }
+  EXPECT_EQ(stats.outstanding(), 0u);
+}
+
+TEST(PartitionFaultTest, CancelDuringPartitionReleasesPoolAndSavesNothing) {
+  dpu::Dpu dpu;
+  ColumnSet input = RandomKv(4000, 12, 500);
+  PartitionScheme scheme;
+  scheme.rounds.push_back(PartitionRound{4, 1});
+  scheme.rounds.push_back(PartitionRound{4, 1});
+
+  CancelToken token;
+  token.Cancel();
+  core::PartitionProgress progress;
+  auto result = PartitionExec::Execute(dpu, input, {0}, scheme, 256, &token,
+                                       &progress);
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsCancelled()) << result.status().ToString();
+  // A killed query is abandoned, not retried: no checkpoint, and all
+  // pooled scratch back in the free lists (the ASan job leak-checks
+  // this test on top of the gauge).
+  EXPECT_TRUE(progress.empty());
+  TilePoolStats stats;
+  for (int c = 0; c < dpu.num_cores(); ++c) {
+    stats.Accumulate(dpu.core(c).pool().stats());
+  }
+  EXPECT_EQ(stats.outstanding(), 0u);
+}
+
+// The reuse acceptance matrix: inject a failure after the partition
+// rounds complete and require (a) an in-place DPU retry within budget,
+// (b) completed rounds restored instead of re-executed, and (c) rows
+// bit-identical to the fault-free run — across 3 injector seeds, both
+// schedulers and every supported SIMD tier.
+TEST_F(FaultEngineTest, ReuseMatrixRestoresRoundsBitIdenticalAcrossModes) {
+  ExecOptions options;
+  options.planner.enable_fusion = false;  // partitioned join plan
+  options.retry_budget = 2;
+
+  ASSERT_OK_AND_ASSIGN(QueryReport clean,
+                       host_.ExecuteQuery(JoinPlan(), &engine_, options));
+  ASSERT_FALSE(clean.fell_back);
+  const auto clean_rows = SortedRows(clean.rows);
+
+  const uint64_t seeds[] = {101, 202, 303};
+  for (int lvl = 0; lvl <= static_cast<int>(SimdLevelSupported()); ++lvl) {
+    for (dpu::SchedMode mode :
+         {dpu::SchedMode::kStatic, dpu::SchedMode::kMorsel}) {
+      const SimdLevel prev_lvl = ForceSimdLevel(static_cast<SimdLevel>(lvl));
+      const dpu::SchedMode prev_mode = dpu::ForceSchedMode(mode);
+
+      const uint64_t polls = CleanPollCount(faults::kDmsPartition, [&] {
+        auto r = host_.ExecuteQuery(JoinPlan(), &engine_, options);
+        ASSERT_OK(r.status());
+      });
+      ASSERT_GT(polls, 0u);
+
+      for (uint64_t seed : seeds) {
+        ScopedFaultInjection fi(seed);
+        FaultInjector::SiteSpec spec;
+        spec.skip_first = polls - 1;
+        // Exactly the DMS descriptor budget: the last partition unit
+        // exhausts its in-DMS retries (one engine-level transient
+        // failure), then the fragment retry runs clean.
+        spec.max_failures = 4;
+        fi.Arm(faults::kDmsPartition, spec);
+
+        auto result = host_.ExecuteQuery(JoinPlan(), &engine_, options);
+        ASSERT_TRUE(result.ok())
+            << result.status().ToString() << " simd=" << lvl
+            << " sched=" << dpu::SchedModeName(mode) << " seed=" << seed;
+        const QueryReport& report = result.value();
+        EXPECT_FALSE(report.fell_back) << report.fallback_reason;
+        EXPECT_EQ(report.dpu_retries, 1u)
+            << "simd=" << lvl << " sched=" << dpu::SchedModeName(mode)
+            << " seed=" << seed;
+        // At minimum the other side's completed partition rounds were
+        // restored from the checkpoint instead of re-partitioned.
+        EXPECT_GE(report.reused_rounds, 1u);
+        EXPECT_EQ(SortedRows(report.rows), clean_rows)
+            << "simd=" << lvl << " sched=" << dpu::SchedModeName(mode)
+            << " seed=" << seed;
+      }
+      dpu::ForceSchedMode(prev_mode);
+      ForceSimdLevel(prev_lvl);
+    }
+  }
+}
+
+TEST_F(FaultEngineTest, PersistentPipelineFaultFallsBackWithMorselResume) {
+  // Many-chunk fact table: the fused probe pipeline gets one morsel
+  // per chunk, so a late fault leaves plenty of completed morsels.
+  storage::LoadOptions geometry;
+  geometry.rows_per_chunk = 64;
+  auto [specs, data] = TableData(6400);
+  ASSERT_OK(host_.CreateTable("bigt", specs, data, geometry));
+  ASSERT_OK(host_.LoadToRapid("bigt", &engine_));
+  LogicalPtr plan =
+      LogicalNode::Join(LogicalNode::Scan("bigt", {"id", "v"}),
+                        LogicalNode::Scan("d", {"k", "w"}), {"v"}, {"k"},
+                        {"id", "w"});
+
+  ExecOptions options;
+  options.retry_budget = 2;
+  ASSERT_TRUE(options.planner.enable_fusion);
+
+  ASSERT_OK_AND_ASSIGN(QueryReport clean,
+                       host_.ExecuteQuery(plan, &engine_, options));
+  ASSERT_FALSE(clean.fell_back);
+  const auto clean_rows = SortedRows(clean.rows);
+
+  const uint64_t polls = CleanPollCount(faults::kDmsTransfer, [&] {
+    auto r = host_.ExecuteQuery(plan, &engine_, options);
+    ASSERT_OK(r.status());
+  });
+  ASSERT_GT(polls, 0u);
+
+  // Unlimited failures from the last transfer onward: the first
+  // attempt dies on the one morsel owning that transfer (every other
+  // morsel already completed), both in-place retries restore the
+  // completed morsels and die on the same one, and the query falls
+  // back to the host with the resume accounting attached.
+  ScopedFaultInjection fi(61);
+  FaultInjector::SiteSpec spec;
+  spec.skip_first = polls - 1;
+  fi.Arm(faults::kDmsTransfer, spec);
+
+  ASSERT_OK_AND_ASSIGN(QueryReport report,
+                       host_.ExecuteQuery(plan, &engine_, options));
+  EXPECT_TRUE(report.fell_back);
+  EXPECT_EQ(report.dpu_retries, 2u);
+  EXPECT_GE(report.resumed_morsels, 1u);
+  EXPECT_EQ(SortedRows(report.rows), clean_rows);
+}
+
+TEST_F(FaultEngineTest, PoolAcquireFaultGetsInPlaceRetry) {
+  ExecOptions options;
+  options.planner.enable_fusion = false;
+  options.retry_budget = 2;
+  ASSERT_OK_AND_ASSIGN(QueryReport clean,
+                       host_.ExecuteQuery(JoinPlan(), &engine_, options));
+  const auto clean_rows = SortedRows(clean.rows);
+
+  // Fresh engine: cold tile pools, so partition scratch acquires take
+  // the would-allocate path that polls pool.acquire.
+  core::RapidEngine cold{dpu::DpuConfig{}};
+  ASSERT_OK(host_.LoadToRapid("t", &cold));
+  ASSERT_OK(host_.LoadToRapid("d", &cold));
+
+  ScopedFaultInjection fi(71);
+  FaultInjector::SiteSpec spec;
+  spec.code = StatusCode::kOutOfMemory;
+  spec.max_failures = 1;
+  fi.Arm(faults::kPoolAcquire, spec);
+
+  ASSERT_OK_AND_ASSIGN(QueryReport report,
+                       host_.ExecuteQuery(JoinPlan(), &cold, options));
+  EXPECT_GT(FaultInjector::Instance().hits(faults::kPoolAcquire), 0u);
+  EXPECT_EQ(FaultInjector::Instance().failures(faults::kPoolAcquire), 1u);
+  // Allocator pressure on an unfused plan is transient: one in-place
+  // retry, no host fallback, same rows.
+  EXPECT_FALSE(report.fell_back) << report.fallback_reason;
+  EXPECT_EQ(report.dpu_retries, 1u);
+  EXPECT_EQ(SortedRows(report.rows), clean_rows);
 }
 
 }  // namespace
