@@ -55,6 +55,27 @@ class BitVector {
     for (auto& w : words_) w = 0;
   }
 
+  // Sets bits [begin, end) in whole-word strokes. The run-level
+  // predicate path emits one span per qualifying run with this; OR-ing
+  // into the (zeroed or partially filled) words keeps earlier spans.
+  void SetRange(size_t begin, size_t end) {
+    RAPID_DCHECK(begin <= end && end <= num_bits_);
+    if (begin >= end) return;
+    const size_t first_word = begin >> 6;
+    const size_t last_word = (end - 1) >> 6;
+    const uint64_t first_mask = ~uint64_t{0} << (begin & 63);
+    const uint64_t last_mask = ~uint64_t{0} >> (63 - ((end - 1) & 63));
+    if (first_word == last_word) {
+      words_[first_word] |= first_mask & last_mask;
+      return;
+    }
+    words_[first_word] |= first_mask;
+    for (size_t w = first_word + 1; w < last_word; ++w) {
+      words_[w] = ~uint64_t{0};
+    }
+    words_[last_word] |= last_mask;
+  }
+
   // Number of set bits.
   size_t CountOnes() const {
     size_t n = 0;

@@ -395,6 +395,11 @@ Result<QueryResult> RapidEngine::ExecutePhysical(const PhysicalPlan& plan,
         dpu_->core(static_cast<int>(c)).arena().stats());
     result.stats.tile_pool.Accumulate(
         dpu_->core(static_cast<int>(c)).pool().stats());
+    const dpu::EncodedScanCounters& enc =
+        dpu_->core(static_cast<int>(c)).encoded_scan();
+    result.stats.encoded_bytes_moved += enc.encoded_bytes;
+    result.stats.plain_bytes_moved += enc.plain_bytes;
+    result.stats.runs_filtered += enc.runs_filtered;
   }
   // Lifetime-counter deltas -> per-query figures (sizes stay absolute).
   result.stats.tile_pool.acquires -= pool_before.acquires;

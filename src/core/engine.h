@@ -85,6 +85,13 @@ struct ExecutionStats {
   // this query had to allocate rather than recycle.
   ArenaStats arena;
   TilePoolStats tile_pool;
+  // Encoded scan path (RAPID_ENCODED_SCAN): bytes the DMS actually
+  // moved as RLE runs, the plain bytes those same tiles would have
+  // cost, and the number of runs whose predicate was decided without
+  // expanding a single row.
+  uint64_t encoded_bytes_moved = 0;
+  uint64_t plain_bytes_moved = 0;
+  uint64_t runs_filtered = 0;
 };
 
 // A completed step's materialized rows, identified by the logical

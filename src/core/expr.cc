@@ -317,14 +317,119 @@ Result<size_t> Bind(const ColumnBinding& binding, const std::string& name) {
   return it->second;
 }
 
-}  // namespace
+// One run's predicate verdict in the column's native type, matching
+// the per-row kernels' constant-cast semantics exactly (the constant
+// truncates to T, comparisons happen in T).
+template <typename T>
+bool RunMatchesTyped(const Predicate& pred, T v) {
+  using primitives::Compare;
+  if (pred.kind == Predicate::Kind::kBetween) {
+    return v >= static_cast<T>(pred.value) && v <= static_cast<T>(pred.value2);
+  }
+  const T c = static_cast<T>(pred.value);
+  switch (pred.op) {
+    case CmpOp::kEq:
+      return Compare<CmpOp::kEq, T>(v, c);
+    case CmpOp::kNe:
+      return Compare<CmpOp::kNe, T>(v, c);
+    case CmpOp::kLt:
+      return Compare<CmpOp::kLt, T>(v, c);
+    case CmpOp::kLe:
+      return Compare<CmpOp::kLe, T>(v, c);
+    case CmpOp::kGt:
+      return Compare<CmpOp::kGt, T>(v, c);
+    case CmpOp::kGe:
+      return Compare<CmpOp::kGe, T>(v, c);
+  }
+  return false;
+}
 
-Status EvalPredicate(ExecCtx& ctx, const Tile& tile,
-                     const ColumnBinding& binding, const Predicate& pred,
-                     BitVector* out) {
+bool RunMatches(const TileColumn& col, const Predicate& pred, size_t r) {
+  using storage::DataType;
+  if (pred.kind == Predicate::Kind::kInSet) {
+    // Mirrors FilterDictSetBv / the widened membership probe.
+    if (col.type == DataType::kDictCode) {
+      const uint32_t code =
+          reinterpret_cast<const uint32_t*>(col.run_values)[r];
+      return code < pred.in_set.size() && pred.in_set.Test(code);
+    }
+    int64_t v = 0;
+    switch (col.type) {
+      case DataType::kInt8:
+        v = reinterpret_cast<const int8_t*>(col.run_values)[r];
+        break;
+      case DataType::kInt16:
+        v = reinterpret_cast<const int16_t*>(col.run_values)[r];
+        break;
+      case DataType::kInt32:
+      case DataType::kDate:
+        v = reinterpret_cast<const int32_t*>(col.run_values)[r];
+        break;
+      default:
+        v = reinterpret_cast<const int64_t*>(col.run_values)[r];
+        break;
+    }
+    return v >= 0 && static_cast<uint64_t>(v) < pred.in_set.size() &&
+           pred.in_set.Test(static_cast<size_t>(v));
+  }
+  switch (col.type) {
+    case DataType::kInt8:
+      return RunMatchesTyped<int8_t>(
+          pred, reinterpret_cast<const int8_t*>(col.run_values)[r]);
+    case DataType::kInt16:
+      return RunMatchesTyped<int16_t>(
+          pred, reinterpret_cast<const int16_t*>(col.run_values)[r]);
+    case DataType::kInt32:
+    case DataType::kDate:
+      return RunMatchesTyped<int32_t>(
+          pred, reinterpret_cast<const int32_t*>(col.run_values)[r]);
+    case DataType::kDictCode:
+      return RunMatchesTyped<uint32_t>(
+          pred, reinterpret_cast<const uint32_t*>(col.run_values)[r]);
+    case DataType::kInt64:
+    case DataType::kDecimal:
+      return RunMatchesTyped<int64_t>(
+          pred, reinterpret_cast<const int64_t*>(col.run_values)[r]);
+  }
+  return false;
+}
+
+// `run_level` (optional) reports whether the run-level short circuit
+// fired, so RefinePredicate knows the charge was already run-based and
+// skips its subset re-charge.
+Status EvalPredicateImpl(ExecCtx& ctx, const Tile& tile,
+                         const ColumnBinding& binding, const Predicate& pred,
+                         BitVector* out, bool* run_level) {
   const size_t n = tile.rows;
   RAPID_ASSIGN_OR_RETURN(size_t ci, Bind(binding, pred.column));
   const TileColumn& col = tile.columns[ci];
+
+  // Run-level short circuit (encoded scan path): when the accessor
+  // staged this tile's RLE runs, single-column predicates evaluate
+  // once per run and emit whole bit-vector spans — no expanded-row
+  // reads at all. The spans reproduce the per-row kernels bit for bit;
+  // only the modeled charge changes (per run + per output word).
+  if (col.num_runs > 0 && pred.kind != Predicate::Kind::kCmpCol) {
+    out->Resize(n);
+    size_t row = 0;
+    for (size_t r = 0; r < col.num_runs; ++r) {
+      const uint32_t len = col.run_lengths[r];
+      if (len != 0 && RunMatches(col, pred, r)) {
+        out->SetRange(row, row + len);
+      }
+      row += len;
+    }
+    double cycles = ctx.params->filter_cycles_per_row /
+                    ctx.params->simd.filter *
+                    (static_cast<double>(col.num_runs) +
+                     static_cast<double>(n) / 64.0);
+    if (pred.kind == Predicate::Kind::kBetween) cycles *= 2;
+    ctx.ChargeCompute(cycles);
+    ctx.ChargeVectorizationPenalty(col.num_runs);
+    ctx.core->encoded_scan().runs_filtered += col.num_runs;
+    if (run_level != nullptr) *run_level = true;
+    return Status::OK();
+  }
 
   double cycles = ctx.params->filter_cycles_per_row / ctx.params->simd.filter *
                   static_cast<double>(n);
@@ -410,6 +515,14 @@ Status EvalPredicate(ExecCtx& ctx, const Tile& tile,
   return Status::OK();
 }
 
+}  // namespace
+
+Status EvalPredicate(ExecCtx& ctx, const Tile& tile,
+                     const ColumnBinding& binding, const Predicate& pred,
+                     BitVector* out) {
+  return EvalPredicateImpl(ctx, tile, binding, pred, out, nullptr);
+}
+
 Status RefinePredicate(ExecCtx& ctx, const Tile& tile,
                        const ColumnBinding& binding, const Predicate& pred,
                        const BitVector& in, BitVector* out) {
@@ -418,12 +531,18 @@ Status RefinePredicate(ExecCtx& ctx, const Tile& tile,
   // predicate and intersect; the cycle charge reflects the subset.
   const size_t qualifying = in.CountOnes();
   BitVector full;
-  RAPID_RETURN_NOT_OK(EvalPredicate(ctx, tile, binding, pred, &full));
+  bool run_level = false;
+  RAPID_RETURN_NOT_OK(
+      EvalPredicateImpl(ctx, tile, binding, pred, &full, &run_level));
   // Undo the full-tile charge and re-charge only the gathered rows.
-  ctx.ChargeCompute(ctx.params->filter_cycles_per_row /
-                    ctx.params->simd.filter *
-                    (static_cast<double>(qualifying) -
-                     static_cast<double>(tile.rows)));
+  // The run-level path already charged per run (cheaper than either
+  // side of this adjustment), so leave its charge alone.
+  if (!run_level) {
+    ctx.ChargeCompute(ctx.params->filter_cycles_per_row /
+                      ctx.params->simd.filter *
+                      (static_cast<double>(qualifying) -
+                       static_cast<double>(tile.rows)));
+  }
   *out = full;
   out->And(in);
   return Status::OK();

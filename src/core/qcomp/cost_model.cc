@@ -6,8 +6,8 @@
 namespace rapid::core {
 
 double CostEstimator::ScanSeconds(size_t rows, size_t row_bytes,
-                                  size_t num_predicates,
-                                  double selectivity) const {
+                                  size_t num_predicates, double selectivity,
+                                  double compression_ratio) const {
   const double r = static_cast<double>(rows);
   // First predicate scans everything; later ones scan survivors. The
   // filter primitive is SIMD dispatched, so the per-row rate divides
@@ -19,8 +19,13 @@ double CostEstimator::ScanSeconds(size_t rows, size_t row_bytes,
   for (size_t p = 1; p < num_predicates; ++p) {
     compute += filter_rate * surviving;
   }
-  const double transfer =
-      r * static_cast<double>(row_bytes) / params_.dram_bytes_per_cycle;
+  const double ratio = std::max(1.0, compression_ratio);
+  if (ratio > 1.0) {
+    // Encoded tiles expand in DMEM before the filters run.
+    compute += params_.rle_decode_cycles_per_row / params_.simd.rle * r;
+  }
+  const double transfer = r * static_cast<double>(row_bytes) / ratio /
+                          params_.dram_bytes_per_cycle;
   return PerCore(std::max(compute, transfer));
 }
 

@@ -37,9 +37,12 @@ class CostEstimator {
   // Scan + filter over `rows` rows of `row_bytes` each with
   // `num_predicates` conjuncts at `selectivity` combined selectivity:
   // transfer and compute overlap (double buffering), work spread over
-  // all cores.
+  // all cores. `compression_ratio` (plain bytes / encoded bytes, >= 1)
+  // models the encoded scan path: the DMS moves row_bytes /
+  // compression_ratio and the cores pay the RLE expansion rate on top
+  // of the filter.
   double ScanSeconds(size_t rows, size_t row_bytes, size_t num_predicates,
-                     double selectivity) const;
+                     double selectivity, double compression_ratio = 1.0) const;
 
   // Partitioned hash join: `rounds` partition passes over both inputs
   // plus build and probe kernels.

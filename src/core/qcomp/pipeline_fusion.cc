@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "core/qcomp/task_formation.h"
+#include "storage/encoding_stack.h"
 
 namespace rapid::core {
 
@@ -46,11 +47,13 @@ struct Desc {
 class Fuser {
  public:
   Fuser(PhysicalPlan plan, const dpu::DpuConfig& config, size_t max_build_rows,
-        const dpu::CostParams& params)
+        const dpu::CostParams& params,
+        const std::unordered_map<std::string, storage::Table>* catalog)
       : plan_(std::move(plan)),
         config_(config),
         max_build_rows_(max_build_rows),
         params_(params),
+        catalog_(catalog),
         old_to_new_(plan_.steps.size(), -1),
         consumers_(plan_.steps.size(), 0) {}
 
@@ -65,6 +68,7 @@ class Fuser {
   const dpu::DpuConfig& config_;
   const size_t max_build_rows_;
   const dpu::CostParams& params_;
+  const std::unordered_map<std::string, storage::Table>* catalog_;
 
   PhysicalPlan out_;
   std::vector<int> old_to_new_;
@@ -80,8 +84,33 @@ bool Fuser::ChainFitsDmem(const Desc& desc,
   std::vector<OpProfile> profiles;
   const size_t src_cols =
       desc.table.empty() ? 4 : std::max<size_t>(1, desc.base_columns.size());
-  profiles.push_back(
-      {"accessor", 64, 2 * 8 * src_cols, 1.0, 8 * src_cols, 0.0});
+  // Encoded scans stage each compressed base column's runs (values +
+  // lengths, double-buffered) alongside the plain tile; the gate must
+  // budget that extra DMEM or fusion could admit a chain the accessor
+  // then degrades to plain transfers.
+  size_t staging_bytes = 0;
+  double decode_rate = 0.0;
+  if (catalog_ != nullptr && !desc.table.empty() &&
+      storage::EncodedScanActive() == storage::EncodedScanMode::kAuto) {
+    auto it = catalog_->find(desc.table);
+    if (it != catalog_->end()) {
+      const storage::Table& t = it->second;
+      for (const std::string& c : desc.base_columns) {
+        auto idx = t.schema().IndexOf(c);
+        if (!idx.ok()) continue;
+        const double ratio = t.stats(idx.value()).compression_ratio;
+        if (ratio <= 1.05) continue;
+        const size_t w =
+            storage::WidthOf(t.schema().field(idx.value()).type);
+        staging_bytes += static_cast<size_t>(
+            2.0 * static_cast<double>(w) / ratio + 1.0);
+        decode_rate +=
+            params_.rle_decode_cycles_per_row / params_.simd.rle;
+      }
+    }
+  }
+  profiles.push_back({"accessor", 64, 2 * 8 * src_cols + staging_bytes, 1.0,
+                      8 * src_cols, decode_rate});
 
   // Per-row compute rates reflect the dispatched SIMD kernels so the
   // gate's formation profiles match what execution will charge.
@@ -352,11 +381,11 @@ Result<PhysicalPlan> Fuser::Run() {
 
 }  // namespace
 
-Result<PhysicalPlan> FusePipelines(PhysicalPlan plan,
-                                   const dpu::DpuConfig& config,
-                                   size_t max_build_rows,
-                                   const dpu::CostParams& params) {
-  Fuser fuser(std::move(plan), config, max_build_rows, params);
+Result<PhysicalPlan> FusePipelines(
+    PhysicalPlan plan, const dpu::DpuConfig& config, size_t max_build_rows,
+    const dpu::CostParams& params,
+    const std::unordered_map<std::string, storage::Table>* catalog) {
+  Fuser fuser(std::move(plan), config, max_build_rows, params, catalog);
   return fuser.Run();
 }
 

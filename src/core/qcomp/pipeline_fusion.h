@@ -22,9 +22,13 @@
 #ifndef RAPID_CORE_QCOMP_PIPELINE_FUSION_H_
 #define RAPID_CORE_QCOMP_PIPELINE_FUSION_H_
 
+#include <string>
+#include <unordered_map>
+
 #include "core/qcomp/steps.h"
 #include "dpu/config.h"
 #include "dpu/cost_model.h"
+#include "storage/table.h"
 
 namespace rapid::core {
 
@@ -32,11 +36,13 @@ namespace rapid::core {
 // `max_build_rows` gates broadcast-probe fusion; 0 disables probe
 // fusion but still fuses scan/filter/project chains. `params` supplies
 // the per-row rates (including SIMD throughput multipliers) used in
-// the gate's task-formation profiles.
-Result<PhysicalPlan> FusePipelines(PhysicalPlan plan,
-                                   const dpu::DpuConfig& config,
-                                   size_t max_build_rows,
-                                   const dpu::CostParams& params);
+// the gate's task-formation profiles. `catalog` (optional) lets the
+// gate budget DMEM for the encoded scan path's run-staging buffers on
+// compressed base columns; without it the gate assumes plain tiles.
+Result<PhysicalPlan> FusePipelines(
+    PhysicalPlan plan, const dpu::DpuConfig& config, size_t max_build_rows,
+    const dpu::CostParams& params,
+    const std::unordered_map<std::string, storage::Table>* catalog = nullptr);
 
 }  // namespace rapid::core
 

@@ -6,6 +6,7 @@
 #include "core/qcomp/partition_scheme.h"
 #include "core/qcomp/pipeline_fusion.h"
 #include "core/qcomp/task_formation.h"
+#include "storage/encoding_stack.h"
 
 namespace rapid::core {
 
@@ -100,8 +101,41 @@ Result<Planner::Lowered> Planner::LowerScan(
   }
   const storage::Table& table = it->second;
 
-  // Estimate and order predicates most-selective-first.
+  // Code-space rewrite: a dictionary membership set whose qualifying
+  // codes form one contiguous range becomes a native range (or
+  // equality) predicate on the code column. The rewritten predicate is
+  // exactly equivalent to the bitmap probe but runs as a width-typed
+  // comparison kernel — and, under encoded scans, short-circuits at
+  // run level — so string columns never decode on the scan path.
   std::vector<Predicate> preds = node.predicates;
+  for (Predicate& p : preds) {
+    if (p.kind != Predicate::Kind::kInSet) continue;
+    auto col = table.schema().IndexOf(p.column);
+    if (!col.ok() || table.schema().field(col.value()).type !=
+                         storage::DataType::kDictCode) {
+      continue;
+    }
+    int64_t lo = -1;
+    int64_t hi = -1;
+    bool contiguous = true;
+    for (size_t i = 0; i < p.in_set.size() && contiguous; ++i) {
+      if (!p.in_set.Test(i)) continue;
+      if (lo < 0) {
+        lo = static_cast<int64_t>(i);
+        hi = lo;
+      } else if (static_cast<int64_t>(i) == hi + 1) {
+        hi = static_cast<int64_t>(i);
+      } else {
+        contiguous = false;
+      }
+    }
+    if (!contiguous || lo < 0) continue;
+    p = lo == hi ? Predicate::CmpConst(p.column, primitives::CmpOp::kEq, lo,
+                                       p.selectivity)
+                 : Predicate::Between(p.column, lo, hi, p.selectivity);
+  }
+
+  // Estimate and order predicates most-selective-first.
   double combined = 1.0;
   for (Predicate& p : preds) {
     auto col = table.schema().IndexOf(p.column);
@@ -139,15 +173,31 @@ Result<Planner::Lowered> Planner::LowerScan(
   }
 
   // Task formation: accessor + filter + project share DMEM; pick the
-  // largest tile the 32 KiB budget allows.
+  // largest tile the 32 KiB budget allows. Under encoded scans,
+  // compressed base columns add their double-buffered run staging
+  // (values + lengths, ~2 x width / ratio bytes per row) to the
+  // accessor's DMEM footprint and an RLE-expansion term to its
+  // per-row compute.
+  const bool encoded = storage::EncodedScanActive() ==
+                       storage::EncodedScanMode::kAuto;
   size_t in_width = 0;
+  size_t staging_width = 0;
+  double decode_rate = 0.0;
   for (const std::string& c : base_cols) {
     RAPID_ASSIGN_OR_RETURN(size_t idx, table.schema().IndexOf(c));
-    in_width += storage::WidthOf(table.schema().field(idx).type);
+    const size_t w = storage::WidthOf(table.schema().field(idx).type);
+    in_width += w;
+    const double ratio = table.stats(idx).compression_ratio;
+    if (encoded && ratio > 1.05) {
+      staging_width += static_cast<size_t>(
+          std::ceil(2.0 * static_cast<double>(w) / ratio));
+      decode_rate +=
+          params_.rle_decode_cycles_per_row / params_.simd.rle;
+    }
   }
   std::vector<OpProfile> profiles;
-  profiles.push_back(
-      OpProfile{"accessor", 64, 2 * in_width, 1.0, in_width, 0.0});
+  profiles.push_back(OpProfile{"accessor", 64, 2 * in_width + staging_width,
+                               1.0, in_width, decode_rate});
   profiles.push_back(OpProfile{
       "filter", 64, 8 * base_cols.size() + 8 /*selection*/, combined,
       8 * base_cols.size(),
@@ -499,7 +549,8 @@ Result<PhysicalPlan> Planner::Plan(const LogicalPtr& root,
       options_.join_dmem_capacity_rows == 0) {
     RAPID_ASSIGN_OR_RETURN(
         plan, FusePipelines(std::move(plan), config_,
-                            options_.fusion_max_build_rows, params_));
+                            options_.fusion_max_build_rows, params_,
+                            &catalog));
   }
   return plan;
 }

@@ -18,6 +18,16 @@ struct TileColumn {
   storage::DataType type = storage::DataType::kInt64;
   int dsb_scale = 0;                // for kDecimal columns
 
+  // Run metadata of the encoded scan path: when the accessor expanded
+  // this tile from DMS-staged RLE runs it leaves the staged (value,
+  // length) arrays visible so predicates can evaluate once per run and
+  // emit whole bit-vector spans. `run_values` holds num_runs packed
+  // native-width values; the lengths sum to exactly the tile's rows.
+  // Zero num_runs means plain data (the common case).
+  const uint8_t* run_values = nullptr;  // DMEM pointer (staging buffer)
+  const uint32_t* run_lengths = nullptr;
+  uint32_t num_runs = 0;
+
   size_t width() const { return storage::WidthOf(type); }
 
   int64_t GetInt(size_t row) const {

@@ -29,6 +29,9 @@ CostParams CostParams::HostCalibrated() {
       // (bench_partition_scatter, fan-out >= 64, where the direct
       // scatter's working set of destination lines overflows L1/L2).
       params.simd.partition_scatter = 1.8;
+      // 256-bit broadcast fill vs the scalar per-row store loop
+      // (bench_encoded_scan; long runs stream at store bandwidth).
+      params.simd.rle = 4.0;
       break;
     case SimdLevel::kSse42:
       // SSE4.2 vectorizes 32/64-bit filters (4 lanes) and runs the
@@ -36,6 +39,8 @@ CostParams CostParams::HostCalibrated() {
       // agg/arith/partition-map inherit scalar kernels.
       params.simd.filter = 3.0;
       params.simd.hash = 7.5;
+      // 128-bit broadcast fill covers only the 4/8-byte widths.
+      params.simd.rle = 2.0;
       break;
     case SimdLevel::kScalar:
       break;

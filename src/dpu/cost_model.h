@@ -67,6 +67,11 @@ struct CostParams {
   double hash_cycles_per_row = 2.0;
   // Aggregation update (sum/min/max/count) per aggregate column.
   double agg_cycles_per_row = 2.0;
+  // RLE expansion of an encoded column into the DMEM tile: a per-row
+  // broadcast-store charge plus a per-run loop-restart charge (runs
+  // dominate on poorly compressed data, rows on well compressed).
+  double rle_decode_cycles_per_row = 0.25;
+  double rle_decode_cycles_per_run = 4.0;
   // Hash-table group-by update (bucket find + aggregate update).
   double groupby_cycles_per_row = 12.0;
 
@@ -114,6 +119,7 @@ struct CostParams {
     double hash = 1.0;
     double partition_map = 1.0;
     double partition_scatter = 1.0;
+    double rle = 1.0;
   };
   SimdThroughput simd;
 

@@ -13,6 +13,23 @@
 
 namespace rapid::dpu {
 
+// Per-core tallies of the encoded scan path: DMS bytes actually moved
+// for RLE-topped columns vs what the plain representation would have
+// moved, and predicate evaluations short-circuited at run granularity.
+// Summed over cores into ExecutionStats after each fragment.
+struct EncodedScanCounters {
+  uint64_t encoded_bytes = 0;
+  uint64_t plain_bytes = 0;
+  uint64_t runs_filtered = 0;
+
+  void Reset() { *this = EncodedScanCounters{}; }
+  void Merge(const EncodedScanCounters& other) {
+    encoded_bytes += other.encoded_bytes;
+    plain_bytes += other.plain_bytes;
+    runs_filtered += other.runs_filtered;
+  }
+};
+
 class DpCore {
  public:
   DpCore(int id, const DpuConfig& config)
@@ -30,6 +47,8 @@ class DpCore {
   Dmem& dmem() { return dmem_; }
   CycleCounter& cycles() { return cycles_; }
   const CycleCounter& cycles() const { return cycles_; }
+  EncodedScanCounters& encoded_scan() { return encoded_scan_; }
+  const EncodedScanCounters& encoded_scan() const { return encoded_scan_; }
 
   // Tile-local scratch memory. Only the worker currently executing
   // this core's morsel may touch either. The arena is never Reset()
@@ -46,6 +65,7 @@ class DpCore {
   int macro_id_;
   Dmem dmem_;
   CycleCounter cycles_;
+  EncodedScanCounters encoded_scan_;
   Arena arena_;
   TileBufferPool pool_;
 };

@@ -167,6 +167,7 @@ void Dpu::ResetCores() {
   for (auto& core : cores_) {
     core->cycles().Reset();
     core->dmem().Reset();
+    core->encoded_scan().Reset();
   }
   imbalance_ = ImbalanceStats{};
   last_phase_imbalance_ = ImbalanceStats{};

@@ -3,6 +3,8 @@
 #include <chrono>
 #include <memory>
 
+#include "storage/encoding_stack.h"
+
 namespace rapid::hostdb {
 
 void HostDatabase::StartBackgroundCheckpointer(
@@ -90,6 +92,10 @@ Status HostDatabase::LoadToRapid(const std::string& name,
   for (size_t c = 0; c < host->schema().num_fields(); ++c) {
     copy.stats(c).dsb_scale = host->stats(c).dsb_scale;
   }
+  // The verbatim chunk copy above mutated the freshly loaded vectors,
+  // so the load-time transfer representations are stale: rebuild them
+  // (and the compression-ratio stats) from the up-to-date contents.
+  (void)storage::BuildTableEncodings(&copy);
   return engine->Load(std::move(copy));
 }
 
@@ -154,6 +160,9 @@ Result<QueryReport> HostDatabase::ExecuteQuery(
     report.reused_rounds += placeholders[f]->reused_rounds();
     report.resumed_morsels += placeholders[f]->resumed_morsels();
     report.dpu_retries += placeholders[f]->dpu_retries();
+    report.encoded_bytes_moved += placeholders[f]->encoded_bytes_moved();
+    report.plain_bytes_moved += placeholders[f]->plain_bytes_moved();
+    report.runs_filtered += placeholders[f]->runs_filtered();
   }
   if (!placeholders.empty()) {
     report.rapid_stats = placeholders[0]->rapid_stats();

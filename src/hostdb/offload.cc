@@ -5,6 +5,7 @@
 #include <functional>
 
 #include "core/qcomp/plan_serde.h"
+#include "storage/encoding_stack.h"
 
 namespace rapid::hostdb {
 
@@ -44,9 +45,26 @@ double OffloadPlanner::EstimateRapidSeconds(
     case Kind::kScan: {
       auto it = catalog.find(plan->table);
       const size_t rows = it == catalog.end() ? 0 : it->second.num_rows();
+      // Width-weighted compression ratio of the scanned table: under
+      // encoded scans the DMS moves the encoded bytes, so the offload
+      // comparison credits RAPID with the smaller transfer.
+      double ratio = 1.0;
+      if (it != catalog.end() &&
+          storage::EncodedScanActive() == storage::EncodedScanMode::kAuto) {
+        const storage::Table& t = it->second;
+        double plain = 0.0;
+        double enc = 0.0;
+        for (size_t c = 0; c < t.schema().num_fields(); ++c) {
+          const auto w = static_cast<double>(
+              storage::WidthOf(t.schema().field(c).type));
+          plain += w;
+          enc += w / std::max(1.0, t.stats(c).compression_ratio);
+        }
+        if (enc > 0) ratio = plain / enc;
+      }
       cost += estimator_.ScanSeconds(rows, 8 * std::max<size_t>(
                                                1, plan->columns.size()),
-                                     plan->predicates.size(), 0.5);
+                                     plan->predicates.size(), 0.5, ratio);
       break;
     }
     case Kind::kJoin: {

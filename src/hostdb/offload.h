@@ -88,6 +88,12 @@ struct QueryReport {
   uint64_t reused_rounds = 0;
   uint64_t resumed_morsels = 0;
   uint64_t dpu_retries = 0;
+  // Encoded-scan accounting summed over the RAPID placeholders: bytes
+  // the DMS moved as RLE runs, the plain bytes those tiles would have
+  // cost, and predicate evaluations resolved at run level.
+  uint64_t encoded_bytes_moved = 0;
+  uint64_t plain_bytes_moved = 0;
+  uint64_t runs_filtered = 0;
 };
 
 // The RAPID placeholder operator: checks admissibility, triggers
@@ -128,6 +134,17 @@ class RapidOperator : public Iterator {
   uint64_t dpu_retries() const {
     return fell_back_ ? fallback_info_.dpu_retries
                       : rapid_stats_.dpu_retries;
+  }
+  // Encoded-scan accounting; zero when the fragment fell back (the
+  // host re-execution moves no DMS bytes at all).
+  uint64_t encoded_bytes_moved() const {
+    return fell_back_ ? 0 : rapid_stats_.encoded_bytes_moved;
+  }
+  uint64_t plain_bytes_moved() const {
+    return fell_back_ ? 0 : rapid_stats_.plain_bytes_moved;
+  }
+  uint64_t runs_filtered() const {
+    return fell_back_ ? 0 : rapid_stats_.runs_filtered;
   }
 
  private:

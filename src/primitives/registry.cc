@@ -57,6 +57,11 @@ PrimitiveCatalog::PrimitiveCatalog() {
           op, w, false});
     }
   }
+  for (int w : {1, 2, 4, 8}) {
+    primitives_.push_back(PrimitiveInfo{
+        std::string("rpdmpr_rledec_ub") + std::to_string(w), "rle", "expand",
+        w, false});
+  }
   primitives_.push_back(PrimitiveInfo{"rpdmpr_compute_partition_map",
                                       "partition", "map", 0, false});
   primitives_.push_back(

@@ -55,6 +55,13 @@ ArithKernelTable<T> ScalarArithTable() {
 }
 
 template <typename T>
+RleKernelTable<T> ScalarRleTable() {
+  RleKernelTable<T> t;
+  t.expand = &ScalarRleExpand<T>;
+  return t;
+}
+
+template <typename T>
 HashKernelTable<T> ScalarHashTable() {
   HashKernelTable<T> t;
   t.tile = &ScalarHashTile<T>;
@@ -146,6 +153,11 @@ const HashKernelTable<T>& hash_kernels() {
   return ActiveTable<HashKernelTable<T>>(&ScalarHashTable<T>);
 }
 
+template <typename T>
+const RleKernelTable<T>& rle_kernels() {
+  return ActiveTable<RleKernelTable<T>>(&ScalarRleTable<T>);
+}
+
 const PartitionKernelTable& partition_kernels() {
   return ActiveTable<PartitionKernelTable>(&ScalarPartitionTable);
 }
@@ -154,7 +166,8 @@ const PartitionKernelTable& partition_kernels() {
   template const FilterKernelTable<T>& filter_kernels<T>();    \
   template const AggKernelTable<T>& agg_kernels<T>();          \
   template const ArithKernelTable<T>& arith_kernels<T>();      \
-  template const HashKernelTable<T>& hash_kernels<T>();
+  template const HashKernelTable<T>& hash_kernels<T>();   \
+  template const RleKernelTable<T>& rle_kernels<T>();
 RAPID_SIMD_FOR_EACH_TYPE(RAPID_SIMD_INSTANTIATE)
 #undef RAPID_SIMD_INSTANTIATE
 
@@ -186,6 +199,15 @@ SimdLevel ResolvedLevel(std::string_view family, int width) {
   if (family == "partition") {
     if (lvl >= static_cast<int>(SimdLevel::kAvx2)) return SimdLevel::kAvx2;
     if (lvl >= static_cast<int>(SimdLevel::kSse42)) return SimdLevel::kSse42;
+    return SimdLevel::kScalar;
+  }
+  if (family == "rle") {
+    // Broadcast-fill expansion: AVX2 covers all widths, SSE4.2 only
+    // the 4/8-byte splats.
+    if (lvl >= static_cast<int>(SimdLevel::kAvx2)) return SimdLevel::kAvx2;
+    if (lvl >= static_cast<int>(SimdLevel::kSse42) && width >= 4) {
+      return SimdLevel::kSse42;
+    }
     return SimdLevel::kScalar;
   }
   return SimdLevel::kScalar;

@@ -114,6 +114,17 @@ struct ArithKernelTable {
 };
 
 template <typename T>
+struct RleKernelTable {
+  // Expands `num_runs` (value, length) pairs into `out` in run order:
+  // sum(run_lengths) elements, each run's value repeated. The decode
+  // step of an encoded tile transfer — the relation accessor expands
+  // DMS-staged runs into the double-buffered DMEM tile with it.
+  using ExpandFn = void (*)(const T* run_values, const uint32_t* run_lengths,
+                            size_t num_runs, T* out);
+  ExpandFn expand = nullptr;
+};
+
+template <typename T>
 struct HashKernelTable {
   // out[i] = CRC32C(uint64(keys[i])) seeded 0xFFFFFFFF — identical to
   // Crc32U64 at every level (join/partition stability depends on it).
@@ -175,13 +186,15 @@ template <typename T>
 const ArithKernelTable<T>& arith_kernels();
 template <typename T>
 const HashKernelTable<T>& hash_kernels();
+template <typename T>
+const RleKernelTable<T>& rle_kernels();
 const PartitionKernelTable& partition_kernels();
 
 // The level whose kernels a (family, element width) pair actually
 // runs at under the active level — lower tiers shine through where a
 // level has no overlay (e.g. hash resolves to sse42 under avx2, agg
 // of 1/2-byte elements resolves to scalar). Families are the catalog
-// names: "filter", "agg", "arith", "hash", "partition".
+// names: "filter", "agg", "arith", "hash", "partition", "rle".
 SimdLevel ResolvedLevel(std::string_view family, int width);
 
 }  // namespace simd

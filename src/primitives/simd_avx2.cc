@@ -599,6 +599,42 @@ RAPID_AVX2_INSTANTIATE_ARITH(int64_t)
 RAPID_AVX2_INSTANTIATE_ARITH(uint64_t)
 #undef RAPID_AVX2_INSTANTIATE_ARITH
 
+// ---- RLE expansion kernels ------------------------------------------------
+// Broadcast the run value into a 256-bit register once per run, then
+// fill with unaligned stores; rows past the last full vector store
+// scalar. Covers all 8 widths (splat exists at every element size).
+
+template <typename T>
+void RleExpand(const T* run_values, const uint32_t* run_lengths,
+               size_t num_runs, T* out) {
+  constexpr size_t kLane = 32 / sizeof(T);
+  for (size_t r = 0; r < num_runs; ++r) {
+    const T value = run_values[r];
+    const uint32_t length = run_lengths[r];
+    __m256i splat;
+    if constexpr (sizeof(T) == 1) {
+      splat = _mm256_set1_epi8(static_cast<char>(value));
+    } else if constexpr (sizeof(T) == 2) {
+      splat = _mm256_set1_epi16(static_cast<short>(value));
+    } else if constexpr (sizeof(T) == 4) {
+      splat = _mm256_set1_epi32(static_cast<int32_t>(value));
+    } else {
+      splat = _mm256_set1_epi64x(static_cast<int64_t>(value));
+    }
+    size_t i = 0;
+    for (; i + kLane <= length; i += kLane) {
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + i), splat);
+    }
+    for (; i < length; ++i) out[i] = value;
+    out += length;
+  }
+}
+
+#define RAPID_AVX2_INSTANTIATE_RLE(T) \
+  template void RleExpand<T>(const T*, const uint32_t*, size_t, T*);
+RAPID_SIMD_FOR_EACH_TYPE(RAPID_AVX2_INSTANTIATE_RLE)
+#undef RAPID_AVX2_INSTANTIATE_RLE
+
 // ---- Partition kernels ----------------------------------------------------
 
 // (hash >> shift) & mask for 16 rows per iteration, packed to uint16
@@ -790,6 +826,11 @@ void Avx2Overlay(ArithKernelTable<uint16_t>* t) { (void)t; }
 RAPID_SIMD_FOR_EACH_TYPE(RAPID_AVX2_OVERLAY_HASH_NOOP)
 #undef RAPID_AVX2_OVERLAY_HASH_NOOP
 
+#define RAPID_AVX2_OVERLAY_RLE(T) \
+  void Avx2Overlay(RleKernelTable<T>* t) { t->expand = &avx2_impl::RleExpand<T>; }
+RAPID_SIMD_FOR_EACH_TYPE(RAPID_AVX2_OVERLAY_RLE)
+#undef RAPID_AVX2_OVERLAY_RLE
+
 void Avx2Overlay(PartitionKernelTable* t) {
   t->partition_of = &avx2_impl::PartitionOfAvx2;
   t->bucket_indices = &avx2_impl::BucketIndicesAvx2;
@@ -802,7 +843,8 @@ void Avx2Overlay(PartitionKernelTable* t) {
   void Avx2Overlay(FilterKernelTable<T>* t) { (void)t; }  \
   void Avx2Overlay(AggKernelTable<T>* t) { (void)t; }     \
   void Avx2Overlay(ArithKernelTable<T>* t) { (void)t; }   \
-  void Avx2Overlay(HashKernelTable<T>* t) { (void)t; }
+  void Avx2Overlay(HashKernelTable<T>* t) { (void)t; }    \
+  void Avx2Overlay(RleKernelTable<T>* t) { (void)t; }
 RAPID_SIMD_FOR_EACH_TYPE(RAPID_AVX2_OVERLAY_NOOP)
 #undef RAPID_AVX2_OVERLAY_NOOP
 

@@ -33,7 +33,9 @@ namespace rapid::primitives::simd {
   void Sse42Overlay(ArithKernelTable<T>*);  \
   void Avx2Overlay(ArithKernelTable<T>*);   \
   void Sse42Overlay(HashKernelTable<T>*);   \
-  void Avx2Overlay(HashKernelTable<T>*);
+  void Avx2Overlay(HashKernelTable<T>*);    \
+  void Sse42Overlay(RleKernelTable<T>*);    \
+  void Avx2Overlay(RleKernelTable<T>*);
 
 RAPID_SIMD_FOR_EACH_TYPE(RAPID_SIMD_DECLARE_OVERLAYS)
 #undef RAPID_SIMD_DECLARE_OVERLAYS

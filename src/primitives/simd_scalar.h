@@ -133,6 +133,19 @@ static void ScalarHashCombineTile(const T* keys, size_t n, uint32_t* inout) {
   }
 }
 
+// ---- RLE expansion kernels ------------------------------------------------
+
+template <typename T>
+static void ScalarRleExpand(const T* run_values, const uint32_t* run_lengths,
+                            size_t num_runs, T* out) {
+  for (size_t r = 0; r < num_runs; ++r) {
+    const T value = run_values[r];
+    const uint32_t length = run_lengths[r];
+    for (uint32_t i = 0; i < length; ++i) out[i] = value;
+    out += length;
+  }
+}
+
 // ---- Arithmetic kernels ---------------------------------------------------
 
 template <ArithOp op, typename T>

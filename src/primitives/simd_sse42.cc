@@ -230,6 +230,42 @@ RAPID_SSE42_INSTANTIATE_FILTER(int64_t)
 RAPID_SSE42_INSTANTIATE_FILTER(uint64_t)
 #undef RAPID_SSE42_INSTANTIATE_FILTER
 
+// ---- RLE expansion kernels ------------------------------------------------
+// Broadcast the run value into a 128-bit register once per run, then
+// fill with unaligned stores; rows past the last full vector store
+// scalar. Same store order and values as the scalar twin.
+
+template <typename T>
+void RleExpand(const T* run_values, const uint32_t* run_lengths,
+               size_t num_runs, T* out) {
+  constexpr size_t kLane = 16 / sizeof(T);
+  for (size_t r = 0; r < num_runs; ++r) {
+    const T value = run_values[r];
+    const uint32_t length = run_lengths[r];
+    __m128i splat;
+    if constexpr (sizeof(T) == 4) {
+      splat = _mm_set1_epi32(static_cast<int32_t>(value));
+    } else {
+      splat = _mm_set1_epi64x(static_cast<int64_t>(value));
+    }
+    size_t i = 0;
+    for (; i + kLane <= length; i += kLane) {
+      _mm_storeu_si128(reinterpret_cast<__m128i*>(out + i), splat);
+    }
+    for (; i < length; ++i) out[i] = value;
+    out += length;
+  }
+}
+
+template void RleExpand<int32_t>(const int32_t*, const uint32_t*, size_t,
+                                 int32_t*);
+template void RleExpand<uint32_t>(const uint32_t*, const uint32_t*, size_t,
+                                  uint32_t*);
+template void RleExpand<int64_t>(const int64_t*, const uint32_t*, size_t,
+                                 int64_t*);
+template void RleExpand<uint64_t>(const uint64_t*, const uint32_t*, size_t,
+                                  uint64_t*);
+
 // ---- Hash kernels ---------------------------------------------------------
 // One crc32 instruction per 8-byte key; sign-extension of narrower
 // signed keys matches the scalar static_cast<uint64_t>(keys[i]). The
@@ -372,6 +408,22 @@ RAPID_SSE42_OVERLAY_FILTER(uint64_t)
 RAPID_SIMD_FOR_EACH_TYPE(RAPID_SSE42_OVERLAY_REST)
 #undef RAPID_SSE42_OVERLAY_REST
 
+#define RAPID_SSE42_OVERLAY_RLE(T) \
+  void Sse42Overlay(RleKernelTable<T>* t) { t->expand = &sse42_impl::RleExpand<T>; }
+#define RAPID_SSE42_OVERLAY_RLE_NOOP(T) \
+  void Sse42Overlay(RleKernelTable<T>* t) { (void)t; }
+
+RAPID_SSE42_OVERLAY_RLE_NOOP(int8_t)
+RAPID_SSE42_OVERLAY_RLE_NOOP(uint8_t)
+RAPID_SSE42_OVERLAY_RLE_NOOP(int16_t)
+RAPID_SSE42_OVERLAY_RLE_NOOP(uint16_t)
+RAPID_SSE42_OVERLAY_RLE(int32_t)
+RAPID_SSE42_OVERLAY_RLE(uint32_t)
+RAPID_SSE42_OVERLAY_RLE(int64_t)
+RAPID_SSE42_OVERLAY_RLE(uint64_t)
+#undef RAPID_SSE42_OVERLAY_RLE
+#undef RAPID_SSE42_OVERLAY_RLE_NOOP
+
 void Sse42Overlay(PartitionKernelTable* t) { t->histogram = &Histogram4Way; }
 
 #else  // !RAPID_SIMD_X86_64
@@ -380,7 +432,8 @@ void Sse42Overlay(PartitionKernelTable* t) { t->histogram = &Histogram4Way; }
   void Sse42Overlay(FilterKernelTable<T>* t) { (void)t; }  \
   void Sse42Overlay(AggKernelTable<T>* t) { (void)t; }     \
   void Sse42Overlay(ArithKernelTable<T>* t) { (void)t; }   \
-  void Sse42Overlay(HashKernelTable<T>* t) { (void)t; }
+  void Sse42Overlay(HashKernelTable<T>* t) { (void)t; }    \
+  void Sse42Overlay(RleKernelTable<T>* t) { (void)t; }
 RAPID_SIMD_FOR_EACH_TYPE(RAPID_SSE42_OVERLAY_NOOP)
 #undef RAPID_SSE42_OVERLAY_NOOP
 

@@ -13,10 +13,12 @@
 #ifndef RAPID_STORAGE_ENCODING_STACK_H_
 #define RAPID_STORAGE_ENCODING_STACK_H_
 
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "common/status.h"
+#include "storage/encoded_column.h"
 #include "storage/rle.h"
 #include "storage/table.h"
 
@@ -58,7 +60,43 @@ struct ColumnEncodingReport {
 std::vector<ColumnEncodingReport> AnalyzeTableEncodings(const Table& table);
 
 // Materializes the RLE form of a vector (for vectors where RLE won).
+// Splits runs at the vector's native width (no widened row copy).
 RleColumn RleFromVector(const Vector& vector);
+
+// Materializes the chunk-resident transfer representation of one
+// vector: packed native-width run values + 4-byte lengths. Returns
+// null when the encoded form would not move fewer DRAM bytes than the
+// plain array (the vector stays plain).
+std::unique_ptr<EncodedColumn> EncodeVectorRuns(const Vector& vector);
+
+// (Re)builds the per-column encodings of one chunk. Update paths call
+// this after mutating a chunk in place so transfer representations
+// never go stale.
+void BuildChunkEncodings(Chunk* chunk);
+
+// Runs the loader's encoding-selection pass over a whole table:
+// builds every chunk's encodings, stores the per-column compression
+// ratio into ColumnStats and returns the per-column report (the
+// loader logs it once per LOAD).
+std::vector<ColumnEncodingReport> BuildTableEncodings(Table* table);
+
+// ---- Encoded-scan gate -----------------------------------------------------
+//
+// RAPID_ENCODED_SCAN=off|auto (default auto) decides whether the
+// relation accessor ships RLE-topped vectors over the DMS and filters
+// on compressed data. Resolved once at startup and logged; tests pin
+// it in-process via ForceEncodedScan. Both modes are bit-identical —
+// the gate changes bytes moved and modeled cycles, never results.
+
+enum class EncodedScanMode : int { kOff = 0, kAuto = 1 };
+
+// Mode in effect right now: a ForceEncodedScan override if one is
+// active, otherwise the startup resolution of RAPID_ENCODED_SCAN.
+EncodedScanMode EncodedScanActive();
+
+// Overrides the active mode and returns the previously active mode so
+// callers can restore it.
+EncodedScanMode ForceEncodedScan(EncodedScanMode mode);
 
 }  // namespace rapid::storage
 

@@ -1,12 +1,46 @@
 #include "storage/loader.h"
 
 #include <algorithm>
+#include <cstdio>
 
 #include "storage/dsb.h"
+#include "storage/encoding_stack.h"
 
 namespace rapid::storage {
 
 namespace {
+
+// One line per LOAD summarizing the encoding pass (format documented
+// in README): total RLE vector share, table-level byte reduction, and
+// the per-column ratios where RLE actually bit.
+void LogEncodingReport(const std::string& name,
+                       const std::vector<ColumnEncodingReport>& reports) {
+  size_t vectors_total = 0;
+  size_t vectors_rle = 0;
+  size_t plain_bytes = 0;
+  size_t encoded_bytes = 0;
+  for (const ColumnEncodingReport& r : reports) {
+    vectors_total += r.vectors_total;
+    vectors_rle += r.vectors_rle;
+    plain_bytes += r.plain_bytes;
+    encoded_bytes += r.encoded_bytes;
+  }
+  const double ratio = encoded_bytes == 0 ? 1.0
+                                          : static_cast<double>(plain_bytes) /
+                                                static_cast<double>(encoded_bytes);
+  std::fprintf(stderr,
+               "rapid: encodings '%s': %zu/%zu vectors RLE, %zu -> %zu bytes "
+               "(x%.2f)",
+               name.c_str(), vectors_rle, vectors_total, plain_bytes,
+               encoded_bytes, ratio);
+  for (const ColumnEncodingReport& r : reports) {
+    if (r.vectors_rle == 0 || r.encoded_bytes == 0) continue;
+    std::fprintf(stderr, " %s=x%.2f", r.column.c_str(),
+                 static_cast<double>(r.plain_bytes) /
+                     static_cast<double>(r.encoded_bytes));
+  }
+  std::fprintf(stderr, "\n");
+}
 
 size_t RowCountOf(const ColumnSpec& spec, const ColumnData& data) {
   switch (spec.kind) {
@@ -110,6 +144,10 @@ Result<Table> LoadTable(const std::string& name,
   for (size_t c = 0; c < specs.size(); ++c) {
     table.stats(c).dsb_scale = column_scale[c];
   }
+  // Encoding-selection pass (Section 4.2): tops run-heavy vectors
+  // with the chunk-resident RLE transfer representation and records
+  // per-column compression ratios for QComp.
+  LogEncodingReport(name, BuildTableEncodings(&table));
   return table;
 }
 
@@ -136,6 +174,9 @@ Status ApplyRowChange(Table* table, uint64_t row_id,
   for (size_t c = 0; c < values.size(); ++c) {
     target.column(c).SetInt(row, values[c]);
   }
+  // The mutated vectors' transfer representations are stale; rebuild
+  // them so encoded scans keep reading current data.
+  BuildChunkEncodings(&target);
   return Status::OK();
 }
 

@@ -16,6 +16,7 @@
 #include "common/status.h"
 #include "storage/data_type.h"
 #include "storage/dictionary.h"
+#include "storage/encoded_column.h"
 #include "storage/vector.h"
 
 namespace rapid::storage {
@@ -29,6 +30,10 @@ struct ColumnStats {
   // the column. Tiles are rescaled to this scale when read, so
   // arithmetic across chunks operates on a uniform scale.
   int dsb_scale = 0;
+  // plain bytes / encoded bytes across all vectors of the column
+  // (>= 1; 1.0 when every vector stays plain). Set by the loader's
+  // encoding pass; QComp's scan costing and DMEM budgeting read it.
+  double compression_ratio = 1.0;
 };
 
 // A horizontal slice of a table; one Vector per column, all with the
@@ -51,8 +56,23 @@ class Chunk {
   Vector& column(size_t i) { return columns_[i]; }
   const Vector& column(size_t i) const { return columns_[i]; }
 
+  // RLE topping selected per vector by the encoding stack (null when
+  // the vector stays plain). The plain Vector remains the backing
+  // store; the encoding is the DMS-transfer representation. Any
+  // in-place mutation of a column must rebuild or clear its encoding
+  // (BuildChunkEncodings) — the update paths do.
+  const EncodedColumn* encoding(size_t i) const {
+    return i < encodings_.size() ? encodings_[i].get() : nullptr;
+  }
+  void SetEncoding(size_t i, std::unique_ptr<EncodedColumn> encoding) {
+    if (encodings_.size() < columns_.size()) encodings_.resize(columns_.size());
+    encodings_[i] = std::move(encoding);
+  }
+  void ClearEncodings() { encodings_.clear(); }
+
  private:
   std::vector<Vector> columns_;
+  std::vector<std::unique_ptr<EncodedColumn>> encodings_;
 };
 
 // A horizontal partition: an ordered list of chunks.
