@@ -1,0 +1,43 @@
+// Mix64: a SplitMix64-style 64-bit finalizer hash family.
+//
+// The join kernel's bucket placement is derived from Crc32U64
+// (common/crc32.h); any structure shared with it would make Bloom
+// blocks correlate with hash-table buckets and inflate the filter's
+// false-positive rate exactly on the keys that collide in the table.
+// Mix64 is an independent family: the SplitMix64 finalizer is a
+// bijection on 64-bit values with full avalanche (every input bit
+// flips every output bit with probability ~1/2), so the high bits
+// (block selection) and low bits (lane bit positions) are usable as
+// independent hashes.
+
+#ifndef RAPID_COMMON_MIX64_H_
+#define RAPID_COMMON_MIX64_H_
+
+#include <cstdint>
+
+namespace rapid {
+
+// SplitMix64 finalizer (Steele, Lea & Flood; same constants as
+// splitmix64's next()). Bijective on uint64_t.
+inline uint64_t Mix64(uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EB;
+  return x ^ (x >> 31);
+}
+
+// Combines a running hash with the next key component (composite
+// keys). The previous state is multiplied by an odd constant (the
+// xorshift64* multiplier) before mixing in the key, so the combine is
+// order-sensitive — Mix64(prev ^ Mix64(key)) would be symmetric and
+// collide (a, b) with (b, a) — and the trailing finalizer restores
+// full avalanche.
+inline uint64_t Mix64Combine(uint64_t prev, uint64_t key) {
+  // The gamma offset keeps prev == 0 from annihilating the multiply
+  // (combining with an empty state must still differ from Mix64(key)).
+  return Mix64((prev + 0x9E3779B97F4A7C15ull) * 0x2545F4914F6CDD1Dull ^ key);
+}
+
+}  // namespace rapid
+
+#endif  // RAPID_COMMON_MIX64_H_

@@ -400,6 +400,11 @@ Result<QueryResult> RapidEngine::ExecutePhysical(const PhysicalPlan& plan,
     result.stats.encoded_bytes_moved += enc.encoded_bytes;
     result.stats.plain_bytes_moved += enc.plain_bytes;
     result.stats.runs_filtered += enc.runs_filtered;
+    const dpu::JoinFilterCounters& jf =
+        dpu_->core(static_cast<int>(c)).join_filter();
+    result.stats.join_filter_built += jf.filters_built;
+    result.stats.rows_pruned_by_join_filter += jf.rows_pruned;
+    result.stats.filter_bytes += jf.filter_bytes;
   }
   // Lifetime-counter deltas -> per-query figures (sizes stay absolute).
   result.stats.tile_pool.acquires -= pool_before.acquires;

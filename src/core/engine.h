@@ -92,6 +92,12 @@ struct ExecutionStats {
   uint64_t encoded_bytes_moved = 0;
   uint64_t plain_bytes_moved = 0;
   uint64_t runs_filtered = 0;
+  // Join-filter pushdown (RAPID_JOIN_FILTER): Bloom filters built over
+  // build-side keys, probe rows they pruned before partition/probe
+  // work, and the bytes those filters occupied.
+  uint64_t join_filter_built = 0;
+  uint64_t rows_pruned_by_join_filter = 0;
+  uint64_t filter_bytes = 0;
 };
 
 // A completed step's materialized rows, identified by the logical

@@ -6,6 +6,7 @@
 #include "common/arena.h"
 
 #include "common/logging.h"
+#include "primitives/simd.h"
 #include "storage/dsb.h"
 
 namespace rapid::core {
@@ -191,6 +192,17 @@ Predicate Predicate::CmpCol(std::string left, CmpOp op, std::string right,
   return p;
 }
 
+Predicate Predicate::Bloom(std::string column,
+                           const primitives::BlockedBloomFilter* filter,
+                           double selectivity) {
+  Predicate p;
+  p.kind = Kind::kBloom;
+  p.column = std::move(column);
+  p.bloom = filter;
+  p.selectivity = selectivity;
+  return p;
+}
+
 namespace {
 
 // Dispatches a const-comparison filter primitive on (op, width).
@@ -309,6 +321,76 @@ void FilterColColTyped(CmpOp op, const TileColumn& l, const TileColumn& r,
   }
 }
 
+// Dispatches the Bloom probe kernel on the column's physical width.
+// Keys widen through static_cast<uint64_t> of the native element —
+// identical to the build side's widened insert (sign-extension for
+// signed narrow columns, zero-extension for dict codes).
+void BloomProbeDispatch(const TileColumn& col, size_t n,
+                        const primitives::BlockedBloomFilter& filter,
+                        BitVector* out) {
+  using storage::DataType;
+  out->Resize(n);
+  const uint64_t* blocks = filter.blocks();
+  const uint32_t mask = filter.block_mask();
+  uint64_t* words = out->mutable_words();
+  switch (col.type) {
+    case DataType::kInt8:
+      primitives::simd::bloom_kernels<int8_t>().probe_bv(
+          reinterpret_cast<const int8_t*>(col.data), n, blocks, mask, words);
+      break;
+    case DataType::kInt16:
+      primitives::simd::bloom_kernels<int16_t>().probe_bv(
+          reinterpret_cast<const int16_t*>(col.data), n, blocks, mask, words);
+      break;
+    case DataType::kInt32:
+    case DataType::kDate:
+      primitives::simd::bloom_kernels<int32_t>().probe_bv(
+          reinterpret_cast<const int32_t*>(col.data), n, blocks, mask, words);
+      break;
+    case DataType::kDictCode:
+      primitives::simd::bloom_kernels<uint32_t>().probe_bv(
+          reinterpret_cast<const uint32_t*>(col.data), n, blocks, mask, words);
+      break;
+    case DataType::kInt64:
+    case DataType::kDecimal:
+      primitives::simd::bloom_kernels<int64_t>().probe_bv(
+          reinterpret_cast<const int64_t*>(col.data), n, blocks, mask, words);
+      break;
+  }
+}
+
+// One Bloom probe for a whole run, widening the run value exactly as
+// the per-row kernel widens tile elements.
+bool RunMayContain(const TileColumn& col, const Predicate& pred, size_t r) {
+  using storage::DataType;
+  uint64_t key = 0;
+  switch (col.type) {
+    case DataType::kInt8:
+      key = static_cast<uint64_t>(
+          reinterpret_cast<const int8_t*>(col.run_values)[r]);
+      break;
+    case DataType::kInt16:
+      key = static_cast<uint64_t>(
+          reinterpret_cast<const int16_t*>(col.run_values)[r]);
+      break;
+    case DataType::kInt32:
+    case DataType::kDate:
+      key = static_cast<uint64_t>(
+          reinterpret_cast<const int32_t*>(col.run_values)[r]);
+      break;
+    case DataType::kDictCode:
+      key = static_cast<uint64_t>(
+          reinterpret_cast<const uint32_t*>(col.run_values)[r]);
+      break;
+    case DataType::kInt64:
+    case DataType::kDecimal:
+      key = static_cast<uint64_t>(
+          reinterpret_cast<const int64_t*>(col.run_values)[r]);
+      break;
+  }
+  return pred.bloom->MayContain(key);
+}
+
 Result<size_t> Bind(const ColumnBinding& binding, const std::string& name) {
   auto it = binding.find(name);
   if (it == binding.end()) {
@@ -346,6 +428,9 @@ bool RunMatchesTyped(const Predicate& pred, T v) {
 
 bool RunMatches(const TileColumn& col, const Predicate& pred, size_t r) {
   using storage::DataType;
+  if (pred.kind == Predicate::Kind::kBloom) {
+    return RunMayContain(col, pred, r);
+  }
   if (pred.kind == Predicate::Kind::kInSet) {
     // Mirrors FilterDictSetBv / the widened membership probe.
     if (col.type == DataType::kDictCode) {
@@ -419,10 +504,15 @@ Status EvalPredicateImpl(ExecCtx& ctx, const Tile& tile,
       }
       row += len;
     }
-    double cycles = ctx.params->filter_cycles_per_row /
-                    ctx.params->simd.filter *
-                    (static_cast<double>(col.num_runs) +
-                     static_cast<double>(n) / 64.0);
+    double per_row = ctx.params->filter_cycles_per_row /
+                     ctx.params->simd.filter;
+    if (pred.kind == Predicate::Kind::kBloom) {
+      // One mix + block test per run instead of per row.
+      per_row = ctx.params->bloom_probe_cycles_per_row /
+                ctx.params->simd.bloom;
+    }
+    double cycles = per_row * (static_cast<double>(col.num_runs) +
+                               static_cast<double>(n) / 64.0);
     if (pred.kind == Predicate::Kind::kBetween) cycles *= 2;
     ctx.ChargeCompute(cycles);
     ctx.ChargeVectorizationPenalty(col.num_runs);
@@ -436,6 +526,11 @@ Status EvalPredicateImpl(ExecCtx& ctx, const Tile& tile,
   switch (pred.kind) {
     case Predicate::Kind::kCmpConst:
       FilterConstDispatch(col, n, pred.op, pred.value, out);
+      break;
+    case Predicate::Kind::kBloom:
+      BloomProbeDispatch(col, n, *pred.bloom, out);
+      cycles = ctx.params->bloom_probe_cycles_per_row /
+               ctx.params->simd.bloom * static_cast<double>(n);
       break;
     case Predicate::Kind::kBetween:
       FilterBetweenDispatch(col, n, pred.value, pred.value2, out);
@@ -520,7 +615,12 @@ Status EvalPredicateImpl(ExecCtx& ctx, const Tile& tile,
 Status EvalPredicate(ExecCtx& ctx, const Tile& tile,
                      const ColumnBinding& binding, const Predicate& pred,
                      BitVector* out) {
-  return EvalPredicateImpl(ctx, tile, binding, pred, out, nullptr);
+  RAPID_RETURN_NOT_OK(EvalPredicateImpl(ctx, tile, binding, pred, out,
+                                        nullptr));
+  if (pred.kind == Predicate::Kind::kBloom) {
+    ctx.core->join_filter().rows_pruned += tile.rows - out->CountOnes();
+  }
+  return Status::OK();
 }
 
 Status RefinePredicate(ExecCtx& ctx, const Tile& tile,
@@ -538,13 +638,18 @@ Status RefinePredicate(ExecCtx& ctx, const Tile& tile,
   // The run-level path already charged per run (cheaper than either
   // side of this adjustment), so leave its charge alone.
   if (!run_level) {
-    ctx.ChargeCompute(ctx.params->filter_cycles_per_row /
-                      ctx.params->simd.filter *
-                      (static_cast<double>(qualifying) -
-                       static_cast<double>(tile.rows)));
+    const double per_row =
+        pred.kind == Predicate::Kind::kBloom
+            ? ctx.params->bloom_probe_cycles_per_row / ctx.params->simd.bloom
+            : ctx.params->filter_cycles_per_row / ctx.params->simd.filter;
+    ctx.ChargeCompute(per_row * (static_cast<double>(qualifying) -
+                                 static_cast<double>(tile.rows)));
   }
   *out = full;
   out->And(in);
+  if (pred.kind == Predicate::Kind::kBloom) {
+    ctx.core->join_filter().rows_pruned += qualifying - out->CountOnes();
+  }
   return Status::OK();
 }
 

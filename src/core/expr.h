@@ -20,6 +20,7 @@
 #include "core/qef/exec_ctx.h"
 #include "core/qef/tile.h"
 #include "primitives/arith.h"
+#include "primitives/bloom.h"
 #include "primitives/filter.h"
 
 namespace rapid::core {
@@ -78,7 +79,7 @@ Result<int> EvalExpr(ExecCtx& ctx, const Tile& tile,
 // compiler to the column's storage representation (dict codes, day
 // numbers, DSB mantissas at the column scale).
 struct Predicate {
-  enum class Kind { kCmpConst, kBetween, kInSet, kCmpCol };
+  enum class Kind { kCmpConst, kBetween, kInSet, kCmpCol, kBloom };
 
   Kind kind = Kind::kCmpConst;
   std::string column;
@@ -87,6 +88,11 @@ struct Predicate {
   int64_t value2 = 0;  // hi for kBetween (inclusive)
   BitVector in_set;    // kInSet: bitmap over dictionary codes
   std::string column2;  // kCmpCol right-hand column
+
+  // kBloom: pushed-down join filter (sideways information passing).
+  // Not owned; the filter outlives the predicate — it lives with the
+  // join's build output for the duration of the fragment.
+  const primitives::BlockedBloomFilter* bloom = nullptr;
 
   // Planner's selectivity estimate; drives most-selective-first
   // ordering (Section 5.4).
@@ -100,6 +106,9 @@ struct Predicate {
                          double selectivity = 0.5);
   static Predicate CmpCol(std::string left, primitives::CmpOp op,
                           std::string right, double selectivity = 0.5);
+  static Predicate Bloom(std::string column,
+                         const primitives::BlockedBloomFilter* filter,
+                         double selectivity = 0.5);
 };
 
 // Evaluates one predicate over all rows of a tile into `out`

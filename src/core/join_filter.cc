@@ -1,0 +1,54 @@
+#include "core/join_filter.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace rapid::core {
+
+namespace {
+
+// Resolves RAPID_JOIN_FILTER once and logs the choice (mirrors the
+// RAPID_ENCODED_SCAN startup resolution in storage/encoding_stack.cc).
+JoinFilterMode ResolveStartupMode() {
+  JoinFilterMode mode = JoinFilterMode::kAuto;
+  const char* requested = "auto";
+  if (const char* env = std::getenv("RAPID_JOIN_FILTER");
+      env != nullptr && *env) {
+    requested = env;
+    if (std::strcmp(env, "off") == 0) {
+      mode = JoinFilterMode::kOff;
+    } else if (std::strcmp(env, "auto") == 0) {
+      mode = JoinFilterMode::kAuto;
+    } else {
+      std::fprintf(stderr,
+                   "rapid: unknown RAPID_JOIN_FILTER value '%s' "
+                   "(want off|auto); using auto\n",
+                   env);
+    }
+  }
+  std::fprintf(stderr, "rapid: join filters %s (RAPID_JOIN_FILTER=%s)\n",
+               mode == JoinFilterMode::kAuto ? "auto" : "off", requested);
+  return mode;
+}
+
+// -1 encodes "no override"; anything else is a ForceJoinFilter pin.
+std::atomic<int> g_forced_mode{-1};
+
+}  // namespace
+
+JoinFilterMode JoinFilterActive() {
+  const int forced = g_forced_mode.load(std::memory_order_acquire);
+  if (forced >= 0) return static_cast<JoinFilterMode>(forced);
+  static const JoinFilterMode startup = ResolveStartupMode();
+  return startup;
+}
+
+JoinFilterMode ForceJoinFilter(JoinFilterMode mode) {
+  const JoinFilterMode previous = JoinFilterActive();
+  g_forced_mode.store(static_cast<int>(mode), std::memory_order_release);
+  return previous;
+}
+
+}  // namespace rapid::core

@@ -8,6 +8,8 @@
 #include "common/crc32.h"
 #include "common/fault.h"
 #include "common/logging.h"
+#include "core/join_filter.h"
+#include "primitives/bloom.h"
 #include "primitives/join_kernel.h"
 
 namespace rapid::core {
@@ -288,6 +290,39 @@ Status JoinPair(dpu::Dpu& dpu, dpu::DpCore& core, const ColumnSet& build,
     }
   }
 
+  // ---- Join-filter build (RAPID_JOIN_FILTER) ----
+  // Per-pair blocked Bloom filter over ALL build keys — including the
+  // heavy-hitter rows that bypassed the hash table — so a filter miss
+  // guarantees the probe row matches neither the table nor the
+  // broadcast side list. Built after the repartition/recovery blocks
+  // above: every recursion path returns early, so a stale filter can
+  // never survive a repartition (invalidation by construction). The
+  // gate is runtime-only and the bloom code performs no fault polls,
+  // pool acquires or DMEM allocations, keeping fault-injection
+  // ordinals identical in off and auto modes.
+  primitives::BlockedBloomFilter pair_filter;
+  bool use_filter = false;
+  if (spec.build_join_filter && JoinFilterActive() == JoinFilterMode::kAuto &&
+      spec.build_keys.size() == 1 && build_rows > 0 && probe_rows > 0) {
+    const size_t num_blocks = primitives::BlockedBloomFilter::BlocksForNdv(
+        build_rows, core.dmem().capacity() / 4);
+    if (num_blocks > 0) {
+      pair_filter = primitives::BlockedBloomFilter(num_blocks);
+      const std::vector<int64_t>& keys = build.column(spec.build_keys[0]);
+      for (size_t i = 0; i < build_rows; ++i) {
+        pair_filter.Insert(static_cast<uint64_t>(keys[i]));
+      }
+      core.cycles().ChargeCompute(params.bloom_insert_cycles_per_row /
+                                  params.simd.bloom *
+                                  static_cast<double>(build_rows));
+      use_filter = true;
+      ++result->stats.join_filter_built;
+      result->stats.filter_bytes += pair_filter.bytes();
+      core.join_filter().filters_built += 1;
+      core.join_filter().filter_bytes += pair_filter.bytes();
+    }
+  }
+
   // ---- Probe stage ----
   primitives::ProbeStats probe_stats;
   const std::vector<size_t>& pkeys = spec.probe_keys;
@@ -300,30 +335,52 @@ Status JoinPair(dpu::Dpu& dpu, dpu::DpCore& core, const ColumnSet& build,
       heavy_rows.empty() && spec.type != JoinType::kLeftOuter;
   std::vector<uint32_t> tile_hashes;
   std::vector<uint32_t> tile_match_counts;
+  std::vector<uint32_t> keep_idx;
+  std::vector<uint32_t> kept_counts;
   if (batched) {
     tile_hashes.resize(spec.tile_rows);
     tile_match_counts.resize(spec.tile_rows);
+    keep_idx.resize(spec.tile_rows);
+    kept_counts.resize(spec.tile_rows);
   }
   for (size_t start = 0; start < probe_rows; start += spec.tile_rows) {
     RAPID_RETURN_NOT_OK(CancelToken::Check(cancel));
     const size_t rows = std::min(spec.tile_rows, probe_rows - start);
     primitives::ProbeStats tile_stats;
+    size_t tile_pruned = 0;
     if (batched) {
+      // Bloom-prune before hashing: pruned rows keep match_count 0 (so
+      // the anti post-loop still emits them in row order) and drop out
+      // of the ProbeBatch entirely. Kept rows probe in row order, so
+      // inner/semi emission order is identical with the filter off.
+      size_t kept = 0;
       for (size_t i = 0; i < rows; ++i) {
-        tile_hashes[i] = HashRow(probe, pkeys, start + i) >> shift;
+        tile_match_counts[i] = 0;
+        if (use_filter && !pair_filter.MayContain(static_cast<uint64_t>(
+                              probe.Value(start + i, pkeys[0])))) {
+          continue;
+        }
+        keep_idx[kept] = static_cast<uint32_t>(i);
+        tile_hashes[kept] = HashRow(probe, pkeys, start + i) >> shift;
+        ++kept;
       }
+      tile_pruned = rows - kept;
       table.ProbeBatch(
-          tile_hashes.data(), rows,
+          tile_hashes.data(), kept,
           [&](size_t i, size_t brow) {
             return KeysEqual(build, spec.build_keys, brow, probe, pkeys,
-                             start + i);
+                             start + keep_idx[i]);
           },
           [&](size_t i, size_t brow) {
             if (spec.type == JoinType::kInner) {
-              EmitMatch(build, probe, spec, brow, start + i, &result->output);
+              EmitMatch(build, probe, spec, brow, start + keep_idx[i],
+                        &result->output);
             }
           },
-          tile_match_counts.data(), &tile_stats);
+          kept_counts.data(), &tile_stats);
+      for (size_t i = 0; i < kept; ++i) {
+        tile_match_counts[keep_idx[i]] = kept_counts[i];
+      }
       for (size_t i = 0; i < rows; ++i) {
         const uint32_t match_count = tile_match_counts[i];
         if (spec.type == JoinType::kSemi && match_count > 0) {
@@ -336,33 +393,43 @@ Status JoinPair(dpu::Dpu& dpu, dpu::DpCore& core, const ColumnSet& build,
     } else {
       for (size_t i = 0; i < rows; ++i) {
         const size_t prow = start + i;
-        const uint32_t hash = HashRow(probe, pkeys, prow) >> shift;
         size_t match_count = 0;
-        table.Probe(
-            hash,
-            [&](size_t brow) {
-              return KeysEqual(build, spec.build_keys, brow, probe, pkeys,
-                               prow);
-            },
-            [&](size_t brow) {
-              ++match_count;
-              if (spec.type == JoinType::kInner ||
-                  spec.type == JoinType::kLeftOuter) {
-                EmitMatch(build, probe, spec, brow, prow, &result->output);
-              }
-            },
-            &tile_stats);
+        // The filter covers heavy-bypass build rows too, so a miss
+        // also skips the broadcast side pass; match_count stays 0 and
+        // the anti/left-outer switch below emits correctly.
+        const bool pruned =
+            use_filter && !pair_filter.MayContain(static_cast<uint64_t>(
+                              probe.Value(prow, pkeys[0])));
+        if (pruned) {
+          ++tile_pruned;
+        } else {
+          const uint32_t hash = HashRow(probe, pkeys, prow) >> shift;
+          table.Probe(
+              hash,
+              [&](size_t brow) {
+                return KeysEqual(build, spec.build_keys, brow, probe, pkeys,
+                                 prow);
+              },
+              [&](size_t brow) {
+                ++match_count;
+                if (spec.type == JoinType::kInner ||
+                    spec.type == JoinType::kLeftOuter) {
+                  EmitMatch(build, probe, spec, brow, prow, &result->output);
+                }
+              },
+              &tile_stats);
 
-        // Heavy-hitter side pass: probe the broadcast list.
-        if (!heavy_rows.empty() && pkeys.size() == 1) {
-          auto it = heavy_rows.find(probe.Value(prow, pkeys[0]));
-          if (it != heavy_rows.end()) {
-            for (uint32_t brow : it->second) {
-              ++match_count;
-              ++result->stats.heavy_hitter_matches;
-              if (spec.type == JoinType::kInner ||
-                  spec.type == JoinType::kLeftOuter) {
-                EmitMatch(build, probe, spec, brow, prow, &result->output);
+          // Heavy-hitter side pass: probe the broadcast list.
+          if (!heavy_rows.empty() && pkeys.size() == 1) {
+            auto it = heavy_rows.find(probe.Value(prow, pkeys[0]));
+            if (it != heavy_rows.end()) {
+              for (uint32_t brow : it->second) {
+                ++match_count;
+                ++result->stats.heavy_hitter_matches;
+                if (spec.type == JoinType::kInner ||
+                    spec.type == JoinType::kLeftOuter) {
+                  EmitMatch(build, probe, spec, brow, prow, &result->output);
+                }
               }
             }
           }
@@ -390,8 +457,17 @@ Status JoinPair(dpu::Dpu& dpu, dpu::DpCore& core, const ColumnSet& build,
         result->stats.matches += match_count;
       }
     }
+    if (use_filter) {
+      // One blocked-Bloom probe per probe row; pruned rows skip the
+      // hash probe below.
+      core.cycles().ChargeCompute(params.bloom_probe_cycles_per_row /
+                                  params.simd.bloom *
+                                  static_cast<double>(rows));
+      result->stats.rows_pruned_by_join_filter += tile_pruned;
+      core.join_filter().rows_pruned += tile_pruned;
+    }
     core.cycles().ChargeCompute(dpu::JoinProbeTileCycles(
-        params, rows, tile_stats.chain_steps,
+        params, rows - tile_pruned, tile_stats.chain_steps,
         tile_stats.matches));
     if (!spec.vectorized) {
       core.cycles().ChargeCompute(params.row_at_a_time_overhead_cycles *
@@ -484,6 +560,9 @@ Result<ColumnSet> JoinExec::Execute(dpu::Dpu& dpu, const PartitionedData& build,
     total.overflow_recoveries += r.stats.overflow_recoveries;
     total.heavy_hitter_keys += r.stats.heavy_hitter_keys;
     total.heavy_hitter_matches += r.stats.heavy_hitter_matches;
+    total.join_filter_built += r.stats.join_filter_built;
+    total.rows_pruned_by_join_filter += r.stats.rows_pruned_by_join_filter;
+    total.filter_bytes += r.stats.filter_bytes;
   }
   if (stats != nullptr) *stats = total;
   return merged;

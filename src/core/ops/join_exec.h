@@ -82,6 +82,15 @@ struct JoinSpec {
   // partitioned join. 0 = unknown.
   size_t est_build_rows = 0;
   size_t est_probe_rows = 0;
+
+  // Build a per-pair blocked Bloom filter over the build keys and
+  // prune probe rows before the hash probe (RAPID_JOIN_FILTER). Set
+  // by the planner's cost gate when no scan-side pushdown covers the
+  // probe input (non-scan subtree, or anti/left-outer semantics that
+  // forbid dropping probe rows upstream); the runtime gate still
+  // decides whether the filter is actually built. Single-key joins
+  // only.
+  bool build_join_filter = false;
 };
 
 struct JoinStats {
@@ -97,6 +106,12 @@ struct JoinStats {
   uint64_t overflow_recoveries = 0;
   uint64_t heavy_hitter_keys = 0;
   uint64_t heavy_hitter_matches = 0;
+  // Join-filter pushdown (RAPID_JOIN_FILTER): per-pair Bloom filters
+  // built over the build keys, probe rows they pruned before the hash
+  // probe, and the bytes the built filters occupy.
+  uint64_t join_filter_built = 0;
+  uint64_t rows_pruned_by_join_filter = 0;
+  uint64_t filter_bytes = 0;
 };
 
 class JoinExec {

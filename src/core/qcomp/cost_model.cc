@@ -41,6 +41,31 @@ double CostEstimator::JoinSeconds(size_t build_rows, size_t probe_rows,
   return PerCore(partition + build + probe);
 }
 
+double CostEstimator::JoinFilterSeconds(size_t build_rows, size_t probe_rows,
+                                        size_t row_bytes, size_t rounds,
+                                        double selectivity, double fpr) const {
+  const double b = static_cast<double>(build_rows);
+  const double p = static_cast<double>(probe_rows);
+  const double pass = std::min(1.0, std::max(0.0, selectivity) + fpr);
+  const double pruned = p * (1.0 - pass);
+  // Cost: every core builds its private filter from the DRAM-resident
+  // key column (broadcast-join model), then one blocked-Bloom probe
+  // per probe row inside the scan's fused tile loop.
+  const double bloom_rate =
+      params_.bloom_probe_cycles_per_row / params_.simd.bloom;
+  const double cost_cycles =
+      params_.bloom_insert_cycles_per_row / params_.simd.bloom * b *
+          static_cast<double>(config_.num_cores) +
+      bloom_rate * p;
+  // Saving: pruned rows skip the probe-side partition rounds (DMS
+  // round trips in the unfused plan) and the probe kernel itself.
+  const double partition_saved =
+      pruned * static_cast<double>(row_bytes) * static_cast<double>(rounds) /
+      params_.partition_bytes_per_cycle;
+  const double probe_saved = params_.join_probe_cycles_per_row * pruned;
+  return PerCore(partition_saved + probe_saved - cost_cycles);
+}
+
 double CostEstimator::GroupBySeconds(size_t rows, size_t groups,
                                      size_t num_aggs, bool low_ndv) const {
   const double r = static_cast<double>(rows);

@@ -49,6 +49,18 @@ class CostEstimator {
   double JoinSeconds(size_t build_rows, size_t probe_rows, size_t row_bytes,
                      size_t rounds) const;
 
+  // Net modeled seconds SAVED by pushing a build-side Bloom filter
+  // into the probe-side scan (sideways information passing). Balances
+  // the filter's cost (per-core build over `build_rows` inserts plus
+  // one probe per probe row) against the partition/build/probe work
+  // the pruned rows no longer pay: probe rows shrink by
+  // (1 - pass_rate) where pass_rate = selectivity + fpr. Positive
+  // means the pushdown pays for itself; the planner attaches the ref
+  // iff this is > 0, independent of the RAPID_JOIN_FILTER gate.
+  double JoinFilterSeconds(size_t build_rows, size_t probe_rows,
+                           size_t row_bytes, size_t rounds,
+                           double selectivity, double fpr) const;
+
   // Group-by over `rows` with `groups` distinct groups; the low-NDV
   // strategy adds a merge of per-core tables.
   double GroupBySeconds(size_t rows, size_t groups, size_t num_aggs,

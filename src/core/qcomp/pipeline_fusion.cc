@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "core/qcomp/task_formation.h"
+#include "primitives/bloom.h"
 #include "storage/encoding_stack.h"
 
 namespace rapid::core {
@@ -122,7 +123,22 @@ bool Fuser::ChainFitsDmem(const Desc& desc,
   auto add_stage = [&](const PipelineStageSpec& stage) {
     if (stage.kind == PipelineStageSpec::Kind::kFilterProject) {
       const size_t pass = ExprColumns(stage.projections).size();
-      profiles.push_back({"filter", 64, 8 * (pass + 1), 1.0, 8, filter_rate});
+      // A pushed join filter keeps its blocked Bloom filter resident
+      // beside the tiles and adds one probe per row. Budgeted here
+      // whether or not the runtime gate is on, so fusion decisions
+      // are identical off/on.
+      size_t jf_bytes = 0;
+      double rate = filter_rate;
+      if (stage.join_filter.enabled()) {
+        const auto ndv = static_cast<size_t>(
+            std::max(1.0, stage.join_filter.est_build_ndv));
+        jf_bytes = primitives::kBloomBlockBytes *
+                   primitives::BlockedBloomFilter::BlocksForNdv(
+                       ndv, config_.dmem_bytes / 4);
+        rate += params_.bloom_probe_cycles_per_row / params_.simd.bloom;
+      }
+      profiles.push_back(
+          {"filter", 64 + jf_bytes, 8 * (pass + 1), 1.0, 8, rate});
       profiles.push_back(
           {"project", 64, 8 * std::max<size_t>(1, stage.projections.size()),
            1.0, 8 * std::max<size_t>(1, stage.projections.size()),
@@ -154,6 +170,16 @@ Result<int> Fuser::Materialize(int old_id) {
     int new_input = -1;
     if (desc.table.empty()) {
       RAPID_ASSIGN_OR_RETURN(new_input, Materialize(desc.input));
+    }
+    // A pushed join-filter ref must resolve before this chain is
+    // numbered: the build terminal has to be emitted — and therefore
+    // execute — ahead of the scan that reads its output. The ScanStep
+    // re-emission path below resolves through RemapInputs instead;
+    // materializing here makes the old->new mapping valid for both.
+    if (!desc.stages.empty() && desc.stages.front().join_filter.enabled()) {
+      RAPID_ASSIGN_OR_RETURN(
+          desc.stages.front().join_filter.build_step,
+          Materialize(desc.stages.front().join_filter.build_step));
     }
     const int nid = static_cast<int>(out_.steps.size());
     const bool has_probe = std::any_of(
@@ -299,6 +325,7 @@ Result<PhysicalPlan> Fuser::Run() {
       PipelineStageSpec stage;
       stage.predicates = scan->predicates();
       stage.projections = scan->projections();
+      stage.join_filter = scan->join_filter();
       desc.stages.push_back(std::move(stage));
       pending_.emplace(static_cast<int>(id), std::move(desc));
       continue;

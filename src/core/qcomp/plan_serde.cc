@@ -95,6 +95,11 @@ void WritePredicate(std::ostringstream& os, const Predicate& p) {
       WriteString(os, p.column2);
       os << ' ' << p.selectivity << ')';
       break;
+    case Predicate::Kind::kBloom:
+      // Bloom predicates are injected at execution time from a
+      // built join filter (they hold a non-owning pointer into the
+      // executing step); they never appear in serialized plans.
+      break;
   }
 }
 

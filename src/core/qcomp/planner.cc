@@ -3,9 +3,11 @@
 #include <algorithm>
 #include <cmath>
 
+#include "core/qcomp/cost_model.h"
 #include "core/qcomp/partition_scheme.h"
 #include "core/qcomp/pipeline_fusion.h"
 #include "core/qcomp/task_formation.h"
+#include "primitives/bloom.h"
 #include "storage/encoding_stack.h"
 
 namespace rapid::core {
@@ -88,6 +90,8 @@ double EstimateSelectivity(const storage::ColumnStats& stats,
                       static_cast<double>(pred.in_set.CountOnes()) / ndv);
     case Predicate::Kind::kCmpCol:
       return pred.op == primitives::CmpOp::kEq ? 1.0 / ndv : 0.3;
+    case Predicate::Kind::kBloom:
+      return pred.selectivity;
   }
   return 0.5;
 }
@@ -386,6 +390,118 @@ Result<Planner::Lowered> Planner::LowerImpl(const LogicalNode& node,
           static_cast<size_t>(std::max(1.0, build.est_rows));
       spec.est_probe_rows =
           static_cast<size_t>(std::max(1.0, probe.est_rows));
+
+      // Sideways information passing: when the probe side terminates
+      // in a base-table scan, push a Bloom filter over the build keys
+      // into that scan so pruned rows never reach the probe-side
+      // partition step. Attached whenever structurally eligible and
+      // the cost gate passes — INDEPENDENT of the RAPID_JOIN_FILTER
+      // runtime gate, so the plan shape is identical off/on.
+      //
+      // Eligible join types: inner and semi emit only probe rows with
+      // a build match, which a (false-negative-free) Bloom prune never
+      // drops. Anti and left-outer joins emit probe rows *without* a
+      // match — anti emits them alone, left-outer null-extends them —
+      // so a probe-side prune would wrongly drop their output; those
+      // types rely on the join kernel's internal filter, which keeps
+      // the row and only skips the hash probe. The build
+      // step must also precede the scan in execution order, or its
+      // output would not exist when the scan builds the filter.
+      bool scan_ref_attached = false;
+      if (build_keys.size() == 1 &&
+          (node.join_type == JoinType::kInner ||
+           node.join_type == JoinType::kSemi) &&
+          build.step < probe.step) {
+        auto* scan = dynamic_cast<ScanStep*>(
+            plan->steps[static_cast<size_t>(probe.step)].get());
+        if (scan != nullptr && !scan->join_filter().enabled()) {
+          // The predicate evaluates before projection, so resolve the
+          // probe key back to the scan's base column.
+          std::string probe_col;
+          for (const auto& [name, expr] : scan->projections()) {
+            if (name == probe_keys[0] && expr->kind == Expr::Kind::kColumn) {
+              probe_col = expr->column;
+              break;
+            }
+          }
+          bool probe_bound = false;
+          for (const std::string& c : scan->base_columns()) {
+            probe_bound = probe_bound || c == probe_col;
+          }
+          bool build_key_out = false;
+          for (const std::string& c : build.columns) {
+            build_key_out = build_key_out || c == build_keys[0];
+          }
+          if (!probe_col.empty() && probe_bound && build_key_out) {
+            // Estimated pass rate: the fraction of the build base
+            // table surviving its filters (FK probe rows referencing
+            // pruned build rows drop with it), plus the sized
+            // filter's false-positive rate.
+            double sel = 1.0;
+            if (!build.base_table.empty()) {
+              auto bt = catalog.find(build.base_table);
+              if (bt != catalog.end() && bt->second.num_rows() > 0) {
+                sel = std::min(1.0, build.est_rows /
+                                        static_cast<double>(
+                                            bt->second.num_rows()));
+              }
+            }
+            const auto brows =
+                static_cast<size_t>(std::max(1.0, build.est_rows));
+            const uint32_t blocks =
+                primitives::BlockedBloomFilter::BlocksForNdv(
+                    brows, config_.dmem_bytes / 4);
+            const double fpr =
+                primitives::BlockedBloomFilter::EstimatedFpr(brows, blocks);
+            CostEstimator est(config_, params_);
+            est.set_largest_morsel_fraction(
+                LargestChunkFraction(catalog, probe.base_table));
+            const double saved = est.JoinFilterSeconds(
+                brows, static_cast<size_t>(std::max(1.0, probe.est_rows)),
+                8 * std::max<size_t>(1, node.output_columns.size()),
+                scheme.rounds.size(), sel, fpr);
+            if (blocks > 0 && saved > 0) {
+              JoinFilterRef ref;
+              ref.build_step = build.step;
+              ref.build_key = build_keys[0];
+              ref.probe_column = probe_col;
+              ref.est_build_ndv = build.est_rows;
+              ref.selectivity = std::min(1.0, sel + fpr);
+              scan->set_join_filter(std::move(ref));
+              scan_ref_attached = true;
+            }
+          }
+        }
+      }
+
+      // No scan to push into — a non-scan probe subtree, anti/
+      // left-outer semantics that forbid dropping probe rows upstream,
+      // or a cost-negative pushdown: let the join kernel build the
+      // same filter per partition pair ahead of its probe loop. The
+      // kernel runs after partitioning, so its gate nets the probe
+      // savings alone (rounds = 0) against the filter cost.
+      if (!scan_ref_attached && build_keys.size() == 1) {
+        double sel = 1.0;
+        if (!build.base_table.empty()) {
+          auto bt = catalog.find(build.base_table);
+          if (bt != catalog.end() && bt->second.num_rows() > 0) {
+            sel = std::min(1.0, build.est_rows /
+                                    static_cast<double>(
+                                        bt->second.num_rows()));
+          }
+        }
+        const auto brows = static_cast<size_t>(std::max(1.0, build.est_rows));
+        const size_t blocks = primitives::BlockedBloomFilter::BlocksForNdv(
+            brows, config_.dmem_bytes / 4);
+        const double fpr =
+            primitives::BlockedBloomFilter::EstimatedFpr(brows, blocks);
+        CostEstimator est(config_, params_);
+        const double saved = est.JoinFilterSeconds(
+            brows, static_cast<size_t>(std::max(1.0, probe.est_rows)),
+            8 * std::max<size_t>(1, node.output_columns.size()),
+            /*rounds=*/0, sel, fpr);
+        if (blocks > 0 && saved > 0) spec.build_join_filter = true;
+      }
 
       const int id = NextId(*plan);
       AddStep(plan, std::make_unique<JoinStep>(

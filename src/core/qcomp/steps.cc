@@ -6,11 +6,13 @@
 #include <mutex>
 #include <sstream>
 
+#include "core/join_filter.h"
 #include "core/ops/filter_op.h"
 #include "core/ops/probe_op.h"
 #include "core/ops/project_op.h"
 #include "core/ops/sink_op.h"
 #include "core/qef/relation_accessor.h"
+#include "primitives/bloom.h"
 
 namespace rapid::core {
 
@@ -93,6 +95,56 @@ std::vector<double> RangeWeights(const std::vector<RowRange>& ranges) {
   return weights;
 }
 
+// Builds the pushed-down Bloom filter from the build step's
+// materialized output. Returns false (filter left empty) when the
+// runtime gate is off, no ref was attached, or the build output is
+// unsuitable at runtime — the scan then runs exactly as planned
+// without the extra predicate. On success, charges every core the
+// modeled per-core construction (broadcast-join style: each core
+// reads the DRAM-resident key column and builds its private
+// DMEM-resident filter; the host builds one shared read-only copy).
+// Deliberately performs no fault polls, pool acquires or DMEM
+// allocations, so fault-injection ordinals and DMEM layout do not
+// shift with the gate.
+bool BuildJoinFilter(ExecEnv& env, const JoinFilterRef& ref,
+                     primitives::BlockedBloomFilter* filter) {
+  if (!ref.enabled()) return false;
+  if (JoinFilterActive() != JoinFilterMode::kAuto) return false;
+  const StepOutput& build = env.outputs[static_cast<size_t>(ref.build_step)];
+  if (build.partitioned) return false;
+  auto key = build.set.IndexOf(ref.build_key);
+  if (!key.ok()) return false;
+  const size_t rows = build.set.num_rows();
+  // The resident filter must share DMEM with the scan chain's tiles;
+  // cap it at a quarter of the scratchpad.
+  const size_t max_bytes = env.dpu->config().dmem_bytes / 4;
+  const uint32_t num_blocks =
+      primitives::BlockedBloomFilter::BlocksForNdv(rows, max_bytes);
+  if (num_blocks == 0) return false;
+  *filter = primitives::BlockedBloomFilter(num_blocks);
+  const size_t kcol = key.value();
+  for (size_t r = 0; r < rows; ++r) {
+    // Same widening as the probe-side kernels and the join's own
+    // build: ColumnSet values are already widened int64.
+    filter->Insert(static_cast<uint64_t>(build.set.Value(r, kcol)));
+  }
+  const dpu::CostParams& p = env.dpu->params();
+  const double insert_cycles = p.bloom_insert_cycles_per_row / p.simd.bloom *
+                               static_cast<double>(rows);
+  const double dms_cycles =
+      dpu::DmsTileTransferCycles(p, 1, rows, 8, /*read_write=*/false) +
+      static_cast<double>(filter->bytes()) / p.dram_bytes_per_cycle;
+  env.dpu->ParallelFor([&](dpu::DpCore& core) {
+    core.cycles().ChargeCompute(insert_cycles);
+    core.cycles().ChargeDms(dms_cycles);
+    if (core.id() == 0) {
+      core.join_filter().filters_built += 1;
+      core.join_filter().filter_bytes += filter->bytes();
+    }
+  });
+  return true;
+}
+
 }  // namespace
 
 std::string PhysicalPlan::Describe() const {
@@ -161,6 +213,18 @@ Status ScanStep::Execute(ExecEnv& env) const {
   }
   const std::vector<std::string> pass_through = ProjectionInputs(projections_);
 
+  // Join-filter pushdown: when a ref is attached and the runtime gate
+  // is on, evaluate the build side's Bloom filter as one more
+  // predicate inside the fused tile loop — pruned rows never reach
+  // projection, materialization or the downstream partition step.
+  primitives::BlockedBloomFilter join_bloom;
+  std::vector<Predicate> predicates = predicates_;
+  if (BuildJoinFilter(env, join_filter_, &join_bloom)) {
+    predicates.push_back(Predicate::Bloom(join_filter_.probe_column,
+                                          &join_bloom,
+                                          join_filter_.selectivity));
+  }
+
   // Morsel-driven scan: one morsel per chunk, seeded largest-first by
   // row count so one core never drags a tail of fat chunks. Outputs
   // are indexed by chunk id, so the merged result is independent of
@@ -177,7 +241,7 @@ Status ScanStep::Execute(ExecEnv& env) const {
         core.dmem().Reset();
 
         // Build this morsel's pipeline: filter -> project -> sink.
-        FilterOp filter(predicates_, pass_through, base_binding, tile_rows_,
+        FilterOp filter(predicates, pass_through, base_binding, tile_rows_,
                         use_rid_list_);
         ProjectOp project(projections_, filter.OutputBinding(), tile_rows_);
         MaterializeSink sink(&per_morsel[m]);
@@ -219,6 +283,10 @@ std::string ScanStep::Describe() const {
   os << "SCAN " << table_ << " preds=" << predicates_.size()
      << " proj=" << projections_.size() << " tile=" << tile_rows_
      << (use_rid_list_ ? " rid" : " bv");
+  if (join_filter_.enabled()) {
+    os << " joinfilter=#" << join_filter_.build_step << "("
+       << join_filter_.probe_column << ")";
+  }
   return os.str();
 }
 
@@ -452,6 +520,8 @@ std::vector<int> PipelineStep::Inputs() const {
   for (const PipelineStageSpec& s : stages_) {
     if (s.kind == PipelineStageSpec::Kind::kProbe) {
       in.push_back(s.build_input);
+    } else if (s.join_filter.enabled()) {
+      in.push_back(s.join_filter.build_step);
     }
   }
   return in;
@@ -462,6 +532,9 @@ void PipelineStep::RemapInputs(const std::vector<int>& old_to_new) {
   for (PipelineStageSpec& s : stages_) {
     if (s.kind == PipelineStageSpec::Kind::kProbe) {
       s.build_input = old_to_new[static_cast<size_t>(s.build_input)];
+    } else if (s.join_filter.enabled()) {
+      s.join_filter.build_step =
+          old_to_new[static_cast<size_t>(s.join_filter.build_step)];
     }
   }
 }
@@ -543,6 +616,18 @@ Status PipelineStep::Execute(ExecEnv& env) const {
     src_width = 8 * input_set->num_columns();
     env.counters.scanned_rows += input_set->num_rows();
     env.counters.scanned_bytes += input_set->num_rows() * src_width;
+  }
+
+  // Join-filter pushdown survives fusion: the absorbed scan's ref
+  // rides on stage 0. Build once (shared, read-only) and hand every
+  // core's stage-0 FilterOp the augmented predicate list.
+  primitives::BlockedBloomFilter join_bloom;
+  std::vector<Predicate> stage0_predicates = stages_.front().predicates;
+  if (BuildJoinFilter(env, stages_.front().join_filter, &join_bloom)) {
+    stage0_predicates.push_back(
+        Predicate::Bloom(stages_.front().join_filter.probe_column,
+                         &join_bloom,
+                         stages_.front().join_filter.selectivity));
   }
 
   // ---- Walk the stages, resolving bindings and output metadata.
@@ -717,8 +802,9 @@ Status PipelineStep::Execute(ExecEnv& env) const {
             const ResolvedStage& rs = resolved[s];
             if (rs.spec->kind == PipelineStageSpec::Kind::kFilterProject) {
               auto filter = std::make_unique<FilterOp>(
-                  rs.spec->predicates, rs.pass_through, rs.in_binding,
-                  tile_rows, s == 0 && use_rid_list_);
+                  s == 0 ? stage0_predicates : rs.spec->predicates,
+                  rs.pass_through, rs.in_binding, tile_rows,
+                  s == 0 && use_rid_list_);
               auto project = std::make_unique<ProjectOp>(
                   rs.spec->projections, filter->OutputBinding(), tile_rows);
               chain.ops.push_back(std::move(filter));
@@ -834,6 +920,10 @@ std::string PipelineStep::Describe() const {
     if (s.kind == PipelineStageSpec::Kind::kFilterProject) {
       os << " | filter+project preds=" << s.predicates.size()
          << " proj=" << s.projections.size();
+      if (s.join_filter.enabled()) {
+        os << " joinfilter=#" << s.join_filter.build_step << "("
+           << s.join_filter.probe_column << ")";
+      }
     } else {
       os << " | probe build=#" << s.build_input << " keys=(";
       for (size_t i = 0; i < s.build_keys.size(); ++i) {

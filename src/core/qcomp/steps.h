@@ -144,6 +144,29 @@ struct PhysicalPlan {
 
 // ---- Step implementations --------------------------------------------------
 
+// Sideways information passing (join-filter pushdown): the planner
+// attaches one of these to the probe-side scan of a hash join when
+// the build side is small enough that a blocked Bloom filter over its
+// keys pays for itself. The scan builds the filter from the build
+// step's materialized output and evaluates it as an extra predicate
+// inside the fused tile loop, dropping pruned rows before
+// partitioning and payload materialization.
+//
+// The ref is attached whenever the rewrite is structurally eligible
+// and the cost gate passes — independent of the RAPID_JOIN_FILTER
+// runtime gate — so the plan SHAPE (step inputs, fusion decisions,
+// DMEM layout) is identical with the gate off or on; only the runtime
+// build/evaluate is gated (core/join_filter.h).
+struct JoinFilterRef {
+  int build_step = -1;       // step producing the build-side output
+  std::string build_key;     // key column in the build output schema
+  std::string probe_column;  // probed column in the scan's base schema
+  double est_build_ndv = 0;  // planner NDV estimate (sizes the filter)
+  double selectivity = 0.5;  // estimated pass rate incl. false positives
+
+  bool enabled() const { return build_step >= 0; }
+};
+
 // Base-table scan task: relation accessor -> filter -> project,
 // pipelined through DMEM, materializing to a ColumnSet.
 class ScanStep : public PlanStep {
@@ -162,6 +185,16 @@ class ScanStep : public PlanStep {
 
   Status Execute(ExecEnv& env) const override;
   std::string Describe() const override;
+  std::vector<int> Inputs() const override {
+    if (join_filter_.enabled()) return {join_filter_.build_step};
+    return {};
+  }
+  void RemapInputs(const std::vector<int>& old_to_new) override {
+    if (join_filter_.enabled()) {
+      join_filter_.build_step =
+          old_to_new[static_cast<size_t>(join_filter_.build_step)];
+    }
+  }
 
   const std::string& table() const { return table_; }
   const std::vector<std::string>& base_columns() const {
@@ -173,6 +206,8 @@ class ScanStep : public PlanStep {
   }
   size_t tile_rows() const { return tile_rows_; }
   bool use_rid_list() const { return use_rid_list_; }
+  void set_join_filter(JoinFilterRef ref) { join_filter_ = std::move(ref); }
+  const JoinFilterRef& join_filter() const { return join_filter_; }
 
  private:
   std::string table_;
@@ -181,6 +216,7 @@ class ScanStep : public PlanStep {
   std::vector<std::pair<std::string, ExprPtr>> projections_;
   size_t tile_rows_;
   bool use_rid_list_;
+  JoinFilterRef join_filter_;  // disabled unless the planner pushed one
 };
 
 // Same pipeline over a DRAM intermediate (e.g. filtering/projecting a
@@ -408,9 +444,13 @@ struct PipelineStageSpec {
   Kind kind = Kind::kFilterProject;
 
   // kFilterProject: ordered predicates + projection expressions,
-  // exactly the payload of a ScanStep/PipeStep.
+  // exactly the payload of a ScanStep/PipeStep. `join_filter` (stage 0
+  // only) carries a pushed-down Bloom-filter ref from the absorbed
+  // ScanStep; the fused tile loop evaluates it after the ordinary
+  // predicates.
   std::vector<Predicate> predicates;
   std::vector<std::pair<std::string, ExprPtr>> projections;
+  JoinFilterRef join_filter;
 
   // kProbe: a broadcast hash-join probe. `build_input` is the step id
   // producing the unpartitioned build side; each core builds a private

@@ -32,6 +32,9 @@ CostParams CostParams::HostCalibrated() {
       // 256-bit broadcast fill vs the scalar per-row store loop
       // (bench_encoded_scan; long runs stream at store bandwidth).
       params.simd.rle = 4.0;
+      // Vectorized 8-lane block test (bench_join_filter); bounded by
+      // the scalar Mix64 chain feeding it.
+      params.simd.bloom = 2.0;
       break;
     case SimdLevel::kSse42:
       // SSE4.2 vectorizes 32/64-bit filters (4 lanes) and runs the
@@ -41,6 +44,8 @@ CostParams CostParams::HostCalibrated() {
       params.simd.hash = 7.5;
       // 128-bit broadcast fill covers only the 4/8-byte widths.
       params.simd.rle = 2.0;
+      // 4-way unrolled probe hides the mix-multiply latency.
+      params.simd.bloom = 1.5;
       break;
     case SimdLevel::kScalar:
       break;

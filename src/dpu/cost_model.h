@@ -74,6 +74,10 @@ struct CostParams {
   double rle_decode_cycles_per_run = 4.0;
   // Hash-table group-by update (bucket find + aggregate update).
   double groupby_cycles_per_row = 12.0;
+  // Blocked Bloom filter (join-filter pushdown): mix + one 64-byte
+  // block touch per row. Insert stores 8 lane bits, probe tests them.
+  double bloom_insert_cycles_per_row = 3.0;
+  double bloom_probe_cycles_per_row = 3.0;
 
   // ---- Software partitioning (Listing 2 + Listing 3) ----
   double partition_map_cycles_per_row = 8.0;   // compute_partition_map
@@ -120,6 +124,7 @@ struct CostParams {
     double partition_map = 1.0;
     double partition_scatter = 1.0;
     double rle = 1.0;
+    double bloom = 1.0;
   };
   SimdThroughput simd;
 

@@ -30,6 +30,24 @@ struct EncodedScanCounters {
   }
 };
 
+// Per-core tallies of the join-filter pushdown (RAPID_JOIN_FILTER):
+// Bloom filters built from build-side outputs, probe rows the pushed
+// filter dropped before partitioning/materialization, and the bytes
+// the built filters occupy. Summed into ExecutionStats like the
+// encoded-scan counters.
+struct JoinFilterCounters {
+  uint64_t filters_built = 0;
+  uint64_t rows_pruned = 0;
+  uint64_t filter_bytes = 0;
+
+  void Reset() { *this = JoinFilterCounters{}; }
+  void Merge(const JoinFilterCounters& other) {
+    filters_built += other.filters_built;
+    rows_pruned += other.rows_pruned;
+    filter_bytes += other.filter_bytes;
+  }
+};
+
 class DpCore {
  public:
   DpCore(int id, const DpuConfig& config)
@@ -49,6 +67,8 @@ class DpCore {
   const CycleCounter& cycles() const { return cycles_; }
   EncodedScanCounters& encoded_scan() { return encoded_scan_; }
   const EncodedScanCounters& encoded_scan() const { return encoded_scan_; }
+  JoinFilterCounters& join_filter() { return join_filter_; }
+  const JoinFilterCounters& join_filter() const { return join_filter_; }
 
   // Tile-local scratch memory. Only the worker currently executing
   // this core's morsel may touch either. The arena is never Reset()
@@ -66,6 +86,7 @@ class DpCore {
   Dmem dmem_;
   CycleCounter cycles_;
   EncodedScanCounters encoded_scan_;
+  JoinFilterCounters join_filter_;
   Arena arena_;
   TileBufferPool pool_;
 };

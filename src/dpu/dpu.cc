@@ -168,6 +168,7 @@ void Dpu::ResetCores() {
     core->cycles().Reset();
     core->dmem().Reset();
     core->encoded_scan().Reset();
+    core->join_filter().Reset();
   }
   imbalance_ = ImbalanceStats{};
   last_phase_imbalance_ = ImbalanceStats{};

@@ -163,6 +163,10 @@ Result<QueryReport> HostDatabase::ExecuteQuery(
     report.encoded_bytes_moved += placeholders[f]->encoded_bytes_moved();
     report.plain_bytes_moved += placeholders[f]->plain_bytes_moved();
     report.runs_filtered += placeholders[f]->runs_filtered();
+    report.join_filter_built += placeholders[f]->join_filter_built();
+    report.rows_pruned_by_join_filter +=
+        placeholders[f]->rows_pruned_by_join_filter();
+    report.filter_bytes += placeholders[f]->filter_bytes();
   }
   if (!placeholders.empty()) {
     report.rapid_stats = placeholders[0]->rapid_stats();

@@ -94,6 +94,12 @@ struct QueryReport {
   uint64_t encoded_bytes_moved = 0;
   uint64_t plain_bytes_moved = 0;
   uint64_t runs_filtered = 0;
+  // Join-filter pushdown accounting (RAPID_JOIN_FILTER): build-side
+  // Bloom filters built, probe rows they pruned before the DMS
+  // round trips, and the bytes those filters occupied.
+  uint64_t join_filter_built = 0;
+  uint64_t rows_pruned_by_join_filter = 0;
+  uint64_t filter_bytes = 0;
 };
 
 // The RAPID placeholder operator: checks admissibility, triggers
@@ -145,6 +151,17 @@ class RapidOperator : public Iterator {
   }
   uint64_t runs_filtered() const {
     return fell_back_ ? 0 : rapid_stats_.runs_filtered;
+  }
+  // Join-filter accounting; zero when the fragment fell back (the
+  // host re-execution builds no Bloom filters and prunes nothing).
+  uint64_t join_filter_built() const {
+    return fell_back_ ? 0 : rapid_stats_.join_filter_built;
+  }
+  uint64_t rows_pruned_by_join_filter() const {
+    return fell_back_ ? 0 : rapid_stats_.rows_pruned_by_join_filter;
+  }
+  uint64_t filter_bytes() const {
+    return fell_back_ ? 0 : rapid_stats_.filter_bytes;
   }
 
  private:

@@ -1,0 +1,37 @@
+#include "primitives/bloom.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace rapid::primitives {
+
+namespace {
+size_t NextPow2(size_t n) {
+  size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+}  // namespace
+
+size_t BlockedBloomFilter::BlocksForNdv(size_t ndv, size_t max_bytes) {
+  if (max_bytes < kBloomBlockBytes) return 0;
+  const size_t wanted = NextPow2(std::max<size_t>(1, (ndv + 7) / 8));
+  // max_bytes / kBloomBlockBytes rounded down to a power of two.
+  size_t cap = 1;
+  while (cap * 2 * kBloomBlockBytes <= max_bytes) cap <<= 1;
+  return std::min(wanted, cap);
+}
+
+double BlockedBloomFilter::EstimatedFpr(size_t ndv, size_t num_blocks) {
+  if (num_blocks == 0) return 1.0;
+  // Each key sets 8 bits in one 512-bit block; expected fill of a
+  // block holding ndv/num_blocks keys, raised to the 8 probe bits.
+  const double keys_per_block =
+      static_cast<double>(ndv) / static_cast<double>(num_blocks);
+  const double fill = 1.0 - std::exp(-8.0 * keys_per_block / 512.0);
+  double fpr = 1.0;
+  for (int i = 0; i < 8; ++i) fpr *= fill;
+  return fpr;
+}
+
+}  // namespace rapid::primitives

@@ -69,6 +69,13 @@ HashKernelTable<T> ScalarHashTable() {
   return t;
 }
 
+template <typename T>
+BloomKernelTable<T> ScalarBloomTable() {
+  BloomKernelTable<T> t;
+  t.probe_bv = &ScalarBloomProbeBv<T>;
+  return t;
+}
+
 void ScalarPartitionOf(const uint32_t* hashes, size_t n, int shift,
                        uint32_t mask, uint16_t* out) {
   for (size_t i = 0; i < n; ++i) {
@@ -154,6 +161,11 @@ const HashKernelTable<T>& hash_kernels() {
 }
 
 template <typename T>
+const BloomKernelTable<T>& bloom_kernels() {
+  return ActiveTable<BloomKernelTable<T>>(&ScalarBloomTable<T>);
+}
+
+template <typename T>
 const RleKernelTable<T>& rle_kernels() {
   return ActiveTable<RleKernelTable<T>>(&ScalarRleTable<T>);
 }
@@ -167,6 +179,7 @@ const PartitionKernelTable& partition_kernels() {
   template const AggKernelTable<T>& agg_kernels<T>();          \
   template const ArithKernelTable<T>& arith_kernels<T>();      \
   template const HashKernelTable<T>& hash_kernels<T>();   \
+  template const BloomKernelTable<T>& bloom_kernels<T>(); \
   template const RleKernelTable<T>& rle_kernels<T>();
 RAPID_SIMD_FOR_EACH_TYPE(RAPID_SIMD_INSTANTIATE)
 #undef RAPID_SIMD_INSTANTIATE
@@ -197,6 +210,13 @@ SimdLevel ResolvedLevel(std::string_view family, int width) {
     return SimdLevel::kScalar;
   }
   if (family == "partition") {
+    if (lvl >= static_cast<int>(SimdLevel::kAvx2)) return SimdLevel::kAvx2;
+    if (lvl >= static_cast<int>(SimdLevel::kSse42)) return SimdLevel::kSse42;
+    return SimdLevel::kScalar;
+  }
+  if (family == "bloom") {
+    // AVX2 probes all eight lanes at once; SSE4.2 only unrolls the
+    // scalar probe (4-way), all widths.
     if (lvl >= static_cast<int>(SimdLevel::kAvx2)) return SimdLevel::kAvx2;
     if (lvl >= static_cast<int>(SimdLevel::kSse42)) return SimdLevel::kSse42;
     return SimdLevel::kScalar;

@@ -125,6 +125,21 @@ struct RleKernelTable {
 };
 
 template <typename T>
+struct BloomKernelTable {
+  // words := bit-vector of filter.MayContain(uint64(values[i])); same
+  // output contract as the filter kernels (ceil(n/64) whole words,
+  // tail bits above n zero). `blocks` is the filter's block-major lane
+  // array and `block_mask` its power-of-two block mask (bloom.h). Keys
+  // widen exactly like the hash kernels: signed values sign-extend,
+  // unsigned values zero-extend, so every element type agrees with the
+  // build side's widened int64 inserts.
+  using ProbeBvFn = void (*)(const T* values, size_t n,
+                             const uint64_t* blocks, uint32_t block_mask,
+                             uint64_t* words);
+  ProbeBvFn probe_bv = nullptr;
+};
+
+template <typename T>
 struct HashKernelTable {
   // out[i] = CRC32C(uint64(keys[i])) seeded 0xFFFFFFFF — identical to
   // Crc32U64 at every level (join/partition stability depends on it).
@@ -187,6 +202,8 @@ const ArithKernelTable<T>& arith_kernels();
 template <typename T>
 const HashKernelTable<T>& hash_kernels();
 template <typename T>
+const BloomKernelTable<T>& bloom_kernels();
+template <typename T>
 const RleKernelTable<T>& rle_kernels();
 const PartitionKernelTable& partition_kernels();
 
@@ -194,7 +211,8 @@ const PartitionKernelTable& partition_kernels();
 // runs at under the active level — lower tiers shine through where a
 // level has no overlay (e.g. hash resolves to sse42 under avx2, agg
 // of 1/2-byte elements resolves to scalar). Families are the catalog
-// names: "filter", "agg", "arith", "hash", "partition", "rle".
+// names: "filter", "agg", "arith", "hash", "partition", "rle",
+// "bloom".
 SimdLevel ResolvedLevel(std::string_view family, int width);
 
 }  // namespace simd

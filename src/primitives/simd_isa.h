@@ -34,6 +34,8 @@ namespace rapid::primitives::simd {
   void Avx2Overlay(ArithKernelTable<T>*);   \
   void Sse42Overlay(HashKernelTable<T>*);   \
   void Avx2Overlay(HashKernelTable<T>*);    \
+  void Sse42Overlay(BloomKernelTable<T>*);  \
+  void Avx2Overlay(BloomKernelTable<T>*);   \
   void Sse42Overlay(RleKernelTable<T>*);    \
   void Avx2Overlay(RleKernelTable<T>*);
 

@@ -18,6 +18,7 @@
 
 #include "common/crc32.h"
 #include "primitives/agg.h"
+#include "primitives/bloom.h"
 #include "primitives/simd.h"
 
 namespace rapid::primitives::simd {
@@ -130,6 +131,37 @@ template <typename T>
 static void ScalarHashCombineTile(const T* keys, size_t n, uint32_t* inout) {
   for (size_t i = 0; i < n; ++i) {
     inout[i] = Crc32Combine(inout[i], static_cast<uint64_t>(keys[i]));
+  }
+}
+
+// ---- Bloom probe kernels --------------------------------------------------
+
+template <typename T>
+static inline uint64_t BloomProbeWord(const T* values, size_t rows,
+                                      const uint64_t* blocks,
+                                      uint32_t block_mask) {
+  uint64_t w = 0;
+  for (size_t i = 0; i < rows; ++i) {
+    const uint64_t h = Mix64(static_cast<uint64_t>(values[i]));
+    const uint64_t* block =
+        blocks + BloomBlockIndex(h, block_mask) * kBloomLanes;
+    w |= static_cast<uint64_t>(
+             BloomBlockTest(block, static_cast<uint32_t>(h)))
+         << i;
+  }
+  return w;
+}
+
+template <typename T>
+static void ScalarBloomProbeBv(const T* values, size_t n,
+                               const uint64_t* blocks, uint32_t block_mask,
+                               uint64_t* words) {
+  size_t i = 0, w = 0;
+  for (; i + 64 <= n; i += 64, ++w) {
+    words[w] = BloomProbeWord<T>(values + i, 64, blocks, block_mask);
+  }
+  if (i < n) {
+    words[w] = BloomProbeWord<T>(values + i, n - i, blocks, block_mask);
   }
 }
 

@@ -10,6 +10,7 @@
 #include "common/buffer.h"
 #include "common/compact_array.h"
 #include "common/crc32.h"
+#include "common/mix64.h"
 #include "common/rng.h"
 #include "common/status.h"
 
@@ -383,6 +384,98 @@ TEST(AlignedBufferTest, EmptyBufferIsSafe) {
   EXPECT_EQ(buf.size(), 0u);
   AlignedBuffer moved = std::move(buf);
   EXPECT_EQ(moved.size(), 0u);
+}
+
+// ---- Mix64 -----------------------------------------------------------------
+
+TEST(Mix64Test, KnownSplitMix64Values) {
+  // First outputs of a splitmix64 stream seeded 0 are Mix64(0),
+  // Mix64(gamma), Mix64(2*gamma), ... with gamma = 0x9E3779B97F4A7C15.
+  EXPECT_EQ(Mix64(0), 0xE220A8397B1DCDAFull);
+  EXPECT_EQ(Mix64(0x9E3779B97F4A7C15ull), 0x6E789E6AA1B965F4ull);
+}
+
+TEST(Mix64Test, IsInjectiveOnSample) {
+  // Mix64 is a bijection on uint64_t; no collisions on any sample.
+  std::unordered_set<uint64_t> seen;
+  for (uint64_t i = 0; i < 100000; ++i) {
+    EXPECT_TRUE(seen.insert(Mix64(i)).second) << "collision at " << i;
+  }
+}
+
+TEST(Mix64Test, AvalancheFlipsHalfTheOutputBits) {
+  // Flipping any single input bit must flip each output bit with
+  // probability ~1/2. Measured over 64 bit positions x 256 inputs;
+  // a weak finalizer (e.g. multiply-only) fails this by an order of
+  // magnitude in the low bits.
+  Rng rng(7);
+  for (int bit = 0; bit < 64; ++bit) {
+    int flipped = 0;
+    constexpr int kTrials = 256;
+    for (int t = 0; t < kTrials; ++t) {
+      const uint64_t x = rng.Next();
+      flipped += __builtin_popcountll(Mix64(x) ^ Mix64(x ^ (1ull << bit)));
+    }
+    const double mean = static_cast<double>(flipped) / kTrials;
+    EXPECT_GT(mean, 28.0) << "weak avalanche from input bit " << bit;
+    EXPECT_LT(mean, 36.0) << "weak avalanche from input bit " << bit;
+  }
+}
+
+TEST(Mix64Test, HighAndLowHalvesUniformOnSequentialKeys) {
+  // Sequential keys (the common join-key shape) must spread evenly
+  // through both the high 32 bits (Bloom block choice) and low 32
+  // bits (lane bit positions). 16 buckets x 64k keys: every bucket
+  // within 10% of the expected 4096.
+  constexpr int kBuckets = 16;
+  constexpr uint64_t kKeys = 1 << 16;
+  int high[kBuckets] = {0};
+  int low[kBuckets] = {0};
+  for (uint64_t i = 0; i < kKeys; ++i) {
+    const uint64_t h = Mix64(i);
+    ++high[(h >> 32) & (kBuckets - 1)];
+    ++low[h & (kBuckets - 1)];
+  }
+  const int expect = kKeys / kBuckets;
+  for (int b = 0; b < kBuckets; ++b) {
+    EXPECT_NEAR(high[b], expect, expect / 10) << "high-half bucket " << b;
+    EXPECT_NEAR(low[b], expect, expect / 10) << "low-half bucket " << b;
+  }
+}
+
+TEST(Mix64Test, IndependentFromCrc32OnCollidingKeys) {
+  // Keys crafted to share Crc32U64 low bits must not concentrate in
+  // Mix64 blocks: the families are independent by construction.
+  std::vector<uint64_t> colliders;
+  for (uint64_t i = 0; colliders.size() < 1024 && i < 1u << 22; ++i) {
+    if ((Crc32U64(i) & 0xFF) == 0) colliders.push_back(i);
+  }
+  ASSERT_GE(colliders.size(), 512u);
+  constexpr int kBuckets = 8;
+  int counts[kBuckets] = {0};
+  for (uint64_t k : colliders) {
+    ++counts[(Mix64(k) >> 32) & (kBuckets - 1)];
+  }
+  const int expect = static_cast<int>(colliders.size()) / kBuckets;
+  for (int b = 0; b < kBuckets; ++b) {
+    EXPECT_GT(counts[b], expect / 2) << "bucket " << b;
+    EXPECT_LT(counts[b], expect * 2) << "bucket " << b;
+  }
+}
+
+TEST(Mix64Test, CombineDiffersFromPlainHashAndKeepsAvalanche) {
+  // Composite-key combining must not degenerate to hashing either
+  // component alone, and must be order-sensitive: (a, b) and (b, a)
+  // are different composite keys.
+  EXPECT_NE(Mix64Combine(0, 42), Mix64(42));
+  EXPECT_NE(Mix64Combine(Mix64(1), 2), Mix64Combine(Mix64(2), 1));
+  std::unordered_set<uint64_t> seen;
+  for (uint64_t a = 0; a < 64; ++a) {
+    for (uint64_t b = 0; b < 64; ++b) {
+      seen.insert(Mix64Combine(Mix64(a), b));
+    }
+  }
+  EXPECT_EQ(seen.size(), 64u * 64u);
 }
 
 }  // namespace
