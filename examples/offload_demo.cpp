@@ -40,9 +40,7 @@ void Report(const char* what, const hostdb::QueryReport& report) {
   std::printf("%s\n", what);
   std::printf("  decision: %s%s\n", DecisionName(report.decision),
               report.fell_back ? " (FELL BACK: admission denied)" : "");
-  std::printf("  rows: %zu | rapid wall %.3f ms | host wall %.3f ms\n\n",
-              report.rows.num_rows(), report.rapid_wall_seconds * 1e3,
-              report.host_wall_seconds * 1e3);
+  std::printf("  %s\n\n", report.Summary().c_str());
 }
 
 }  // namespace

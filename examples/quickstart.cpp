@@ -83,5 +83,12 @@ int main() {
   std::printf("modeled DPU time: %.3f ms (at 800 MHz, 32 dpCores)\n",
               stats.modeled_seconds * 1e3);
   std::printf("host wall time:   %.3f ms\n", stats.wall_seconds * 1e3);
+
+  // 6. EXPLAIN ANALYZE: the physical plan tree again, but with
+  //    per-node actuals (rows out, modeled time, cycle split).
+  auto explain = engine.ExplainAnalyze(plan);
+  if (explain.ok()) {
+    std::printf("\n%s", explain.value().c_str());
+  }
   return 0;
 }

@@ -1,15 +1,60 @@
-// Assertion macros for internal invariants.
+// Assertion macros for internal invariants, and leveled diagnostics.
 //
 // RAPID_CHECK* fire in all build types: violating a DMEM budget or a
 // kernel invariant is a programming error, never a data-dependent
 // condition, so aborting is the correct response (Google style:
 // invariants crash, expected failures return Status).
+//
+// RAPID_LOG(level, fmt, ...) replaces the ad-hoc one-shot fprintfs
+// (SIMD level pick, encoding report, scheduler mode): messages below
+// the active level are dropped, so the default (warn) keeps test
+// output quiet while RAPID_LOG_LEVEL=info restores the startup
+// notices and debug opens the firehose. The level resolves once from
+// the environment (simd.cc idiom); ForceLogLevel pins it for tests.
 
 #ifndef RAPID_COMMON_LOGGING_H_
 #define RAPID_COMMON_LOGGING_H_
 
 #include <cstdio>
 #include <cstdlib>
+
+namespace rapid {
+
+enum class LogLevel { kError = 0, kWarn = 1, kInfo = 2, kDebug = 3 };
+
+// Active level: ForceLogLevel override if set, else RAPID_LOG_LEVEL
+// (error|warn|info|debug, default warn) resolved once at first use.
+LogLevel LogLevelActive();
+
+// Pins the level (tests); returns the previously active level.
+LogLevel ForceLogLevel(LogLevel level);
+
+const char* LogLevelName(LogLevel level);
+
+inline bool LogEnabled(LogLevel level) {
+  return static_cast<int>(level) <= static_cast<int>(LogLevelActive());
+}
+
+namespace internal {
+
+// Writes one log line to stderr with a "rapid: " prefix. Callers go
+// through RAPID_LOG so disabled levels cost only the LogEnabled test.
+void LogWrite(LogLevel level, const char* fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+
+}  // namespace internal
+}  // namespace rapid
+
+// Usage: RAPID_LOG(kInfo, "simd dispatch level: %s", name);
+// The message is a printf format WITHOUT the "rapid: " prefix or a
+// trailing newline — LogWrite adds both.
+#define RAPID_LOG(level, ...)                                          \
+  do {                                                                 \
+    if (::rapid::LogEnabled(::rapid::LogLevel::level)) {               \
+      ::rapid::internal::LogWrite(::rapid::LogLevel::level,            \
+                                  __VA_ARGS__);                        \
+    }                                                                  \
+  } while (0)
 
 namespace rapid::internal {
 

@@ -1,0 +1,207 @@
+#include "common/metrics.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+
+namespace rapid {
+
+MetricHistogram::MetricHistogram(std::vector<double> upper_bounds)
+    : upper_bounds_(std::move(upper_bounds)),
+      buckets_(upper_bounds_.size() + 1) {}
+
+void MetricHistogram::Observe(double value) {
+  size_t i = 0;
+  while (i < upper_bounds_.size() && value > upper_bounds_[i]) ++i;
+  buckets_[i].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  uint64_t bits = sum_bits_.load(std::memory_order_relaxed);
+  for (;;) {
+    double current;
+    std::memcpy(&current, &bits, sizeof(current));
+    const double updated = current + value;
+    uint64_t updated_bits;
+    std::memcpy(&updated_bits, &updated, sizeof(updated_bits));
+    if (sum_bits_.compare_exchange_weak(bits, updated_bits,
+                                        std::memory_order_relaxed)) {
+      break;
+    }
+  }
+}
+
+double MetricHistogram::sum() const {
+  const uint64_t bits = sum_bits_.load(std::memory_order_relaxed);
+  double value;
+  std::memcpy(&value, &bits, sizeof(value));
+  return value;
+}
+
+void MetricHistogram::Reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_bits_.store(0, std::memory_order_relaxed);
+}
+
+MetricsRegistry& MetricsRegistry::Instance() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+MetricsRegistry::Entry* MetricsRegistry::Find(const std::string& name) {
+  for (auto& e : entries_) {
+    if (e->name == name) return e.get();
+  }
+  return nullptr;
+}
+
+MetricCounter* MetricsRegistry::Counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Entry* e = Find(name);
+  if (e == nullptr) {
+    entries_.push_back(std::make_unique<Entry>());
+    e = entries_.back().get();
+    e->name = name;
+    e->counter = std::make_unique<MetricCounter>();
+  }
+  return e->counter.get();
+}
+
+MetricGauge* MetricsRegistry::Gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Entry* e = Find(name);
+  if (e == nullptr) {
+    entries_.push_back(std::make_unique<Entry>());
+    e = entries_.back().get();
+    e->name = name;
+    e->gauge = std::make_unique<MetricGauge>();
+  }
+  return e->gauge.get();
+}
+
+MetricHistogram* MetricsRegistry::Histogram(const std::string& name,
+                                            std::vector<double> upper_bounds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Entry* e = Find(name);
+  if (e == nullptr) {
+    entries_.push_back(std::make_unique<Entry>());
+    e = entries_.back().get();
+    e->name = name;
+    e->histogram = std::make_unique<MetricHistogram>(std::move(upper_bounds));
+  }
+  return e->histogram.get();
+}
+
+std::vector<MetricsRegistry::SnapshotEntry> MetricsRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<SnapshotEntry> out;
+  out.reserve(entries_.size());
+  for (const auto& e : entries_) {
+    SnapshotEntry s;
+    s.name = e->name;
+    if (e->counter != nullptr) {
+      s.kind = SnapshotEntry::Kind::kCounter;
+      s.counter = e->counter->value();
+    } else if (e->gauge != nullptr) {
+      s.kind = SnapshotEntry::Kind::kGauge;
+      s.gauge = e->gauge->value();
+    } else {
+      s.kind = SnapshotEntry::Kind::kHistogram;
+      s.bounds = e->histogram->upper_bounds();
+      for (size_t i = 0; i <= s.bounds.size(); ++i) {
+        s.buckets.push_back(e->histogram->bucket_count(i));
+      }
+      s.count = e->histogram->count();
+      s.sum = e->histogram->sum();
+    }
+    out.push_back(std::move(s));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const SnapshotEntry& a, const SnapshotEntry& b) {
+              return a.name < b.name;
+            });
+  return out;
+}
+
+std::string MetricsRegistry::DumpText() const {
+  std::string out;
+  char buf[128];
+  for (const SnapshotEntry& s : Snapshot()) {
+    switch (s.kind) {
+      case SnapshotEntry::Kind::kCounter:
+        std::snprintf(buf, sizeof(buf), " %" PRIu64 "\n", s.counter);
+        out += s.name;
+        out += buf;
+        break;
+      case SnapshotEntry::Kind::kGauge:
+        std::snprintf(buf, sizeof(buf), " %" PRId64 "\n", s.gauge);
+        out += s.name;
+        out += buf;
+        break;
+      case SnapshotEntry::Kind::kHistogram:
+        std::snprintf(buf, sizeof(buf), " count=%" PRIu64 " sum=%.6g",
+                      s.count, s.sum);
+        out += s.name;
+        out += buf;
+        for (size_t i = 0; i < s.buckets.size(); ++i) {
+          if (i < s.bounds.size()) {
+            std::snprintf(buf, sizeof(buf), " le%.6g=%" PRIu64, s.bounds[i],
+                          s.buckets[i]);
+          } else {
+            std::snprintf(buf, sizeof(buf), " inf=%" PRIu64, s.buckets[i]);
+          }
+          out += buf;
+        }
+        out += '\n';
+        break;
+    }
+  }
+  return out;
+}
+
+std::string MetricsRegistry::DumpJson() const {
+  std::string out = "{";
+  char buf[128];
+  bool first = true;
+  for (const SnapshotEntry& s : Snapshot()) {
+    if (!first) out += ',';
+    first = false;
+    out += "\n\"" + s.name + "\":";
+    switch (s.kind) {
+      case SnapshotEntry::Kind::kCounter:
+        std::snprintf(buf, sizeof(buf), "%" PRIu64, s.counter);
+        out += buf;
+        break;
+      case SnapshotEntry::Kind::kGauge:
+        std::snprintf(buf, sizeof(buf), "%" PRId64, s.gauge);
+        out += buf;
+        break;
+      case SnapshotEntry::Kind::kHistogram: {
+        std::snprintf(buf, sizeof(buf),
+                      "{\"count\":%" PRIu64 ",\"sum\":%.6g,\"buckets\":[",
+                      s.count, s.sum);
+        out += buf;
+        for (size_t i = 0; i < s.buckets.size(); ++i) {
+          if (i > 0) out += ',';
+          std::snprintf(buf, sizeof(buf), "%" PRIu64, s.buckets[i]);
+          out += buf;
+        }
+        out += "]}";
+        break;
+      }
+    }
+  }
+  out += "\n}\n";
+  return out;
+}
+
+void MetricsRegistry::ResetAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& e : entries_) {
+    if (e->counter != nullptr) e->counter->Reset();
+    if (e->gauge != nullptr) e->gauge->Reset();
+    if (e->histogram != nullptr) e->histogram->Reset();
+  }
+}
+
+}  // namespace rapid

@@ -1,0 +1,118 @@
+// Process-wide metrics: named counters, gauges and fixed-bucket
+// histograms, registered once and updated with single atomic ops.
+//
+// Where the trace answers "what did THIS query do", metrics aggregate
+// across queries: how many queries ran, how many offloaded, how many
+// rows Bloom filters pruned, how often the tile pool missed. Sites
+// register a metric once (cache the pointer in a function-local
+// static) and then update it lock-free; MetricsRegistry::Snapshot()
+// copies everything for inspection, and DumpText()/DumpJson() render
+// it for humans and scrapers.
+
+#ifndef RAPID_COMMON_METRICS_H_
+#define RAPID_COMMON_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace rapid {
+
+class MetricCounter {
+ public:
+  void Add(uint64_t delta) { value_.fetch_add(delta, std::memory_order_relaxed); }
+  void Increment() { Add(1); }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+class MetricGauge {
+ public:
+  void Set(int64_t value) { value_.store(value, std::memory_order_relaxed); }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { Set(0); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+// Fixed upper-bound buckets plus an implicit overflow bucket; also
+// tracks count and sum so averages survive bucket granularity.
+class MetricHistogram {
+ public:
+  explicit MetricHistogram(std::vector<double> upper_bounds);
+
+  void Observe(double value);
+
+  const std::vector<double>& upper_bounds() const { return upper_bounds_; }
+  uint64_t bucket_count(size_t i) const {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  double sum() const;
+  void Reset();
+
+ private:
+  std::vector<double> upper_bounds_;
+  std::vector<std::atomic<uint64_t>> buckets_;  // upper_bounds + overflow
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> sum_bits_{0};  // CAS-accumulated double
+};
+
+class MetricsRegistry {
+ public:
+  static MetricsRegistry& Instance();
+
+  // Registration is idempotent: the first call creates, later calls
+  // return the same object. Pointers stay valid for process lifetime.
+  MetricCounter* Counter(const std::string& name);
+  MetricGauge* Gauge(const std::string& name);
+  MetricHistogram* Histogram(const std::string& name,
+                             std::vector<double> upper_bounds);
+
+  struct SnapshotEntry {
+    std::string name;
+    enum class Kind { kCounter, kGauge, kHistogram } kind;
+    uint64_t counter = 0;
+    int64_t gauge = 0;
+    std::vector<double> bounds;
+    std::vector<uint64_t> buckets;  // bounds.size() + 1 (overflow)
+    uint64_t count = 0;
+    double sum = 0;
+  };
+  // Name-sorted copy of every registered metric.
+  std::vector<SnapshotEntry> Snapshot() const;
+
+  std::string DumpText() const;
+  std::string DumpJson() const;
+
+  // Zeroes every metric (tests). Registration survives.
+  void ResetAll();
+
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+ private:
+  MetricsRegistry() = default;
+
+  struct Entry {
+    std::string name;
+    std::unique_ptr<MetricCounter> counter;
+    std::unique_ptr<MetricGauge> gauge;
+    std::unique_ptr<MetricHistogram> histogram;
+  };
+  Entry* Find(const std::string& name);
+
+  mutable std::mutex mu_;
+  std::vector<std::unique_ptr<Entry>> entries_;
+};
+
+}  // namespace rapid
+
+#endif  // RAPID_COMMON_METRICS_H_

@@ -1,9 +1,10 @@
 #include "common/simd.h"
 
 #include <atomic>
-#include <cstdio>
 #include <cstdlib>
 #include <cstring>
+
+#include "common/logging.h"
 
 namespace rapid {
 namespace {
@@ -36,14 +37,14 @@ SimdLevel ResolveStartupLevel() {
     } else if (std::strcmp(env, "auto") == 0) {
       level = supported;
     } else {
-      std::fprintf(stderr,
-                   "rapid: unknown RAPID_SIMD value '%s' "
-                   "(want off|sse42|avx2|auto); using auto\n",
-                   env);
+      RAPID_LOG(kWarn,
+                "unknown RAPID_SIMD value '%s' "
+                "(want off|sse42|avx2|auto); using auto",
+                env);
     }
   }
-  std::fprintf(stderr, "rapid: SIMD dispatch level %s (RAPID_SIMD=%s, cpu max %s)\n",
-               SimdLevelName(level), requested, SimdLevelName(supported));
+  RAPID_LOG(kInfo, "SIMD dispatch level %s (RAPID_SIMD=%s, cpu max %s)",
+            SimdLevelName(level), requested, SimdLevelName(supported));
   return level;
 }
 

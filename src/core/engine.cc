@@ -8,6 +8,9 @@
 #include <unordered_map>
 #include <utility>
 
+#include "common/logging.h"
+#include "common/metrics.h"
+#include "common/trace.h"
 #include "storage/loader.h"
 
 namespace rapid::core {
@@ -31,19 +34,46 @@ int ResolveEnvRetryBudget() {
     if (end != env && *end == '\0' && parsed >= 0) {
       budget = static_cast<int>(std::min(parsed, 16L));
     } else {
-      std::fprintf(stderr,
-                   "rapid: invalid RAPID_RETRY_BUDGET value '%s' "
-                   "(want an integer >= 0); using %d\n",
-                   env, kDefault);
+      RAPID_LOG(kWarn,
+                "invalid RAPID_RETRY_BUDGET value '%s' "
+                "(want an integer >= 0); using %d",
+                env, kDefault);
     }
   }
   if (budget != kDefault) {
-    std::fprintf(stderr,
-                 "rapid: fragment retry budget overridden to %d "
-                 "(RAPID_RETRY_BUDGET)\n",
-                 budget);
+    RAPID_LOG(kInfo, "fragment retry budget overridden to %d "
+              "(RAPID_RETRY_BUDGET)",
+              budget);
   }
   return budget;
+}
+
+// One emission path for the cross-query metrics: every counter that
+// used to be hand-threaded out of ExecutionStats by callers is
+// published here when a query completes on the DPU.
+void EmitQueryMetrics(const ExecutionStats& s) {
+  auto& reg = MetricsRegistry::Instance();
+  static MetricCounter* queries = reg.Counter("rapid.queries");
+  static MetricHistogram* latency_ms = reg.Histogram(
+      "rapid.query.modeled_ms", {0.1, 0.3, 1, 3, 10, 30, 100, 300, 1000});
+  static MetricCounter* pruned =
+      reg.Counter("rapid.rows.pruned_by_join_filter");
+  static MetricCounter* steals = reg.Counter("rapid.sched.steals");
+  static MetricCounter* pool_misses = reg.Counter("rapid.pool.misses");
+  static MetricCounter* encoded_bytes =
+      reg.Counter("rapid.dms.encoded_bytes");
+  static MetricCounter* plain_bytes = reg.Counter("rapid.dms.plain_bytes");
+  static MetricCounter* retries = reg.Counter("rapid.query.retries");
+  static MetricCounter* demotions = reg.Counter("rapid.query.demotions");
+  queries->Increment();
+  latency_ms->Observe(s.modeled_seconds * 1e3);
+  pruned->Add(s.rows_pruned_by_join_filter);
+  steals->Add(s.imbalance.steal_count);
+  pool_misses->Add(s.tile_pool.misses);
+  encoded_bytes->Add(s.encoded_bytes_moved);
+  plain_bytes->Add(s.plain_bytes_moved);
+  retries->Add(s.dpu_retries);
+  if (s.demoted_to_unfused) demotions->Increment();
 }
 
 }  // namespace
@@ -112,8 +142,21 @@ size_t RapidEngine::VacuumTrackers(uint64_t min_active_scn) {
 Result<QueryResult> RapidEngine::Execute(const LogicalPtr& plan,
                                          const ExecOptions& options,
                                          FallbackInfo* fallback) {
+  TraceQueryScope trace_scope(dpu_->num_cores(), params_.clock_hz);
   Planner planner(config_, params_, options.planner);
-  RAPID_ASSIGN_OR_RETURN(PhysicalPlan physical, planner.Plan(plan, catalog_));
+  Result<PhysicalPlan> planned = [&] {
+    TraceSpan span(TraceMode::kSummary, TraceCollector::kTrackPlanner,
+                   "qcomp.plan");
+    auto r = planner.Plan(plan, catalog_);
+    if (r.ok()) {
+      span.Annotate("steps", static_cast<int64_t>(r.value().steps.size()));
+      span.Annotate("fusion",
+                    options.planner.enable_fusion ? int64_t{1} : int64_t{0});
+    }
+    return r;
+  }();
+  RAPID_RETURN_NOT_OK(planned.status());
+  PhysicalPlan physical = std::move(planned.value());
 
   FragmentCheckpoint ckpt;
   FragmentCheckpoint* cp = options.enable_checkpoints ? &ckpt : nullptr;
@@ -147,6 +190,12 @@ Result<QueryResult> RapidEngine::Execute(const LogicalPtr& plan,
       unfused = std::move(replanned.value());
       current = &unfused;
       demoted = true;
+      if (TraceCollector::Recording(TraceMode::kSummary)) {
+        auto& tc = TraceCollector::Instance();
+        tc.AddStepInstant("engine.demote_unfused",
+                          {TraceCollector::Arg::S(
+                              "cause", tc.Intern(failure.ToString()))});
+      }
       result = ExecutePhysical(*current, attempt, cp);
       continue;
     }
@@ -160,6 +209,13 @@ Result<QueryResult> RapidEngine::Execute(const LogicalPtr& plan,
     if (cp != nullptr && transient && budget > 0) {
       --budget;
       ++cp->dpu_retries;
+      if (TraceCollector::Recording(TraceMode::kSummary)) {
+        auto& tc = TraceCollector::Instance();
+        tc.AddStepInstant(
+            "engine.retry",
+            {TraceCollector::Arg::I("budget_left", budget),
+             TraceCollector::Arg::S("cause", tc.Intern(failure.ToString()))});
+      }
       result = ExecutePhysical(*current, attempt, cp);
       continue;
     }
@@ -168,8 +224,10 @@ Result<QueryResult> RapidEngine::Execute(const LogicalPtr& plan,
 
   if (result.ok()) {
     if (demoted) result.value().stats.demoted_to_unfused = true;
+    EmitQueryMetrics(result.value().stats);
     return result;
   }
+  MetricsRegistry::Instance().Counter("rapid.query.failures")->Increment();
   if (fallback != nullptr && !result.status().IsCancellation()) {
     fallback->reused_rounds = ckpt.reused_rounds;
     fallback->resumed_morsels = ckpt.resumed_morsels;
@@ -220,6 +278,9 @@ Result<QueryResult> RapidEngine::ExecutePhysical(const PhysicalPlan& plan,
   if (plan.root < 0 || plan.steps.empty()) {
     return Status::InvalidArgument("physical plan is empty");
   }
+  // Nested no-op under Execute's scope; gives direct callers
+  // (benchmarks, ExplainAnalyze) a complete trace of their own.
+  TraceQueryScope trace_scope(dpu_->num_cores(), params_.clock_hz);
 
   // Compose the caller's token with a local deadline token when a
   // timeout is set; steps poll whichever pointer ends up in the env.
@@ -265,6 +326,17 @@ Result<QueryResult> RapidEngine::ExecutePhysical(const PhysicalPlan& plan,
       if (frag.out.partitioned) {
         env.reused_rounds += static_cast<uint64_t>(
             std::max(0, frag.out.parts.rounds));
+      }
+      if (TraceCollector::Recording(TraceMode::kSummary)) {
+        auto& tc = TraceCollector::Instance();
+        tc.AddStepInstant(
+            "checkpoint.restore",
+            {TraceCollector::Arg::S("path", tc.Intern(frag.path)),
+             TraceCollector::Arg::I("step",
+                                    static_cast<int64_t>(it->second)),
+             TraceCollector::Arg::I(
+                 "rounds",
+                 frag.out.partitioned ? frag.out.parts.rounds : 0)});
       }
       env.outputs[it->second] = std::move(frag.out);
       done[it->second] = 1;
@@ -338,12 +410,33 @@ Result<QueryResult> RapidEngine::ExecutePhysical(const PhysicalPlan& plan,
         imb_after.mean_core_cycles - imb_before.mean_core_cycles;
     step_imb.steal_count = imb_after.steal_count - imb_before.steal_count;
     step_imb.phases = imb_after.phases - imb_before.phases;
-    result.stats.steps.push_back(StepTiming{step->Describe(), step_seconds,
-                                            max_compute, sum_dms,
-                                            step_imb.Ratio(),
-                                            step_imb.steal_count});
+    const StepOutput& out = env.outputs[static_cast<size_t>(step->id())];
+    uint64_t rows_out = out.set.num_rows();
+    if (out.partitioned) {
+      rows_out = 0;
+      for (const ColumnSet& part : out.parts.partitions) {
+        rows_out += part.num_rows();
+      }
+    }
+    result.stats.steps.push_back(StepTiming{
+        step->Describe(), step_seconds, max_compute, sum_dms,
+        step_imb.Ratio(), step_imb.steal_count, step->id(), rows_out});
     result.stats.modeled_seconds += step_seconds;
     result.stats.total_dms_cycles += sum_dms;
+    // Steps-track span: duration = this step's modeled cycles, so the
+    // summed span durations reconcile with modeled_seconds exactly.
+    if (TraceCollector::Recording(TraceMode::kSummary)) {
+      auto& tc = TraceCollector::Instance();
+      tc.AddStepSpan(tc.Intern(step->Describe()),
+                     std::max(max_compute, sum_dms),
+                     {TraceCollector::Arg::I("step", step->id()),
+                      TraceCollector::Arg::U("rows_out", rows_out),
+                      TraceCollector::Arg::D("compute_cycles", max_compute),
+                      TraceCollector::Arg::D("dms_cycles", sum_dms),
+                      TraceCollector::Arg::D("imbalance", step_imb.Ratio()),
+                      TraceCollector::Arg::U("steals",
+                                             step_imb.steal_count)});
+    }
   }
   if (!step_status.ok()) {
     // Harvest everything this attempt completed — materialized step
@@ -427,6 +520,93 @@ Result<QueryResult> RapidEngine::ExecutePhysical(const PhysicalPlan& plan,
   }
   result.rows = std::move(env.outputs[static_cast<size_t>(plan.root)].set);
   return result;
+}
+
+const std::string& RapidEngine::LastTrace() {
+  return TraceCollector::Instance().last_trace_json();
+}
+
+namespace {
+
+// Physical tree render with per-node actuals, following PlanStep
+// input edges down from the root.
+void RenderStepTree(const PhysicalPlan& plan, int id,
+                    const std::unordered_map<int, const StepTiming*>& timings,
+                    int indent, std::string* out) {
+  if (id < 0 || static_cast<size_t>(id) >= plan.steps.size()) return;
+  const auto& step = plan.steps[static_cast<size_t>(id)];
+  out->append(static_cast<size_t>(indent) * 2, ' ');
+  *out += "#" + std::to_string(id) + " " + step->Describe();
+  auto it = timings.find(id);
+  if (it != timings.end()) {
+    const StepTiming& t = *it->second;
+    char buf[176];
+    std::snprintf(buf, sizeof(buf),
+                  "  (rows=%llu modeled_ms=%.4f compute_cycles=%.0f"
+                  " dms_cycles=%.0f imbalance=%.2f steals=%llu)",
+                  static_cast<unsigned long long>(t.rows_out),
+                  t.modeled_seconds * 1e3, t.compute_cycles, t.dms_cycles,
+                  t.imbalance_ratio,
+                  static_cast<unsigned long long>(t.steal_count));
+    *out += buf;
+  } else {
+    // Only possible when a checkpoint restored the step's output: the
+    // cost was paid (and reported) by the attempt that completed it.
+    *out += "  (restored from checkpoint)";
+  }
+  *out += "\n";
+  // A step can reference the same input through several edges (e.g. a
+  // probe's build input doubling as its join-filter source); render
+  // the shared subtree once.
+  std::vector<int> children;
+  for (int child : step->Inputs()) {
+    if (std::find(children.begin(), children.end(), child) ==
+        children.end()) {
+      children.push_back(child);
+    }
+  }
+  for (int child : children) {
+    RenderStepTree(plan, child, timings, indent + 1, out);
+  }
+}
+
+}  // namespace
+
+Result<std::string> RapidEngine::ExplainAnalyze(const LogicalPtr& plan,
+                                                const ExecOptions& options) {
+  Planner planner(config_, params_, options.planner);
+  RAPID_ASSIGN_OR_RETURN(PhysicalPlan physical, planner.Plan(plan, catalog_));
+  FragmentCheckpoint ckpt;
+  RAPID_ASSIGN_OR_RETURN(
+      QueryResult result,
+      ExecutePhysical(physical, options,
+                      options.enable_checkpoints ? &ckpt : nullptr));
+
+  const ExecutionStats& s = result.stats;
+  std::unordered_map<int, const StepTiming*> timings;
+  for (const StepTiming& t : s.steps) timings.emplace(t.step_id, &t);
+
+  std::string out;
+  char buf[224];
+  std::snprintf(buf, sizeof(buf),
+                "EXPLAIN ANALYZE  rows=%llu modeled_ms=%.4f wall_ms=%.4f"
+                " compute_cycles=%.0f dms_cycles=%.0f",
+                static_cast<unsigned long long>(result.rows.num_rows()),
+                s.modeled_seconds * 1e3, s.wall_seconds * 1e3,
+                s.total_compute_cycles, s.total_dms_cycles);
+  out += buf;
+  std::snprintf(buf, sizeof(buf),
+                " steals=%llu pool_misses=%llu pruned=%llu reused_rounds=%llu"
+                " retries=%llu\n",
+                static_cast<unsigned long long>(s.imbalance.steal_count),
+                static_cast<unsigned long long>(s.tile_pool.misses),
+                static_cast<unsigned long long>(
+                    s.rows_pruned_by_join_filter),
+                static_cast<unsigned long long>(s.reused_rounds),
+                static_cast<unsigned long long>(s.dpu_retries));
+  out += buf;
+  RenderStepTree(physical, physical.root, timings, 0, &out);
+  return out;
 }
 
 }  // namespace rapid::core

@@ -52,6 +52,10 @@ struct StepTiming {
   // number of morsels executed on a core other than their LPT owner.
   double imbalance_ratio = 1.0;
   uint64_t steal_count = 0;
+  // Physical-plan step id and output cardinality — what ExplainAnalyze
+  // joins the timings back to the plan tree with.
+  int step_id = -1;
+  uint64_t rows_out = 0;
 };
 
 struct ExecutionStats {
@@ -192,6 +196,17 @@ class RapidEngine {
   // Resolved fragment-retry budget: `option` when >= 0, otherwise the
   // RAPID_RETRY_BUDGET environment value (default 2, clamped [0, 16]).
   static int ResolveRetryBudget(int option);
+
+  // Chrome trace-event JSON of the most recent query executed with
+  // RAPID_TRACE (or ForceTraceMode) at summary or full; "" when the
+  // last query ran with tracing off. Process-wide, like the collector.
+  static const std::string& LastTrace();
+
+  // Executes `plan` and renders the physical plan tree annotated with
+  // per-node actuals (rows, modeled ms, compute/DMS cycles, imbalance,
+  // steals) plus the query-wide counters — EXPLAIN ANALYZE.
+  Result<std::string> ExplainAnalyze(
+      const LogicalPtr& plan, const ExecOptions& options = ExecOptions{});
 
   // Applies an update batch to a loaded table through its tracker and
   // bumps the table SCN (Section 4.3).

@@ -1,9 +1,10 @@
 #include "core/join_filter.h"
 
 #include <atomic>
-#include <cstdio>
 #include <cstdlib>
 #include <cstring>
+
+#include "common/logging.h"
 
 namespace rapid::core {
 
@@ -22,14 +23,14 @@ JoinFilterMode ResolveStartupMode() {
     } else if (std::strcmp(env, "auto") == 0) {
       mode = JoinFilterMode::kAuto;
     } else {
-      std::fprintf(stderr,
-                   "rapid: unknown RAPID_JOIN_FILTER value '%s' "
-                   "(want off|auto); using auto\n",
-                   env);
+      RAPID_LOG(kWarn,
+                "unknown RAPID_JOIN_FILTER value '%s' "
+                "(want off|auto); using auto",
+                env);
     }
   }
-  std::fprintf(stderr, "rapid: join filters %s (RAPID_JOIN_FILTER=%s)\n",
-               mode == JoinFilterMode::kAuto ? "auto" : "off", requested);
+  RAPID_LOG(kInfo, "join filters %s (RAPID_JOIN_FILTER=%s)",
+            mode == JoinFilterMode::kAuto ? "auto" : "off", requested);
   return mode;
 }
 

@@ -8,6 +8,7 @@
 #include "common/crc32.h"
 #include "common/fault.h"
 #include "common/logging.h"
+#include "common/trace.h"
 #include "core/join_filter.h"
 #include "primitives/bloom.h"
 #include "primitives/join_kernel.h"
@@ -261,6 +262,9 @@ Status JoinPair(dpu::Dpu& dpu, dpu::DpCore& core, const ColumnSet& build,
   }
 
   {
+    TraceSpan build_span(TraceMode::kFull, core.id(), "join.build",
+                         &dpu::TraceClockNow, &core.cycles());
+    build_span.Annotate("rows", static_cast<uint64_t>(build_rows));
     const std::vector<size_t>& bkeys = spec.build_keys;
     for (size_t start = 0; start < build_rows; start += spec.tile_rows) {
       RAPID_RETURN_NOT_OK(CancelToken::Check(cancel));
@@ -343,6 +347,9 @@ Status JoinPair(dpu::Dpu& dpu, dpu::DpCore& core, const ColumnSet& build,
     keep_idx.resize(spec.tile_rows);
     kept_counts.resize(spec.tile_rows);
   }
+  TraceSpan probe_span(TraceMode::kFull, core.id(), "join.probe",
+                       &dpu::TraceClockNow, &core.cycles());
+  probe_span.Annotate("rows", static_cast<uint64_t>(probe_rows));
   for (size_t start = 0; start < probe_rows; start += spec.tile_rows) {
     RAPID_RETURN_NOT_OK(CancelToken::Check(cancel));
     const size_t rows = std::min(spec.tile_rows, probe_rows - start);
@@ -480,6 +487,7 @@ Status JoinPair(dpu::Dpu& dpu, dpu::DpCore& core, const ColumnSet& build,
         params, static_cast<int>(pkeys.size()), rows, sizeof(int64_t), false));
     probe_stats.Merge(tile_stats);
   }
+  probe_span.Annotate("matches", static_cast<uint64_t>(probe_stats.matches));
   result->stats.chain_steps += probe_stats.chain_steps;
   result->stats.overflow_steps += probe_stats.overflow_steps;
   return Status::OK();
@@ -541,6 +549,13 @@ Result<ColumnSet> JoinExec::Execute(dpu::Dpu& dpu, const PartitionedData& build,
   dpu::WorkQueue queue(std::move(pair_weights), dpu.num_cores());
   RAPID_RETURN_NOT_OK(dpu.ParallelForMorsels(
       queue, cancel, [&](dpu::DpCore& core, size_t pair) -> Status {
+        TraceSpan span(TraceMode::kFull, core.id(), "join.pair",
+                       &dpu::TraceClockNow, &core.cycles());
+        span.Annotate("pair", static_cast<int64_t>(pair));
+        span.Annotate("build_rows",
+                      static_cast<uint64_t>(build.partitions[pair].num_rows()));
+        span.Annotate("probe_rows",
+                      static_cast<uint64_t>(probe.partitions[pair].num_rows()));
         return JoinPair(dpu, core, build.partitions[pair],
                         probe.partitions[pair], spec, build.bits_used, cancel,
                         kMaxOverflowRecoveries, &results[pair]);

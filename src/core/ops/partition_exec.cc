@@ -6,6 +6,7 @@
 #include "common/crc32.h"
 #include "common/fault.h"
 #include "common/logging.h"
+#include "common/trace.h"
 #include "primitives/partition_map.h"
 #include "primitives/simd.h"
 
@@ -235,6 +236,10 @@ Result<PartitionedData> PartitionExec::Execute(
     const Status round_status = dpu.ParallelForMorsels(
         queue, cancel, [&](dpu::DpCore& core, size_t u) -> Status {
           WorkUnit& unit = units[u];
+          TraceSpan span(TraceMode::kFull, core.id(), "partition.unit",
+                         &dpu::TraceClockNow, &core.cycles());
+          span.Annotate("round", static_cast<int64_t>(ri));
+          span.Annotate("rows", static_cast<uint64_t>(unit.end - unit.begin));
           // Each work unit programs one partition-engine descriptor
           // chain; transient faults are retried inside RunDescriptor.
           RAPID_RETURN_NOT_OK(
@@ -256,6 +261,13 @@ Result<PartitionedData> PartitionExec::Execute(
         progress->bucket_hashes = std::move(bucket_hashes);
       }
       return round_status;
+    }
+    if (TraceCollector::Recording(TraceMode::kFull)) {
+      TraceCollector::Instance().AddStepInstant(
+          "partition.round",
+          {TraceCollector::Arg::I("round", static_cast<int64_t>(ri)),
+           TraceCollector::Arg::I("fanout", round.fanout),
+           TraceCollector::Arg::U("rows", total_rows)});
     }
 
     // Reassemble buckets in (bucket, partition) order, merging the

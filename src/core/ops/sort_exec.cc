@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "common/logging.h"
+#include "common/trace.h"
 
 namespace rapid::core {
 
@@ -136,6 +137,10 @@ std::vector<uint32_t> SortExec::SortedPermutation(
   dpu::WorkQueue queue(std::move(bucket_weights), num_cores);
   const Status st = dpu.ParallelForMorsels(
       queue, /*cancel=*/nullptr, [&](dpu::DpCore& core, size_t b) -> Status {
+        TraceSpan span(TraceMode::kFull, core.id(), "sort.bucket",
+                       &dpu::TraceClockNow, &core.cycles());
+        span.Annotate("bucket", static_cast<int64_t>(b));
+        span.Annotate("rows", static_cast<uint64_t>(buckets[b].size()));
         if (!buckets[b].empty()) {
           RadixSortRows(core, dpu.params(), input, keys, &buckets[b]);
         }

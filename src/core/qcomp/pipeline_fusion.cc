@@ -6,6 +6,7 @@
 #include <unordered_set>
 #include <utility>
 
+#include "common/trace.h"
 #include "core/qcomp/task_formation.h"
 #include "primitives/bloom.h"
 #include "storage/encoding_stack.h"
@@ -261,6 +262,16 @@ Status Fuser::HandleJoin(int id, JoinStep* join) {
            spec.est_build_rows <= max_build_rows_ &&
            spec.est_build_rows <= std::max<size_t>(1, spec.est_probe_rows) &&
            broadcast_rows <= saved_rows;
+    // The broadcast-gate numbers behind the decision, on the planner
+    // track (the DMEM fit check below may still veto the fusion).
+    TraceSpan span(TraceMode::kSummary, TraceCollector::kTrackPlanner,
+                   "fusion.broadcast_gate");
+    span.Annotate("build_rows", static_cast<int64_t>(spec.est_build_rows));
+    span.Annotate("probe_rows", static_cast<int64_t>(spec.est_probe_rows));
+    span.Annotate("participating", static_cast<int64_t>(participating));
+    span.Annotate("broadcast_rows", static_cast<int64_t>(broadcast_rows));
+    span.Annotate("saved_rows", static_cast<int64_t>(saved_rows));
+    span.Annotate("fuse", fuse ? int64_t{1} : int64_t{0});
   }
   if (fuse) {
     PipelineStageSpec stage;

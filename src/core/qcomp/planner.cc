@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/trace.h"
 #include "core/qcomp/cost_model.h"
 #include "core/qcomp/partition_scheme.h"
 #include "core/qcomp/pipeline_fusion.h"
@@ -355,6 +356,16 @@ Result<Planner::Lowered> Planner::LowerImpl(const LogicalNode& node,
         scheme = choice.scheme;
         fanout = choice.target_fanout;
       }
+      {
+        TraceSpan span(TraceMode::kSummary, TraceCollector::kTrackPlanner,
+                       "planner.partition_scheme");
+        span.Annotate("build_rows", static_cast<int64_t>(pin.total_rows));
+        span.Annotate("fanout", static_cast<int64_t>(fanout));
+        span.Annotate("rounds", static_cast<int64_t>(scheme.rounds.size()));
+        span.Annotate("forced",
+                      options_.force_join_fanout > 0 ? int64_t{1}
+                                                     : int64_t{0});
+      }
 
       const int build_part_id = NextId(*plan);
       AddStep(plan, std::make_unique<PartitionStep>(
@@ -470,6 +481,18 @@ Result<Planner::Lowered> Planner::LowerImpl(const LogicalNode& node,
               scan->set_join_filter(std::move(ref));
               scan_ref_attached = true;
             }
+            // The cost-gate numbers that made (or rejected) the
+            // pushdown, on the planner track.
+            TraceSpan span(TraceMode::kSummary,
+                           TraceCollector::kTrackPlanner,
+                           "planner.join_filter_gate");
+            span.Annotate("build_rows", static_cast<int64_t>(brows));
+            span.Annotate("blocks", static_cast<int64_t>(blocks));
+            span.Annotate("selectivity", sel);
+            span.Annotate("fpr", fpr);
+            span.Annotate("saved_seconds", saved);
+            span.Annotate("attached",
+                          scan_ref_attached ? int64_t{1} : int64_t{0});
           }
         }
       }

@@ -6,6 +6,7 @@
 #include <mutex>
 #include <sstream>
 
+#include "common/trace.h"
 #include "core/join_filter.h"
 #include "core/ops/filter_op.h"
 #include "core/ops/probe_op.h"
@@ -121,6 +122,12 @@ bool BuildJoinFilter(ExecEnv& env, const JoinFilterRef& ref,
   const uint32_t num_blocks =
       primitives::BlockedBloomFilter::BlocksForNdv(rows, max_bytes);
   if (num_blocks == 0) return false;
+  // Host-track span (orchestrator thread); recording obeys the same
+  // no-fault-poll / no-pool / no-DMEM discipline as the build itself.
+  TraceSpan span(TraceMode::kSummary, TraceCollector::kTrackHost,
+                 "joinfilter.build");
+  span.Annotate("build_rows", static_cast<int64_t>(rows));
+  span.Annotate("blocks", static_cast<int64_t>(num_blocks));
   *filter = primitives::BlockedBloomFilter(num_blocks);
   const size_t kcol = key.value();
   for (size_t r = 0; r < rows; ++r) {
@@ -142,6 +149,7 @@ bool BuildJoinFilter(ExecEnv& env, const JoinFilterRef& ref,
       core.join_filter().filter_bytes += filter->bytes();
     }
   });
+  span.Annotate("filter_bytes", static_cast<int64_t>(filter->bytes()));
   return true;
 }
 
@@ -238,6 +246,9 @@ Status ScanStep::Execute(ExecEnv& env) const {
   dpu::WorkQueue queue(std::move(weights), num_cores);
   RAPID_RETURN_NOT_OK(env.dpu->ParallelForMorsels(
       queue, env.cancel, [&](dpu::DpCore& core, size_t m) -> Status {
+        TraceSpan span(TraceMode::kFull, core.id(), "scan.morsel",
+                       &dpu::TraceClockNow, &core.cycles());
+        span.Annotate("chunk", static_cast<int64_t>(m));
         core.dmem().Reset();
 
         // Build this morsel's pipeline: filter -> project -> sink.
@@ -260,6 +271,8 @@ Status ScanStep::Execute(ExecEnv& env) const {
                                             &filter);
         }
         core.dmem().Reset();
+        span.Annotate("rows_out",
+                      static_cast<uint64_t>(per_morsel[m].num_rows()));
         return st;
       }));
 
@@ -339,6 +352,9 @@ Status PipeStep::Execute(ExecEnv& env) const {
   dpu::WorkQueue queue(RangeWeights(ranges), num_cores);
   RAPID_RETURN_NOT_OK(env.dpu->ParallelForMorsels(
       queue, env.cancel, [&](dpu::DpCore& core, size_t m) -> Status {
+        TraceSpan span(TraceMode::kFull, core.id(), "pipe.morsel",
+                       &dpu::TraceClockNow, &core.cycles());
+        span.Annotate("morsel", static_cast<int64_t>(m));
         const RowRange& range = ranges[m];
         core.dmem().Reset();
 
@@ -792,6 +808,9 @@ Status PipelineStep::Execute(ExecEnv& env) const {
   const Status loop_status = env.dpu->ParallelForMorsels(
       queue, env.cancel, [&](dpu::DpCore& core, size_t m) -> Status {
         if (morsel_done[m] != 0) return Status::OK();  // resumed slot
+        TraceSpan span(TraceMode::kFull, core.id(), "pipeline.morsel",
+                       &dpu::TraceClockNow, &core.cycles());
+        span.Annotate("morsel", static_cast<int64_t>(m));
         CoreChain& chain = chains[static_cast<size_t>(core.id())];
         ExecCtx ctx{&core, &env.dpu->dms(), &env.dpu->params(),
                     env.vectorized, env.cancel};
@@ -983,6 +1002,9 @@ Status GroupByStep::ExecuteLowNdv(ExecEnv& env, const ColumnSet& input,
   dpu::WorkQueue queue(RangeWeights(ranges), num_cores);
   RAPID_RETURN_NOT_OK(env.dpu->ParallelForMorsels(
       queue, env.cancel, [&](dpu::DpCore& core, size_t m) -> Status {
+        TraceSpan span(TraceMode::kFull, core.id(), "groupby.morsel",
+                       &dpu::TraceClockNow, &core.cycles());
+        span.Annotate("morsel", static_cast<int64_t>(m));
         const RowRange& range = ranges[m];
         core.dmem().Reset();
         ExecCtx ctx{&core, &env.dpu->dms(), &env.dpu->params(),
@@ -1061,6 +1083,9 @@ Status GroupByStep::ExecuteHighNdv(ExecEnv& env, const PartitionedData& input,
   dpu::WorkQueue queue(std::move(part_weights), env.dpu->num_cores());
   RAPID_RETURN_NOT_OK(env.dpu->ParallelForMorsels(
       queue, env.cancel, [&](dpu::DpCore& core, size_t p) -> Status {
+        TraceSpan span(TraceMode::kFull, core.id(), "groupby.partition",
+                       &dpu::TraceClockNow, &core.cycles());
+        span.Annotate("partition", static_cast<int64_t>(p));
         // Aggregates one ColumnSet into `agg_out` on this core.
         auto aggregate = [&](const ColumnSet& part,
                              ColumnSet* agg_out) -> Status {

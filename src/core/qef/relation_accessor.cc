@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cstring>
 
+#include "common/trace.h"
+#include "dpu/cost_model.h"
 #include "primitives/arith.h"
 #include "primitives/simd.h"
 #include "storage/encoding_stack.h"
@@ -132,6 +134,8 @@ Status RelationAccessor::PushChunks(
     for (size_t start = 0; start < chunk_rows; start += tile_rows) {
       RAPID_RETURN_NOT_OK(ctx.CheckCancel());
       const size_t rows = std::min(tile_rows, chunk_rows - start);
+      TraceSpan tile_span(TraceMode::kFull, ctx.core->id(), "scan.tile",
+                          &dpu::TraceClockNow, &ctx.cycles());
 
       // One DMS descriptor chain transfers all column slices of the
       // tile; double buffering alternates halves of each buffer.
@@ -191,6 +195,22 @@ Status RelationAccessor::PushChunks(
         }
         slices.push_back(dpu::ColumnSlice{vec.raw() + start * width, dst,
                                           rows * width});
+      }
+      if (tile_span.active()) {
+        // Encoded-vs-plain accounting: `bytes_moved` is what the DMS
+        // chain actually ships (run windows for RLE-topped columns),
+        // `plain_bytes` what the same tile costs with encoding off.
+        uint64_t moved = 0;
+        for (const dpu::ColumnSlice& s : slices) moved += s.bytes;
+        uint64_t plain = 0;
+        for (size_t c = 0; c < column_indices.size(); ++c) {
+          plain += rows * chunk->column(column_indices[c]).width();
+        }
+        tile_span.Annotate("rows", static_cast<uint64_t>(rows));
+        tile_span.Annotate("encoded_cols",
+                           static_cast<int64_t>(staged_cols.size()));
+        tile_span.Annotate("bytes_moved", moved);
+        tile_span.Annotate("plain_bytes", plain);
       }
       RAPID_RETURN_NOT_OK(
           ctx.dms->TransferTile(&ctx.cycles(), slices, /*read_write=*/false));

@@ -1,8 +1,9 @@
 #include "dpu/config.h"
 
 #include <algorithm>
-#include <cstdio>
 #include <cstdlib>
+
+#include "common/logging.h"
 
 namespace rapid::dpu {
 
@@ -16,15 +17,14 @@ int ResolveCoreCount(int paper_default) {
     if (end != env && *end == '\0' && parsed >= 1) {
       cores = static_cast<int>(std::min(parsed, 1024L));
     } else {
-      std::fprintf(stderr,
-                   "rapid: invalid RAPID_CORES value '%s' "
-                   "(want an integer >= 1); using %d\n",
-                   env, paper_default);
+      RAPID_LOG(kWarn,
+                "invalid RAPID_CORES value '%s' "
+                "(want an integer >= 1); using %d",
+                env, paper_default);
     }
   }
   if (cores != paper_default) {
-    std::fprintf(stderr, "rapid: dpCore count overridden to %d (RAPID_CORES)\n",
-                 cores);
+    RAPID_LOG(kInfo, "dpCore count overridden to %d (RAPID_CORES)", cores);
   }
   return cores;
 }

@@ -185,6 +185,15 @@ class CycleCounter {
   double dms_cycles_ = 0;
 };
 
+// TraceSpan clock callback for core tracks: a core's virtual time is
+// its accumulated compute + DMS cycles, which only grows while the
+// core works — giving each dpCore trace track a monotone clock. Pass
+// with `&core.cycles()` as the clock argument.
+inline double TraceClockNow(const void* counter) {
+  const auto* c = static_cast<const CycleCounter*>(counter);
+  return c->compute_cycles() + c->dms_cycles();
+}
+
 // ---- Cost helper functions -------------------------------------------------
 // These compute cycle charges for common events; operators call them
 // and feed the result into the core's CycleCounter.

@@ -5,6 +5,7 @@
 #include "common/crc32.h"
 #include "common/fault.h"
 #include "common/logging.h"
+#include "common/trace.h"
 
 namespace rapid::dpu {
 
@@ -74,8 +75,16 @@ Status Dms::TransferTile(CycleCounter* cycles,
     const size_t payload = read_write ? total_bytes / 2 : total_bytes;
     const size_t per_col =
         columns > 0 ? payload / static_cast<size_t>(columns) : 0;
-    cycles->ChargeDms(DmsTileTransferCycles(params_, columns > 0 ? columns : 1,
-                                            per_col, 1, read_write));
+    const double dms_cycles = DmsTileTransferCycles(
+        params_, columns > 0 ? columns : 1, per_col, 1, read_write);
+    cycles->ChargeDms(dms_cycles);
+    if (TraceCollector::Recording(TraceMode::kFull)) {
+      TraceCollector::Instance().RecordDms(
+          "dms.transfer", dms_cycles,
+          {TraceCollector::Arg::U("bytes", total_bytes),
+           TraceCollector::Arg::I("columns", columns),
+           TraceCollector::Arg::S("mode", read_write ? "rw" : "ro")});
+    }
   }
   return Status::OK();
 }

@@ -1,10 +1,11 @@
 #include "dpu/work_queue.h"
 
 #include <algorithm>
-#include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <numeric>
+
+#include "common/logging.h"
 
 namespace rapid::dpu {
 
@@ -21,15 +22,15 @@ SchedMode ResolveStartupMode() {
                std::strcmp(env, "dynamic") == 0) {
       mode = SchedMode::kMorsel;
     } else {
-      std::fprintf(stderr,
-                   "rapid: unknown RAPID_SCHED value '%s' "
-                   "(want static|morsel); using morsel\n",
-                   env);
+      RAPID_LOG(kWarn,
+                "unknown RAPID_SCHED value '%s' "
+                "(want static|morsel); using morsel",
+                env);
       requested = "morsel";
     }
   }
-  std::fprintf(stderr, "rapid: scheduling mode %s (RAPID_SCHED=%s)\n",
-               SchedModeName(mode), requested);
+  RAPID_LOG(kInfo, "scheduling mode %s (RAPID_SCHED=%s)", SchedModeName(mode),
+            requested);
   return mode;
 }
 

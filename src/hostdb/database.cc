@@ -3,9 +3,37 @@
 #include <chrono>
 #include <memory>
 
+#include "common/metrics.h"
+#include "common/trace.h"
 #include "storage/encoding_stack.h"
 
 namespace rapid::hostdb {
+
+namespace {
+
+const char* DecisionName(OffloadDecision::Kind kind) {
+  switch (kind) {
+    case OffloadDecision::Kind::kFull:
+      return "full";
+    case OffloadDecision::Kind::kPartial:
+      return "partial";
+    case OffloadDecision::Kind::kNone:
+      return "none";
+  }
+  return "none";
+}
+
+void CountQuery(bool offloaded, bool fell_back) {
+  auto& reg = MetricsRegistry::Instance();
+  static MetricCounter* queries = reg.Counter("hostdb.queries");
+  static MetricCounter* off = reg.Counter("hostdb.queries.offloaded");
+  static MetricCounter* fb = reg.Counter("hostdb.queries.fell_back");
+  queries->Increment();
+  if (offloaded) off->Increment();
+  if (fell_back) fb->Increment();
+}
+
+}  // namespace
 
 void HostDatabase::StartBackgroundCheckpointer(
     core::RapidEngine* engine, std::chrono::milliseconds interval) {
@@ -119,8 +147,24 @@ Result<QueryReport> HostDatabase::ExecuteQuery(
     const core::LogicalPtr& plan, core::RapidEngine* engine,
     const core::ExecOptions& options) {
   QueryReport report;
+  // Outermost trace scope: the offload decision, the RAPID fragment
+  // runs, and any fallback graft all land in one exported trace.
+  TraceQueryScope trace_scope(engine->dpu().num_cores(),
+                              engine->dpu().params().clock_hz);
   OffloadPlanner planner(engine->dpu().config(), engine->dpu().params());
-  const OffloadDecision decision = planner.Decide(plan, *engine, catalog_);
+  const OffloadDecision decision = [&] {
+    TraceSpan span(TraceMode::kSummary, TraceCollector::kTrackHost,
+                   "offload.decide");
+    OffloadDecision d = planner.Decide(plan, *engine, catalog_);
+    if (span.active()) {
+      span.Annotate("kind", DecisionName(d.kind));
+      span.Annotate("reason", TraceCollector::Instance().Intern(d.reason));
+      span.Annotate("rapid_seconds", d.rapid_seconds);
+      span.Annotate("local_seconds", d.local_seconds);
+      span.Annotate("fragments", static_cast<int64_t>(d.fragments.size()));
+    }
+    return d;
+  }();
   report.decision = decision.kind;
 
   const uint64_t query_scn = journal_.current_scn();
@@ -133,6 +177,7 @@ Result<QueryReport> HostDatabase::ExecuteQuery(
                                    std::chrono::steady_clock::now() -
                                    host_start)
                                    .count();
+    CountQuery(/*offloaded=*/false, /*fell_back=*/false);
     return report;
   }
 
@@ -147,26 +192,7 @@ Result<QueryReport> HostDatabase::ExecuteQuery(
         options));
     RAPID_ASSIGN_OR_RETURN(fragment_rows[f],
                            DrainToColumnSet(placeholders[f].get()));
-    report.offloaded = report.offloaded && !placeholders[f]->fell_back();
-    report.fell_back = report.fell_back || placeholders[f]->fell_back();
-    if (placeholders[f]->fell_back()) {
-      if (!report.fallback_reason.empty()) report.fallback_reason += "; ";
-      report.fallback_reason += placeholders[f]->fallback_reason().ToString();
-    }
-    report.rapid_wall_seconds += placeholders[f]->rapid_wall_seconds();
-    report.rapid_modeled_seconds +=
-        placeholders[f]->rapid_stats().modeled_seconds;
-    report.reused_fragments += placeholders[f]->reused_fragments();
-    report.reused_rounds += placeholders[f]->reused_rounds();
-    report.resumed_morsels += placeholders[f]->resumed_morsels();
-    report.dpu_retries += placeholders[f]->dpu_retries();
-    report.encoded_bytes_moved += placeholders[f]->encoded_bytes_moved();
-    report.plain_bytes_moved += placeholders[f]->plain_bytes_moved();
-    report.runs_filtered += placeholders[f]->runs_filtered();
-    report.join_filter_built += placeholders[f]->join_filter_built();
-    report.rows_pruned_by_join_filter +=
-        placeholders[f]->rows_pruned_by_join_filter();
-    report.filter_bytes += placeholders[f]->filter_bytes();
+    report.Merge(*placeholders[f]);
   }
   if (!placeholders.empty()) {
     report.rapid_stats = placeholders[0]->rapid_stats();
@@ -192,7 +218,32 @@ Result<QueryReport> HostDatabase::ExecuteQuery(
           .count() -
       report.rapid_wall_seconds;
   if (report.host_wall_seconds < 0) report.host_wall_seconds = 0;
+  CountQuery(report.offloaded, report.fell_back);
   return report;
+}
+
+Result<std::string> HostDatabase::ExplainAnalyze(
+    const core::LogicalPtr& plan, core::RapidEngine* engine,
+    const core::ExecOptions& options) {
+  OffloadPlanner planner(engine->dpu().config(), engine->dpu().params());
+  const OffloadDecision decision = planner.Decide(plan, *engine, catalog_);
+  std::string out = "offload: ";
+  out += DecisionName(decision.kind);
+  out += " (" + decision.reason + ")\n";
+  if (decision.kind == OffloadDecision::Kind::kNone) {
+    out += "plan executes on host; no RAPID per-node actuals\n";
+    return out;
+  }
+  for (size_t f = 0; f < decision.fragments.size(); ++f) {
+    if (decision.fragments.size() > 1) {
+      out += "fragment " + std::to_string(f) + ":\n";
+    }
+    RAPID_ASSIGN_OR_RETURN(
+        std::string tree,
+        engine->ExplainAnalyze(decision.fragments[f], options));
+    out += tree;
+  }
+  return out;
 }
 
 }  // namespace rapid::hostdb

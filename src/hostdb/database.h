@@ -68,6 +68,13 @@ class HostDatabase {
       const core::LogicalPtr& plan, core::RapidEngine* engine,
       const core::ExecOptions& options = core::ExecOptions{});
 
+  // EXPLAIN ANALYZE: renders the offload decision, then executes each
+  // offloadable fragment on RAPID and appends its physical plan tree
+  // with per-node actuals (rows, modeled time, cycles).
+  Result<std::string> ExplainAnalyze(
+      const core::LogicalPtr& plan, core::RapidEngine* engine,
+      const core::ExecOptions& options = core::ExecOptions{});
+
   // System-X-only execution (the Figure 16 baseline).
   Result<core::ColumnSet> ExecuteLocal(const core::LogicalPtr& plan) {
     return VolcanoExecutor::Execute(plan, catalog_);

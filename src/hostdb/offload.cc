@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdio>
 #include <functional>
 
+#include "common/trace.h"
 #include "core/qcomp/plan_serde.h"
 #include "storage/encoding_stack.h"
 
@@ -171,6 +173,48 @@ OffloadDecision OffloadPlanner::Decide(const core::LogicalPtr& plan,
   return decision;
 }
 
+void QueryReport::Merge(const RapidOperator& op) {
+  offloaded = offloaded && !op.fell_back();
+  fell_back = fell_back || op.fell_back();
+  if (op.fell_back()) {
+    if (!fallback_reason.empty()) fallback_reason += "; ";
+    fallback_reason += op.fallback_reason().ToString();
+  }
+  rapid_wall_seconds += op.rapid_wall_seconds();
+  rapid_modeled_seconds += op.rapid_stats().modeled_seconds;
+  reused_fragments += op.reused_fragments();
+  reused_rounds += op.reused_rounds();
+  resumed_morsels += op.resumed_morsels();
+  dpu_retries += op.dpu_retries();
+  encoded_bytes_moved += op.encoded_bytes_moved();
+  plain_bytes_moved += op.plain_bytes_moved();
+  runs_filtered += op.runs_filtered();
+  join_filter_built += op.join_filter_built();
+  rows_pruned_by_join_filter += op.rows_pruned_by_join_filter();
+  filter_bytes += op.filter_bytes();
+}
+
+std::string QueryReport::Summary() const {
+  const char* kind = decision == OffloadDecision::Kind::kFull      ? "full"
+                     : decision == OffloadDecision::Kind::kPartial ? "partial"
+                                                                   : "none";
+  char buf[512];
+  std::snprintf(
+      buf, sizeof(buf),
+      "rows=%zu offload=%s offloaded=%d fell_back=%d modeled_ms=%.3f "
+      "rapid_wall_ms=%.3f host_wall_ms=%.3f encoded_bytes=%llu "
+      "plain_bytes=%llu pruned=%llu reused_rounds=%llu retries=%llu",
+      rows.num_rows(), kind, offloaded ? 1 : 0, fell_back ? 1 : 0,
+      rapid_modeled_seconds * 1e3, rapid_wall_seconds * 1e3,
+      host_wall_seconds * 1e3,
+      static_cast<unsigned long long>(encoded_bytes_moved),
+      static_cast<unsigned long long>(plain_bytes_moved),
+      static_cast<unsigned long long>(rows_pruned_by_join_filter),
+      static_cast<unsigned long long>(reused_rounds),
+      static_cast<unsigned long long>(dpu_retries));
+  return std::string(buf);
+}
+
 namespace {
 
 // Walks the fragment to the logical node at `path` ('0' descends into
@@ -260,6 +304,12 @@ Status RapidOperator::Start() {
   // (admission denials harvested nothing, so those still re-execute
   // from scratch).
   fell_back_ = true;
+  TraceSpan graft(TraceMode::kSummary, TraceCollector::kTrackHost,
+                  "offload.fallback_graft");
+  if (graft.active()) {
+    graft.Annotate("reason", TraceCollector::Instance().Intern(
+                                 fallback_reason_.ToString()));
+  }
   std::vector<core::PartialResult>& partials = fallback_info_.partials;
   std::stable_sort(partials.begin(), partials.end(),
                    [](const core::PartialResult& a,
@@ -291,6 +341,7 @@ Status RapidOperator::Start() {
     overrides[ResolvePath(fragment_, pr.path)] = &pr.rows;
   }
   reused_fragments_ = overrides.size();
+  graft.Annotate("reused_fragments", static_cast<int64_t>(reused_fragments_));
   RAPID_ASSIGN_OR_RETURN(
       buffered_,
       VolcanoExecutor::Execute(fragment_, *host_catalog_, overrides));

@@ -63,6 +63,8 @@ class OffloadPlanner {
   core::CostEstimator estimator_;
 };
 
+class RapidOperator;
+
 // Result of executing a query through the host with offload.
 struct QueryReport {
   core::ColumnSet rows;
@@ -100,6 +102,16 @@ struct QueryReport {
   uint64_t join_filter_built = 0;
   uint64_t rows_pruned_by_join_filter = 0;
   uint64_t filter_bytes = 0;
+
+  // Folds one placeholder's accounting into the report: fallback
+  // bookkeeping, wall/modeled time, checkpoint reuse, encoded-scan and
+  // join-filter counters. Called once per fragment by ExecuteQuery.
+  void Merge(const RapidOperator& op);
+
+  // Stable one-line key=value summary for logs and examples. Keys and
+  // their order are part of the format; values in fixed units
+  // (milliseconds, bytes, counts).
+  std::string Summary() const;
 };
 
 // The RAPID placeholder operator: checks admissibility, triggers

@@ -1,9 +1,10 @@
 #include "storage/encoding_stack.h"
 
 #include <atomic>
-#include <cstdio>
 #include <cstdlib>
 #include <cstring>
+
+#include "common/logging.h"
 
 namespace rapid::storage {
 
@@ -171,14 +172,14 @@ EncodedScanMode ResolveStartupMode() {
     } else if (std::strcmp(env, "auto") == 0) {
       mode = EncodedScanMode::kAuto;
     } else {
-      std::fprintf(stderr,
-                   "rapid: unknown RAPID_ENCODED_SCAN value '%s' "
-                   "(want off|auto); using auto\n",
-                   env);
+      RAPID_LOG(kWarn,
+                "unknown RAPID_ENCODED_SCAN value '%s' "
+                "(want off|auto); using auto",
+                env);
     }
   }
-  std::fprintf(stderr, "rapid: encoded scans %s (RAPID_ENCODED_SCAN=%s)\n",
-               mode == EncodedScanMode::kAuto ? "auto" : "off", requested);
+  RAPID_LOG(kInfo, "encoded scans %s (RAPID_ENCODED_SCAN=%s)",
+            mode == EncodedScanMode::kAuto ? "auto" : "off", requested);
   return mode;
 }
 

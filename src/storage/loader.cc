@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdio>
 
+#include "common/logging.h"
 #include "storage/dsb.h"
 #include "storage/encoding_stack.h"
 
@@ -28,18 +29,22 @@ void LogEncodingReport(const std::string& name,
   const double ratio = encoded_bytes == 0 ? 1.0
                                           : static_cast<double>(plain_bytes) /
                                                 static_cast<double>(encoded_bytes);
-  std::fprintf(stderr,
-               "rapid: encodings '%s': %zu/%zu vectors RLE, %zu -> %zu bytes "
-               "(x%.2f)",
-               name.c_str(), vectors_rle, vectors_total, plain_bytes,
-               encoded_bytes, ratio);
+  if (!LogEnabled(LogLevel::kInfo)) return;
+  char buf[128];
+  std::snprintf(buf, sizeof(buf),
+                "encodings '%s': %zu/%zu vectors RLE, %zu -> %zu bytes "
+                "(x%.2f)",
+                name.c_str(), vectors_rle, vectors_total, plain_bytes,
+                encoded_bytes, ratio);
+  std::string line = buf;
   for (const ColumnEncodingReport& r : reports) {
     if (r.vectors_rle == 0 || r.encoded_bytes == 0) continue;
-    std::fprintf(stderr, " %s=x%.2f", r.column.c_str(),
-                 static_cast<double>(r.plain_bytes) /
-                     static_cast<double>(r.encoded_bytes));
+    std::snprintf(buf, sizeof(buf), " %s=x%.2f", r.column.c_str(),
+                  static_cast<double>(r.plain_bytes) /
+                      static_cast<double>(r.encoded_bytes));
+    line += buf;
   }
-  std::fprintf(stderr, "\n");
+  RAPID_LOG(kInfo, "%s", line.c_str());
 }
 
 size_t RowCountOf(const ColumnSpec& spec, const ColumnData& data) {
